@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the upsl binary once per test run.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI build in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "upsl")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building CLI: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin, dir string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-dir", dir}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("upsl %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	bin := buildCLI(t)
+	dir := filepath.Join(t.TempDir(), "store")
+
+	run(t, bin, dir, "-pool-mib", "2", "create")
+	run(t, bin, dir, "put", "42", "1000")
+	run(t, bin, dir, "put", "43", "1001")
+
+	if out := run(t, bin, dir, "get", "42"); strings.TrimSpace(out) != "1000" {
+		t.Fatalf("get 42 = %q", out)
+	}
+	if out := run(t, bin, dir, "get", "99"); !strings.Contains(out, "not found") {
+		t.Fatalf("get 99 = %q", out)
+	}
+
+	// Update through the persisted image.
+	if out := run(t, bin, dir, "put", "42", "2000"); !strings.Contains(out, "updated 42: 1000 -> 2000") {
+		t.Fatalf("update output = %q", out)
+	}
+
+	out := run(t, bin, dir, "scan", "40", "50")
+	if !strings.Contains(out, "42\t2000") || !strings.Contains(out, "43\t1001") ||
+		!strings.Contains(out, "(2 keys)") {
+		t.Fatalf("scan output = %q", out)
+	}
+
+	if out := run(t, bin, dir, "del", "43"); !strings.Contains(out, "removed 43") {
+		t.Fatalf("del output = %q", out)
+	}
+	run(t, bin, dir, "compact")
+
+	out = run(t, bin, dir, "stats")
+	if !strings.Contains(out, "live keys: 1") || !strings.Contains(out, "invariants: ok") {
+		t.Fatalf("stats output = %q", out)
+	}
+	// Each invocation is a separate process: the epoch advances per load,
+	// proving the state round-trips entirely through the saved pools.
+	if !strings.Contains(out, "epoch:") {
+		t.Fatalf("stats missing epoch: %q", out)
+	}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	bin := buildCLI(t)
+	cmd := exec.Command(bin)
+	if err := cmd.Run(); err == nil {
+		t.Fatal("no-arg invocation succeeded")
+	}
+	cmd = exec.Command(bin, "-dir", t.TempDir(), "frobnicate")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("unknown command succeeded")
+	}
+}

@@ -1,0 +1,93 @@
+package upskiplist_test
+
+import (
+	"fmt"
+
+	"upskiplist"
+)
+
+// ExampleCreate shows the basic write/read/remove cycle.
+func ExampleCreate() {
+	store, err := upskiplist.Create(upskiplist.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	w := store.NewWorker(0)
+	w.Insert(42, 4200)
+	v, ok := w.Get(42)
+	fmt.Println(v, ok)
+	w.Remove(42)
+	_, ok = w.Get(42)
+	fmt.Println(ok)
+	// Output:
+	// 4200 true
+	// false
+}
+
+// ExampleStore_Reopen demonstrates constant-time crash recovery: the new
+// handle serves reads immediately, with repairs deferred into later
+// traversals.
+func ExampleStore_Reopen() {
+	store, _ := upskiplist.Create(upskiplist.DefaultOptions())
+	w := store.NewWorker(0)
+	w.Insert(1, 100)
+
+	recovered, err := store.Reopen() // crash boundary: epoch advances
+	if err != nil {
+		panic(err)
+	}
+	v, ok := recovered.NewWorker(0).Get(1)
+	fmt.Println(v, ok)
+	// Output: 100 true
+}
+
+// ExampleWorker_Scan performs a bottom-level range query.
+func ExampleWorker_Scan() {
+	store, _ := upskiplist.Create(upskiplist.DefaultOptions())
+	w := store.NewWorker(0)
+	for k := uint64(1); k <= 5; k++ {
+		w.Insert(k*10, k)
+	}
+	w.Scan(20, 40, func(key, value uint64) bool {
+		fmt.Println(key, value)
+		return true
+	})
+	// Output:
+	// 20 2
+	// 30 3
+	// 40 4
+}
+
+// ExampleStore_Compact reclaims fully-tombstoned nodes (quiesced
+// maintenance).
+func ExampleStore_Compact() {
+	store, _ := upskiplist.Create(upskiplist.DefaultOptions())
+	w := store.NewWorker(0)
+	for k := uint64(1); k <= 100; k++ {
+		w.Insert(k, k)
+	}
+	for k := uint64(1); k <= 100; k++ {
+		w.Remove(k)
+	}
+	n, _ := store.Compact()
+	fmt.Println(n > 0, w.Count())
+	// Output: true 0
+}
+
+// ExampleWorker_Iterator walks the index with a cursor, the access
+// pattern of an ORDER BY consumer.
+func ExampleWorker_Iterator() {
+	store, _ := upskiplist.Create(upskiplist.DefaultOptions())
+	w := store.NewWorker(0)
+	for k := uint64(1); k <= 4; k++ {
+		w.Insert(k*5, k)
+	}
+	it := w.Iterator()
+	for ok := it.Seek(10); ok; ok = it.Next() {
+		fmt.Println(it.Key(), it.Value())
+	}
+	// Output:
+	// 10 2
+	// 15 3
+	// 20 4
+}

@@ -1,0 +1,86 @@
+// NUMA awareness: run the same workload over the two pool layouts the
+// paper compares in §5.2.3 — a single pool striped across the sockets
+// versus one pool per NUMA node addressed through extended RIV pointers —
+// and report throughput and the fraction of remote accesses.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"upskiplist"
+	"upskiplist/internal/pmem"
+)
+
+const (
+	nodes   = 4
+	workers = 8
+	keys    = 60000
+	opsEach = 10000
+)
+
+func runLayout(placement upskiplist.Placement) {
+	opts := upskiplist.DefaultOptions()
+	opts.NUMANodes = nodes
+	opts.Placement = placement
+	opts.KeysPerNode = 32
+	opts.Cost = pmem.DefaultCostModel() // remote accesses cost extra
+	store, err := upskiplist.Create(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Preload.
+	w := store.NewWorker(0)
+	for k := uint64(1); k <= keys; k++ {
+		if _, _, err := w.Insert(k, k); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Mixed read/update workload from workers round-robined over nodes.
+	var wg sync.WaitGroup
+	start := time.Now()
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			worker := store.NewWorker(id)
+			for i := 0; i < opsEach; i++ {
+				k := uint64((id*2654435761+i*40503)%keys) + 1
+				if i%2 == 0 {
+					worker.Get(k)
+				} else {
+					worker.Insert(k, uint64(i))
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+
+	var loads, remote uint64
+	for _, p := range store.Pools() {
+		s := p.Stats().Snapshot()
+		loads += s.Loads + s.Stores + s.CASes
+		remote += s.RemoteOps
+	}
+	fmt.Printf("%-10s  pools=%d  throughput=%.2f Mops/s  remote-accesses=%.1f%%\n",
+		placement, len(store.Pools()),
+		float64(workers*opsEach)/dur.Seconds()/1e6,
+		float64(remote)/float64(loads)*100)
+}
+
+func main() {
+	fmt.Printf("workload: %d workers on %d simulated NUMA nodes, %d ops each\n\n",
+		workers, nodes, opsEach)
+	runLayout(upskiplist.Striped)
+	runLayout(upskiplist.PerNode)
+	fmt.Println("\nThe paper finds the two layouts within ~5.6% of each other:")
+	fmt.Println("NUMA awareness via extended RIV pool IDs is essentially free,")
+	fmt.Println("while enabling node-local allocation — new nodes land in the")
+	fmt.Println("inserting thread's local pool, visible above as the lower")
+	fmt.Println("remote-access share of the per-node layout.")
+}

@@ -1,0 +1,3 @@
+module upskiplist
+
+go 1.22

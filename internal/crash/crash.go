@@ -1,0 +1,323 @@
+// Package crash orchestrates the black-box crash tests of Chapter 6:
+// worker goroutines drive an insert-heavy workload against a Store, a
+// full-system failure is injected at an arbitrary persistent-memory
+// access, the pool loses its unflushed cache lines, the store is
+// reopened (epoch bump), and the same logical threads resume. Every
+// operation — including those pending at the crash — is logged to a
+// lincheck.History, whose strict-linearizability check is the paper's
+// correctness criterion.
+//
+// Two failure modes mirror §6.1.2:
+//
+//   - Abort: the process dies (std::abort-style) but the OS flushes the
+//     caches while unmapping the pool, so no writes are lost — only
+//     operations are interrupted.
+//
+//   - PowerFailure: the machine loses power; every cache line that was
+//     not explicitly flushed reverts to its last persisted contents.
+package crash
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"upskiplist"
+	"upskiplist/internal/lincheck"
+	"upskiplist/internal/pmem"
+)
+
+// Mode selects the failure model.
+type Mode int
+
+// Failure modes.
+const (
+	Abort Mode = iota
+	PowerFailure
+)
+
+func (m Mode) String() string {
+	if m == PowerFailure {
+		return "power-failure"
+	}
+	return "abort"
+}
+
+// TrialConfig parameterizes one crash trial.
+type TrialConfig struct {
+	Mode Mode
+	// Workers is the number of concurrent logical threads.
+	Workers int
+	// Keyspace bounds the keys used; the paper shrinks it (50K keys) to
+	// maximize contention on interrupted keys.
+	Keyspace uint64
+	// Preload keys are inserted before the measured phase.
+	Preload uint64
+	// CrashAfter is the number of pool accesses after which the power
+	// fails (counted across all workers).
+	CrashAfter int64
+	// PostOps is how many operations each worker runs after recovery,
+	// re-reading and re-writing the contended keys so the analyzer can
+	// judge interrupted operations (§6.1.2).
+	PostOps int
+	// ReadFraction of post/pre-crash ops are Gets (the rest are inserts).
+	// The paper uses a 100% insert workload; a small read share
+	// strengthens the check.
+	ReadFraction float64
+	// EvictProb models spontaneous cache eviction: each unflushed line
+	// independently survives the power failure with this probability
+	// (0 = classic all-lost power failure). Only meaningful in
+	// PowerFailure mode.
+	EvictProb float64
+	// Seed makes the eviction draw reproducible.
+	Seed uint64
+	// Eras is the number of crash-recover cycles in one trial (default 1).
+	// Multi-era trials check that recovery state (epochs, logs, lock
+	// stamps) composes across repeated failures.
+	Eras int
+	// Options configures the store (zero value = scaled-down default).
+	Options upskiplist.Options
+}
+
+// DefaultTrialConfig returns a configuration mirroring §6.2's scaled-down
+// parameters.
+func DefaultTrialConfig() TrialConfig {
+	o := upskiplist.DefaultOptions()
+	o.MaxHeight = 12
+	o.KeysPerNode = 8
+	o.PoolWords = 1 << 22
+	return TrialConfig{
+		Mode:         PowerFailure,
+		Workers:      8,
+		Keyspace:     500,
+		Preload:      200,
+		CrashAfter:   30000,
+		PostOps:      300,
+		ReadFraction: 0.2,
+		Options:      o,
+	}
+}
+
+// TrialResult reports what happened.
+type TrialResult struct {
+	History       *lincheck.History
+	Store         *upskiplist.Store // post-recovery handle
+	LinesReverted int
+	OpsBefore     int
+	OpsPending    int
+	OpsAfter      int
+}
+
+// RunTrial executes one crash trial (possibly spanning several
+// crash-recover eras) and returns the history for checking.
+func RunTrial(cfg TrialConfig) (*TrialResult, error) {
+	st, err := upskiplist.Create(cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	h := lincheck.NewHistory()
+	eras := cfg.Eras
+	if eras < 1 {
+		eras = 1
+	}
+
+	// Preload (no crashes armed yet). Values are the operation's start
+	// timestamp — unique, as the analyzer requires (§6.1.1).
+	w0 := st.NewWorker(0)
+	for k := uint64(1); k <= cfg.Preload; k++ {
+		start := h.Now()
+		v := uint64(start)
+		old, existed, err := w0.Insert(k, v)
+		if err != nil {
+			return nil, err
+		}
+		obs := lincheck.Absent
+		if existed {
+			obs = old
+		}
+		h.Record(lincheck.Op{
+			Worker: 0, Kind: lincheck.KindWrite, Key: k, Value: v,
+			Observed: obs, Start: start, End: h.Now(),
+		})
+	}
+
+	var pending atomic.Int64
+	var wg sync.WaitGroup
+	reverted := 0
+	opsBefore := 0
+	st2 := st
+	for era := 0; era < eras; era++ {
+		if cfg.Mode == PowerFailure {
+			st2.EnableCrashTracking()
+		}
+		inj := pmem.NewCountdownInjector(cfg.CrashAfter)
+		st2.SetInjector(inj)
+
+		for id := 0; id < cfg.Workers; id++ {
+			wg.Add(1)
+			go func(st *upskiplist.Store, id int) {
+				defer wg.Done()
+				runWorker(st, h, cfg, id, &pending)
+			}(st2, id)
+		}
+		wg.Wait()
+
+		// All workers are dead mid-operation: the machine has failed.
+		h.Crash()
+		st2.SetInjector(nil)
+		inj.Disarm()
+		if cfg.Mode == PowerFailure {
+			if cfg.EvictProb > 0 {
+				r, _ := st2.SimulateCrashPartial(cfg.EvictProb, cfg.Seed+uint64(era))
+				reverted += r
+			} else {
+				reverted += st2.SimulateCrash()
+			}
+			st2.DisableCrashTracking()
+		}
+		opsBefore = h.Len()
+
+		st2, err = st2.Reopen()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Post-recovery phase: the same logical threads return (thread IDs
+	// reused) and hammer the same keyspace.
+	for id := 0; id < cfg.Workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := st2.NewWorker(id)
+			rng := newRng(int64(id) + 1000)
+			for i := 0; i < cfg.PostOps; i++ {
+				key := rng.key(cfg.Keyspace)
+				if rng.f64() < cfg.ReadFraction {
+					doRead(h, w, id, key)
+				} else {
+					doInsert(h, w, id, key)
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	return &TrialResult{
+		History:       h,
+		Store:         st2,
+		LinesReverted: reverted,
+		OpsBefore:     opsBefore,
+		OpsPending:    int(pending.Load()),
+		OpsAfter:      h.Len() - opsBefore,
+	}, nil
+}
+
+// runWorker loops until the injected crash unwinds it. Each operation is
+// registered before it executes so that a mid-operation death is logged
+// as pending with the exact key/value it was applying.
+func runWorker(st *upskiplist.Store, h *lincheck.History, cfg TrialConfig, id int, pending *atomic.Int64) {
+	w := st.NewWorker(id)
+	rng := newRng(int64(id) + 1)
+	for {
+		key := rng.key(cfg.Keyspace)
+		read := rng.f64() < cfg.ReadFraction
+		crashed := func() (crashed bool) {
+			start := h.Now()
+			value := uint64(start)
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(pmem.CrashSignal); !ok {
+						panic(r)
+					}
+					// Died mid-operation: log it as pending.
+					kind := lincheck.KindWrite
+					if read {
+						kind = lincheck.KindRead
+					}
+					h.Record(lincheck.Op{
+						Worker: id, Kind: kind, Key: key, Value: value,
+						Start: start, End: -1,
+					})
+					pending.Add(1)
+					crashed = true
+				}
+			}()
+			if read {
+				v, ok := w.Get(key)
+				obs := lincheck.Absent
+				if ok {
+					obs = v
+				}
+				h.Record(lincheck.Op{
+					Worker: id, Kind: lincheck.KindRead, Key: key,
+					Observed: obs, Start: start, End: h.Now(),
+				})
+			} else {
+				old, existed, err := w.Insert(key, value)
+				if err != nil {
+					panic(fmt.Sprintf("crash trial insert error: %v", err))
+				}
+				obs := lincheck.Absent
+				if existed {
+					obs = old
+				}
+				h.Record(lincheck.Op{
+					Worker: id, Kind: lincheck.KindWrite, Key: key, Value: value,
+					Observed: obs, Start: start, End: h.Now(),
+				})
+			}
+			return false
+		}()
+		if crashed {
+			return
+		}
+	}
+}
+
+func doInsert(h *lincheck.History, w *upskiplist.Worker, id int, key uint64) {
+	start := h.Now()
+	value := uint64(start)
+	old, existed, err := w.Insert(key, value)
+	if err != nil {
+		panic(fmt.Sprintf("post-crash insert error: %v", err))
+	}
+	obs := lincheck.Absent
+	if existed {
+		obs = old
+	}
+	h.Record(lincheck.Op{
+		Worker: id, Kind: lincheck.KindWrite, Key: key, Value: value,
+		Observed: obs, Start: start, End: h.Now(),
+	})
+}
+
+func doRead(h *lincheck.History, w *upskiplist.Worker, id int, key uint64) {
+	start := h.Now()
+	v, ok := w.Get(key)
+	obs := lincheck.Absent
+	if ok {
+		obs = v
+	}
+	h.Record(lincheck.Op{
+		Worker: id, Kind: lincheck.KindRead, Key: key,
+		Observed: obs, Start: start, End: h.Now(),
+	})
+}
+
+// rng is a tiny xorshift so worker loops do not share math/rand state.
+type rng struct{ s uint64 }
+
+func newRng(seed int64) *rng {
+	return &rng{s: uint64(seed)*2654435761 + 1}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *rng) key(space uint64) uint64 { return r.next()%space + 1 }
+func (r *rng) f64() float64            { return float64(r.next()%1000) / 1000 }

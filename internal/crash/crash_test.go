@@ -1,0 +1,202 @@
+package crash
+
+import (
+	"testing"
+
+	"upskiplist/internal/lincheck"
+)
+
+func TestAbortTrialLinearizable(t *testing.T) {
+	cfg := DefaultTrialConfig()
+	cfg.Mode = Abort
+	cfg.CrashAfter = 20000
+	res, err := RunTrial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OpsPending == 0 {
+		t.Log("warning: no operations were pending at the crash")
+	}
+	if err := res.History.Check(); err != nil {
+		t.Fatalf("abort trial not strictly linearizable: %v", err)
+	}
+	if err := res.Store.NewWorker(0).CheckInvariants(); err != nil {
+		t.Fatalf("post-recovery invariants: %v", err)
+	}
+}
+
+func TestPowerFailureTrialLinearizable(t *testing.T) {
+	cfg := DefaultTrialConfig()
+	res, err := RunTrial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.History.Check(); err != nil {
+		t.Fatalf("power-failure trial not strictly linearizable: %v", err)
+	}
+	if err := res.Store.NewWorker(0).CheckInvariants(); err != nil {
+		t.Fatalf("post-recovery invariants: %v", err)
+	}
+	if res.OpsAfter == 0 {
+		t.Fatal("no post-recovery operations ran")
+	}
+}
+
+// TestManyPowerFailureTrials is the scaled-down Chapter 6 battery: many
+// crash points, all histories strictly linearizable.
+func TestManyPowerFailureTrials(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long crash battery")
+	}
+	crashPoints := []int64{3000, 7000, 12000, 19000, 27000, 41000, 60000, 85000}
+	for _, after := range crashPoints {
+		cfg := DefaultTrialConfig()
+		cfg.CrashAfter = after
+		cfg.PostOps = 200
+		res, err := RunTrial(cfg)
+		if err != nil {
+			t.Fatalf("crash@%d: %v", after, err)
+		}
+		if err := res.History.Check(); err != nil {
+			t.Fatalf("crash@%d: %v", after, err)
+		}
+		if err := res.Store.NewWorker(0).CheckInvariants(); err != nil {
+			t.Fatalf("crash@%d invariants: %v", after, err)
+		}
+	}
+}
+
+// TestAnalyzerDetectsTamperedHistory reproduces §6.3's sanity check: the
+// analyzer must flag histories with artificially corrupted reads.
+func TestAnalyzerDetectsTamperedHistory(t *testing.T) {
+	cfg := DefaultTrialConfig()
+	cfg.CrashAfter = 15000
+	res, err := RunTrial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := res.History.Ops()
+	// Corrupt one completed read to observe a never-written value.
+	tampered := lincheck.NewHistory()
+	done := false
+	for _, op := range ops {
+		if !done && op.Kind == lincheck.KindRead && !op.Pending() {
+			op.Observed = ^uint64(0) >> 3 // never written
+			done = true
+		}
+		tampered.Record(op)
+	}
+	if !done {
+		t.Skip("history had no completed reads to tamper with")
+	}
+	if err := tampered.Check(); err == nil {
+		t.Fatal("analyzer did not detect tampered history")
+	}
+}
+
+// TestEvictionPowerFailureTrials models spontaneous cache evictions: an
+// unflushed line may have reached the persistence domain anyway. RECIPE
+// conversions depend only on flush ordering between dependent writes, so
+// strict linearizability must survive any eviction pattern.
+func TestEvictionPowerFailureTrials(t *testing.T) {
+	for i, prob := range []float64{0.25, 0.5, 0.9} {
+		cfg := DefaultTrialConfig()
+		cfg.CrashAfter = 20000 + int64(i)*7000
+		cfg.EvictProb = prob
+		cfg.Seed = uint64(i) + 1
+		res, err := RunTrial(cfg)
+		if err != nil {
+			t.Fatalf("p=%v: %v", prob, err)
+		}
+		if err := res.History.Check(); err != nil {
+			t.Fatalf("p=%v: %v", prob, err)
+		}
+		if err := res.Store.NewWorker(0).CheckInvariants(); err != nil {
+			t.Fatalf("p=%v invariants: %v", prob, err)
+		}
+	}
+}
+
+func TestTrialStatsPlausible(t *testing.T) {
+	cfg := DefaultTrialConfig()
+	cfg.CrashAfter = 25000
+	res, err := RunTrial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OpsBefore <= int(cfg.Preload) {
+		t.Fatalf("only %d ops before crash", res.OpsBefore)
+	}
+	if res.OpsPending > cfg.Workers {
+		t.Fatalf("%d pending ops for %d workers", res.OpsPending, cfg.Workers)
+	}
+	if cfg.Mode == PowerFailure && res.LinesReverted == 0 {
+		t.Log("warning: power failure reverted no lines (workload may have persisted everything)")
+	}
+}
+
+// TestDurableHistoryTrials reproduces §6.1.1's full instrumentation: the
+// operation log itself lives in (crash-tracked) persistent memory and
+// the analyzer's history is rebuilt from whatever survived the failure.
+func TestDurableHistoryTrials(t *testing.T) {
+	for i, after := range []int64{8000, 20000, 45000} {
+		cfg := DefaultTrialConfig()
+		cfg.CrashAfter = after
+		cfg.Seed = uint64(i)
+		res, err := RunDurableTrial(cfg)
+		if err != nil {
+			t.Fatalf("crash@%d: %v", after, err)
+		}
+		if err := res.History.Check(); err != nil {
+			t.Fatalf("crash@%d: %v", after, err)
+		}
+		if err := res.Store.NewWorker(0).CheckInvariants(); err != nil {
+			t.Fatalf("crash@%d invariants: %v", after, err)
+		}
+		if res.OpsAfter == 0 {
+			t.Fatalf("crash@%d: no post-recovery records", after)
+		}
+	}
+}
+
+// TestDurableHistoryWithEviction combines durable instrumentation with
+// the cache-eviction failure model.
+func TestDurableHistoryWithEviction(t *testing.T) {
+	cfg := DefaultTrialConfig()
+	cfg.CrashAfter = 25000
+	cfg.EvictProb = 0.5
+	cfg.Seed = 7
+	res, err := RunDurableTrial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.History.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiEraTrials runs several crash-recover cycles in one trial:
+// epochs, allocation logs and lock stamps must compose across repeated
+// failures, and the whole multi-era history must stay strictly
+// linearizable.
+func TestMultiEraTrials(t *testing.T) {
+	for _, eras := range []int{2, 3, 4} {
+		cfg := DefaultTrialConfig()
+		cfg.Eras = eras
+		cfg.CrashAfter = 15000
+		cfg.PostOps = 150
+		res, err := RunTrial(cfg)
+		if err != nil {
+			t.Fatalf("eras=%d: %v", eras, err)
+		}
+		if err := res.History.Check(); err != nil {
+			t.Fatalf("eras=%d: %v", eras, err)
+		}
+		if err := res.Store.NewWorker(0).CheckInvariants(); err != nil {
+			t.Fatalf("eras=%d invariants: %v", eras, err)
+		}
+		if res.Store.Epoch() != uint64(eras)+1 {
+			t.Fatalf("eras=%d: epoch = %d, want %d", eras, res.Store.Epoch(), eras+1)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Package epoch implements the failure-free epoch clock at the heart of
+// the paper's RECIPE extension (§4.1.3).
+//
+// Each period between two crashes is one epoch, identified by a
+// monotonically increasing PMEM-resident counter. Nodes record the epoch
+// in which they were created or last repaired; a node whose recorded
+// epoch differs from the current one may have been abandoned mid-update
+// by a crashed thread and must be checked for consistency by whichever
+// thread observes it first.
+package epoch
+
+import (
+	"sync/atomic"
+
+	"upskiplist/internal/pmem"
+)
+
+// Clock is the global failure-free epoch counter. The authoritative value
+// lives in a pool word; a DRAM copy is kept because the value only
+// changes when the program (re)attaches after a crash, never during
+// normal operation.
+type Clock struct {
+	pool *pmem.Pool
+	off  uint64
+	cur  atomic.Uint64
+}
+
+// Attach binds a clock to its pool word and loads the current value.
+func Attach(pool *pmem.Pool, off uint64) *Clock {
+	c := &Clock{pool: pool, off: off}
+	c.cur.Store(pool.Load(off, nil))
+	return c
+}
+
+// InitIfZero sets a freshly formatted clock to epoch 1 and persists it.
+// Epoch 0 is reserved so that zeroed memory is always "stale".
+func (c *Clock) InitIfZero() {
+	if c.pool.Load(c.off, nil) == 0 {
+		c.pool.Store(c.off, 1, nil)
+		c.pool.Persist(c.off, 1, nil)
+	}
+	c.cur.Store(c.pool.Load(c.off, nil))
+}
+
+// Current returns the current failure-free epoch.
+func (c *Clock) Current() uint64 { return c.cur.Load() }
+
+// Advance starts a new failure-free epoch. It is called exactly once per
+// post-crash attach, before any operations are admitted.
+func (c *Clock) Advance() uint64 {
+	v := c.pool.Load(c.off, nil) + 1
+	c.pool.Store(c.off, v, nil)
+	c.pool.Persist(c.off, 1, nil)
+	c.cur.Store(v)
+	return v
+}

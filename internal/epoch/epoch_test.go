@@ -1,0 +1,67 @@
+package epoch
+
+import (
+	"testing"
+
+	"upskiplist/internal/pmem"
+)
+
+func newPool(t *testing.T) *pmem.Pool {
+	t.Helper()
+	p, err := pmem.NewPool(pmem.Config{Words: 64, HomeNode: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestInitIfZeroSetsOne(t *testing.T) {
+	p := newPool(t)
+	c := Attach(p, 9)
+	c.InitIfZero()
+	if c.Current() != 1 {
+		t.Fatalf("epoch = %d, want 1", c.Current())
+	}
+	// Idempotent.
+	c.InitIfZero()
+	if c.Current() != 1 {
+		t.Fatalf("epoch after second init = %d, want 1", c.Current())
+	}
+}
+
+func TestAdvanceIncrementsAndPersists(t *testing.T) {
+	p := newPool(t)
+	c := Attach(p, 9)
+	c.InitIfZero()
+	if got := c.Advance(); got != 2 {
+		t.Fatalf("Advance = %d, want 2", got)
+	}
+	// A re-attach (fresh DRAM state) sees the persisted value.
+	c2 := Attach(p, 9)
+	if c2.Current() != 2 {
+		t.Fatalf("re-attached epoch = %d, want 2", c2.Current())
+	}
+}
+
+func TestAdvanceSurvivesCrash(t *testing.T) {
+	p := newPool(t)
+	c := Attach(p, 9)
+	c.InitIfZero()
+	p.EnableTracking()
+	c.Advance() // persists
+	p.Store(9, 99, nil)
+	p.Crash() // unflushed poke is lost
+	if got := p.Load(9, nil); got != 2 {
+		t.Fatalf("epoch word after crash = %d, want 2", got)
+	}
+}
+
+func TestInitIfZeroRespectsExisting(t *testing.T) {
+	p := newPool(t)
+	p.Store(9, 7, nil)
+	c := Attach(p, 9)
+	c.InitIfZero()
+	if c.Current() != 7 {
+		t.Fatalf("epoch = %d, want preserved 7", c.Current())
+	}
+}

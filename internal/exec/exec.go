@@ -1,0 +1,52 @@
+// Package exec carries the per-worker execution context threaded through
+// every data-structure operation.
+//
+// The paper's pseudocode assumes each function has ambient access to the
+// calling thread's unique threadID, the NUMA node it runs on, and the
+// current failure-free epochID. Go has no thread-local storage (and
+// goroutines migrate between OS threads anyway), so the reproduction
+// makes the context explicit: every worker owns a *Ctx and passes it down.
+package exec
+
+import (
+	"math/rand"
+
+	"upskiplist/internal/pmem"
+)
+
+// Ctx identifies one logical worker thread.
+//
+// ThreadID is the stable identity used for per-thread allocation logs; a
+// worker that "returns after a crash" reuses its ThreadID, which is the
+// assumption UPSkipList's deferred allocation recovery is built on
+// (§4.1.4). Node is the simulated NUMA node the worker is pinned to.
+type Ctx struct {
+	ThreadID int
+	Node     int
+	// Mem is the worker's memory accessor: it carries the NUMA node and
+	// the simulated per-worker cache-line state for the cost model.
+	Mem *pmem.Acc
+	// Rand is the worker-private PRNG used for skip-list height draws.
+	Rand *rand.Rand
+}
+
+// NewCtx returns a context for the given worker, pinned to the given
+// node, with a deterministic private PRNG seeded from the thread ID.
+func NewCtx(threadID, node int) *Ctx {
+	return &Ctx{
+		ThreadID: threadID,
+		Node:     node,
+		Mem:      pmem.NewAcc(node),
+		Rand:     rand.New(rand.NewSource(int64(threadID)*0x5851F42D4C957F2D + 1)),
+	}
+}
+
+// GeometricHeight draws a tower height in [1, max] from the geometric
+// distribution with p = 0.5 used by Pugh's original skip list.
+func (c *Ctx) GeometricHeight(max int) int {
+	h := 1
+	for h < max && c.Rand.Int63()&1 == 0 {
+		h++
+	}
+	return h
+}

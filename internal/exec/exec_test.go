@@ -1,0 +1,61 @@
+package exec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCtxFields(t *testing.T) {
+	c := NewCtx(5, 2)
+	if c.ThreadID != 5 || c.Node != 2 || c.Rand == nil {
+		t.Fatalf("bad ctx: %+v", c)
+	}
+}
+
+func TestCtxRandDeterministicPerThread(t *testing.T) {
+	a := NewCtx(3, 0).Rand.Uint64()
+	b := NewCtx(3, 0).Rand.Uint64()
+	if a != b {
+		t.Fatal("same thread ID produced different streams")
+	}
+	cVal := NewCtx(4, 0).Rand.Uint64()
+	if a == cVal {
+		t.Fatal("different thread IDs produced identical first draw")
+	}
+}
+
+func TestGeometricHeightBounds(t *testing.T) {
+	c := NewCtx(1, 0)
+	f := func(_ uint8) bool {
+		h := c.GeometricHeight(32)
+		return h >= 1 && h <= 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometricHeightDistributionShape(t *testing.T) {
+	c := NewCtx(2, 0)
+	counts := make([]int, 33)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[c.GeometricHeight(32)]++
+	}
+	// P(h=1) ~ 0.5, P(h=2) ~ 0.25.
+	if counts[1] < n*45/100 || counts[1] > n*55/100 {
+		t.Fatalf("P(h=1) = %f, want ~0.5", float64(counts[1])/n)
+	}
+	if counts[2] < n*20/100 || counts[2] > n*30/100 {
+		t.Fatalf("P(h=2) = %f, want ~0.25", float64(counts[2])/n)
+	}
+}
+
+func TestGeometricHeightMaxOne(t *testing.T) {
+	c := NewCtx(1, 0)
+	for i := 0; i < 100; i++ {
+		if h := c.GeometricHeight(1); h != 1 {
+			t.Fatalf("height = %d with max 1", h)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"upskiplist"
+	"upskiplist/internal/bztree"
+	"upskiplist/internal/ycsb"
+)
+
+func upslOpts() upskiplist.Options {
+	o := upskiplist.DefaultOptions()
+	o.MaxHeight = 12
+	o.KeysPerNode = 8
+	o.PoolWords = 1 << 22
+	return o
+}
+
+func newAllIndexes(t *testing.T) []Index {
+	t.Helper()
+	u, err := NewUPSL(upslOpts(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bz, err := NewBzTree(bztree.Config{
+		LeafCapacity: 32, Descriptors: 2048, NumThreads: 8, RegionWords: 1 << 23,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lz, err := NewLazy(1<<23, 12, 32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Index{u, bz, lz}
+}
+
+func TestPreloadAndReadBack(t *testing.T) {
+	for _, idx := range newAllIndexes(t) {
+		if err := Preload(idx, 500, 4); err != nil {
+			t.Fatalf("%s: %v", idx.Name(), err)
+		}
+		h := idx.NewHandle(0)
+		for k := uint64(1); k <= 500; k++ {
+			v, ok := h.Read(k)
+			if !ok || v != (k*7+1)&ValueMask {
+				t.Fatalf("%s key %d: %d %v", idx.Name(), k, v, ok)
+			}
+		}
+	}
+}
+
+func TestRunThroughputAllWorkloadsAllIndexes(t *testing.T) {
+	for _, idx := range newAllIndexes(t) {
+		if err := Preload(idx, 300, 2); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range ycsb.Workloads {
+			run := ycsb.NewRun(w, 300)
+			res, err := RunThroughput(idx, w, run, 4, 150)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", idx.Name(), w.Name, err)
+			}
+			if res.Ops != 600 || res.OpsPerSec <= 0 {
+				t.Fatalf("%s/%s: bad result %+v", idx.Name(), w.Name, res)
+			}
+		}
+	}
+}
+
+func TestRunLatencyRecordsPerOpType(t *testing.T) {
+	u, err := NewUPSL(upslOpts(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Preload(u, 200, 2); err != nil {
+		t.Fatal(err)
+	}
+	run := ycsb.NewRun(ycsb.WorkloadA, 200)
+	res, err := RunLatency(u, ycsb.WorkloadA, run, 4, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ByOp[ycsb.Read].Count() == 0 || res.ByOp[ycsb.Update].Count() == 0 {
+		t.Fatalf("latency histograms empty: reads=%d updates=%d",
+			res.ByOp[ycsb.Read].Count(), res.ByOp[ycsb.Update].Count())
+	}
+	if res.ByOp[ycsb.Read].Quantile(0.5) == 0 {
+		t.Fatal("zero median read latency")
+	}
+}
+
+func TestRunRecoveryAllIndexes(t *testing.T) {
+	for _, idx := range newAllIndexes(t) {
+		res, err := RunRecovery(idx, 300, 2, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", idx.Name(), err)
+		}
+		if res.Mean <= 0 {
+			t.Fatalf("%s: zero recovery time", idx.Name())
+		}
+		// The structure must still serve reads after recovery.
+		h := idx.NewHandle(0)
+		if v, ok := h.Read(1); !ok || v != (1*7+1)&ValueMask {
+			t.Fatalf("%s unreadable after recovery: %d %v", idx.Name(), v, ok)
+		}
+	}
+}
+
+func TestBzTreeRecoveryScalesWithDescriptorPool(t *testing.T) {
+	mk := func(desc int) *BzTreeIndex {
+		bz, err := NewBzTree(bztree.Config{
+			LeafCapacity: 32, Descriptors: desc, NumThreads: 4, RegionWords: 1 << 23,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bz
+	}
+	small := mk(500)
+	big := mk(50000)
+	rs, err := RunRecovery(small, 100, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunRecovery(big, 100, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Mean <= rs.Mean {
+		t.Fatalf("recovery not scaling with pool: %v (500) vs %v (50000)", rs.Mean, rb.Mean)
+	}
+}
+
+func TestUPSLRecoveryConstantInSize(t *testing.T) {
+	mk := func(preload uint64) *UPSL {
+		u, err := NewUPSL(upslOpts(), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Preload(u, preload, 2); err != nil {
+			t.Fatal(err)
+		}
+		return u
+	}
+	small := mk(100)
+	big := mk(5000)
+	ds, err := small.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := big.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant-time recovery: the big structure must not take wildly
+	// longer (allow generous jitter headroom).
+	if db > ds*50+time.Millisecond {
+		t.Fatalf("UPSL recovery not constant: %v (100 keys) vs %v (5000 keys)", ds, db)
+	}
+}

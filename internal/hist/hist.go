@@ -1,0 +1,180 @@
+// Package hist provides a concurrent log-linear latency histogram used by
+// the latency experiments (Figures 5.5/5.6, Table 5.3). It trades a small
+// bounded relative error (~1/32) for lock-free constant-time recording,
+// like HdrHistogram.
+package hist
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// subBuckets per power of two; relative error <= 1/subBuckets.
+	subBuckets = 32
+	subShift   = 5
+	numBuckets = 64 * subBuckets
+)
+
+// Histogram records non-negative int64 samples (typically nanoseconds).
+// The zero value is ready to use and safe for concurrent Record calls.
+type Histogram struct {
+	counts [numBuckets]atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Uint64
+	max    atomic.Uint64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v uint64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 - subShift // v >= 32 so exp >= 0
+	sub := v >> uint(exp)               // in [subBuckets, 2*subBuckets)
+	return int(exp)<<subShift + int(sub)
+}
+
+// lowerBound returns the smallest value mapping to bucket b. Buckets
+// below subBuckets are exact; bucket exp*subBuckets+sub (sub in
+// [subBuckets, 2*subBuckets)) covers [sub<<exp, (sub+1)<<exp).
+func lowerBound(b int) uint64 {
+	if b < subBuckets {
+		return uint64(b)
+	}
+	exp := b>>subShift - 1
+	sub := uint64(b&(subBuckets-1)) | subBuckets
+	return sub << uint(exp)
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	h.counts[bucketOf(u)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(u)
+	for {
+		m := h.max.Load()
+		if u <= m || h.max.CompareAndSwap(m, u) {
+			break
+		}
+	}
+}
+
+// RecordSince records the elapsed time since start in nanoseconds.
+func (h *Histogram) RecordSince(start time.Time) {
+	h.Record(time.Since(start).Nanoseconds())
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Mean returns the arithmetic mean of the samples (0 if empty).
+func (h *Histogram) Mean() float64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() uint64 { return h.max.Load() }
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1) with
+// the histogram's relative resolution.
+func (h *Histogram) Quantile(q float64) uint64 {
+	n := h.total.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(n))
+	if target >= n {
+		target = n - 1
+	}
+	var seen uint64
+	for b := 0; b < numBuckets; b++ {
+		c := h.counts[b].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > target {
+			ub := lowerBound(b+1) - 1
+			if m := h.max.Load(); ub > m {
+				ub = m
+			}
+			return ub
+		}
+	}
+	return h.max.Load()
+}
+
+// Merge adds other's samples into h. Not atomic with respect to
+// concurrent recording on either histogram.
+func (h *Histogram) Merge(other *Histogram) {
+	for b := 0; b < numBuckets; b++ {
+		if c := other.counts[b].Load(); c != 0 {
+			h.counts[b].Add(c)
+		}
+	}
+	h.total.Add(other.total.Load())
+	h.sum.Add(other.sum.Load())
+	for {
+		m, o := h.max.Load(), other.max.Load()
+		if o <= m || h.max.CompareAndSwap(m, o) {
+			break
+		}
+	}
+}
+
+// Reset clears the histogram. Not safe concurrently with Record.
+func (h *Histogram) Reset() {
+	for b := 0; b < numBuckets; b++ {
+		h.counts[b].Store(0)
+	}
+	h.total.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// StandardPercentiles are the percentile points plotted in Figures
+// 5.5/5.6.
+var StandardPercentiles = []float64{0.50, 0.90, 0.99, 0.999, 0.9999}
+
+// Summary formats the standard percentile row in microseconds.
+func (h *Histogram) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d mean=%.1fus", h.Count(), h.Mean()/1e3)
+	for _, p := range StandardPercentiles {
+		fmt.Fprintf(&sb, " p%g=%.1fus", p*100, float64(h.Quantile(p))/1e3)
+	}
+	return sb.String()
+}
+
+// Exact is a tiny helper for tests: exact quantiles over a sample slice.
+func Exact(samples []int64, q float64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), samples...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	i := int(q * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

@@ -1,0 +1,182 @@
+package hist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(1000)
+	if h.Count() != 1 || h.Max() != 1000 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	q := h.Quantile(0.5)
+	if q < 1000 || q > 1031 { // within one sub-bucket
+		t.Fatalf("p50 = %d, want ~1000", q)
+	}
+}
+
+func TestNegativeClampsToZero(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("negative sample not clamped")
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		v >>= 1 // stay clear of overflow corners
+		b := bucketOf(v)
+		lo := lowerBound(b)
+		hi := lowerBound(b+1) - 1
+		return lo <= v && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]int64, 0, 50000)
+	for i := 0; i < 50000; i++ {
+		v := int64(rng.ExpFloat64() * 10000)
+		samples = append(samples, v)
+		h.Record(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := Exact(samples, q)
+		got := h.Quantile(q)
+		if exact == 0 {
+			continue
+		}
+		ratio := float64(got) / float64(exact)
+		if ratio < 0.90 || ratio > 1.10 {
+			t.Fatalf("q=%v: got %d, exact %d (ratio %.3f)", q, got, exact, ratio)
+		}
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		h.Record(int64(rng.Intn(1 << 30)))
+	}
+	f := func(a, b float64) bool {
+		qa, qb := a, b
+		if qa < 0 {
+			qa = -qa
+		}
+		if qb < 0 {
+			qb = -qb
+		}
+		qa -= float64(int(qa))
+		qb -= float64(int(qb))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileClampsRange(t *testing.T) {
+	var h Histogram
+	h.Record(5)
+	h.Record(10)
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Fatal("quantile clamp broken")
+	}
+	if h.Quantile(1) < 10 {
+		t.Fatalf("p100 = %d, want >= 10", h.Quantile(1))
+	}
+}
+
+func TestMeanAndMax(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{10, 20, 30} {
+		h.Record(v)
+	}
+	if h.Mean() != 20 {
+		t.Fatalf("mean = %f", h.Mean())
+	}
+	if h.Max() != 30 {
+		t.Fatalf("max = %d", h.Max())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	for i := int64(0); i < 100; i++ {
+		a.Record(i)
+		b.Record(i + 1000)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() < 1099 {
+		t.Fatalf("merged max = %d", a.Max())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Histogram
+	h.Record(42)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(int64(rng.Intn(100000)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	var h Histogram
+	h.Record(1500)
+	s := h.Summary()
+	if s == "" || len(s) < 10 {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i & 0xffff))
+	}
+}

@@ -1,0 +1,209 @@
+package lincheck
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteCheck decides strict linearizability of a tiny single-key history
+// by enumerating all subsets of effective pending writes and all
+// orderings of linearization points. Exponential — only for
+// cross-validating the production checker on small histories.
+func bruteCheck(ops []Op, crashes []int64) bool {
+	var writes, reads []Op
+	for _, op := range ops {
+		if op.Kind == KindWrite {
+			writes = append(writes, op)
+		} else if !op.Pending() {
+			reads = append(reads, op)
+		}
+	}
+	var pendingIdx []int
+	for i, w := range writes {
+		if w.Pending() {
+			pendingIdx = append(pendingIdx, i)
+		}
+	}
+	// Enumerate which pending writes took effect.
+	for mask := 0; mask < 1<<len(pendingIdx); mask++ {
+		var eff []Op
+		for i, w := range writes {
+			drop := false
+			for bi, pi := range pendingIdx {
+				if pi == i && mask&(1<<bi) == 0 {
+					drop = true
+				}
+			}
+			if !drop {
+				eff = append(eff, w)
+			}
+		}
+		if tryOrders(eff, reads, crashes) {
+			return true
+		}
+	}
+	return false
+}
+
+// tryOrders enumerates permutations of effective writes and greedily
+// interleaves reads.
+func tryOrders(writes, reads []Op, crashes []int64) bool {
+	n := len(writes)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			return feasible(writes, perm, reads, crashes)
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if rec(k + 1) {
+				return true
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// feasible checks one write order: chain semantics (each write observes
+// the previous value if completed) plus greedy timing with reads mapped
+// to the segment holding their observed value.
+func feasible(writes []Op, perm []int, reads []Op, crashes []int64) bool {
+	// Chain semantics.
+	cur := Absent
+	for _, pi := range perm {
+		w := writes[pi]
+		if !w.Pending() && w.Observed != cur {
+			return false
+		}
+		cur = w.Value
+	}
+	// Reads must observe some prefix value at a consistent position;
+	// build the sequence [seg0 reads][w1][seg1 reads][w2]... and greedily
+	// schedule.
+	segValues := make([]uint64, 0, len(perm)+1)
+	segValues = append(segValues, Absent)
+	for _, pi := range perm {
+		segValues = append(segValues, writes[pi].Value)
+	}
+	segReads := make([][]Op, len(segValues))
+	for _, r := range reads {
+		placedIdx := -1
+		for si, v := range segValues {
+			if v == r.Observed {
+				placedIdx = si
+			}
+		}
+		if placedIdx < 0 {
+			return false
+		}
+		segReads[placedIdx] = append(segReads[placedIdx], r)
+	}
+	// Enumerate read orders within a segment? Greedy by Start works since
+	// reads in one segment are interchangeable.
+	var seq []Op
+	addSorted := func(rs []Op) {
+		for i := 1; i < len(rs); i++ {
+			for j := i; j > 0 && rs[j].Start < rs[j-1].Start; j-- {
+				rs[j], rs[j-1] = rs[j-1], rs[j]
+			}
+		}
+		seq = append(seq, rs...)
+	}
+	addSorted(segReads[0])
+	for i, pi := range perm {
+		seq = append(seq, writes[pi])
+		addSorted(segReads[i+1])
+	}
+	t := int64(-1 << 62)
+	for _, op := range seq {
+		if op.Start > t {
+			t = op.Start
+		} else {
+			t++
+		}
+		if t > deadline(op, crashes) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBruteForceAgreement cross-validates Check against exhaustive
+// search on random tiny single-key histories with a crash in the middle.
+func TestBruteForceAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	agree, disagreeAccept, disagreeReject := 0, 0, 0
+	for trial := 0; trial < 400; trial++ {
+		h := NewHistory()
+		nOps := rng.Intn(5) + 2
+		crashAt := rng.Intn(nOps)
+		var raw []Op
+		ts := int64(1)
+		nextVal := uint64(1)
+		for i := 0; i < nOps; i++ {
+			if i == crashAt {
+				h.clock.Store(ts)
+				h.Crash()
+				ts += 2
+			}
+			start := ts
+			ts += int64(rng.Intn(3) + 1)
+			end := ts
+			ts += int64(rng.Intn(2) + 1)
+			if rng.Intn(2) == 0 {
+				// Write with a randomly chosen (possibly wrong!) observed
+				// value to exercise both accept and reject paths.
+				op := Op{
+					Worker: i, Kind: KindWrite, Key: 1,
+					Value:    nextVal,
+					Observed: uint64(rng.Intn(int(nextVal) + 1)), // 0..nextVal
+					Start:    start, End: end,
+				}
+				nextVal++
+				if rng.Intn(4) == 0 {
+					op.End = -1 // pending
+				}
+				raw = append(raw, op)
+			} else {
+				op := Op{
+					Worker: i, Kind: KindRead, Key: 1,
+					Observed: uint64(rng.Intn(int(nextVal))),
+					Start:    start, End: end,
+				}
+				raw = append(raw, op)
+			}
+		}
+		for _, op := range raw {
+			h.clock.Store(maxI64(h.clock.Load(), op.Start, op.End))
+			h.Record(op)
+		}
+		gotErr := h.Check()
+		// Rebuild crash times as the checker saw them.
+		h.mu.lock()
+		crashes := append([]int64(nil), h.crashes...)
+		ops := append([]Op(nil), h.ops...)
+		h.mu.unlock()
+		want := bruteCheck(ops, crashes)
+		got := gotErr == nil
+		switch {
+		case got == want:
+			agree++
+		case got && !want:
+			disagreeAccept++
+			t.Errorf("trial %d: checker accepted, brute force rejects: %+v", trial, ops)
+		default:
+			disagreeReject++
+			t.Errorf("trial %d: checker rejected (%v), brute force accepts: %+v", trial, gotErr, ops)
+		}
+		if disagreeAccept+disagreeReject > 3 {
+			t.Fatal("too many disagreements")
+		}
+	}
+	t.Logf("agreement on %d/400 random histories", agree)
+}

@@ -1,0 +1,237 @@
+package lincheck
+
+import "testing"
+
+// w and r build ops concisely. End < 0 = pending.
+func w(worker int, key, observed, value uint64, start, end int64) Op {
+	return Op{Worker: worker, Kind: KindWrite, Key: key, Value: value, Observed: observed, Start: start, End: end}
+}
+
+func r(worker int, key, observed uint64, start, end int64) Op {
+	return Op{Worker: worker, Kind: KindRead, Key: key, Observed: observed, Start: start, End: end}
+}
+
+func historyOf(crashAfter bool, ops ...Op) *History {
+	h := NewHistory()
+	for _, op := range ops {
+		h.clock.Store(maxI64(h.clock.Load(), op.Start, op.End))
+		h.Record(op)
+	}
+	if crashAfter {
+		h.Crash()
+	}
+	return h
+}
+
+func maxI64(vs ...int64) int64 {
+	m := vs[0]
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func TestEmptyHistoryOK(t *testing.T) {
+	if err := NewHistory().Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialChainOK(t *testing.T) {
+	h := historyOf(false,
+		w(0, 1, Absent, 10, 1, 2),
+		w(0, 1, 10, 20, 3, 4),
+		r(1, 1, 20, 5, 6),
+	)
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOfStaleValueAfterOverwriteFails(t *testing.T) {
+	// v10 is overwritten at t<=4; a read strictly after that observing
+	// v10 is not linearizable.
+	h := historyOf(false,
+		w(0, 1, Absent, 10, 1, 2),
+		w(0, 1, 10, 20, 3, 4),
+		r(1, 1, 10, 5, 6),
+	)
+	if err := h.Check(); err == nil {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestReadOfNeverWrittenValueFails(t *testing.T) {
+	h := historyOf(false,
+		w(0, 1, Absent, 10, 1, 2),
+		r(1, 1, 99, 3, 4),
+	)
+	if err := h.Check(); err == nil {
+		t.Fatal("phantom read accepted")
+	}
+}
+
+func TestConcurrentReadsEitherValueOK(t *testing.T) {
+	// A read overlapping a write may see either old or new.
+	h := historyOf(false,
+		w(0, 1, Absent, 10, 1, 10),
+		r(1, 1, Absent, 2, 3),
+		r(2, 1, 10, 4, 9),
+	)
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBeforeAnyWriteSeesAbsent(t *testing.T) {
+	h := historyOf(false,
+		r(1, 1, Absent, 1, 2),
+		w(0, 1, Absent, 10, 3, 4),
+	)
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbsentReadAfterDurableWriteFails(t *testing.T) {
+	h := historyOf(false,
+		w(0, 1, Absent, 10, 1, 2),
+		r(1, 1, Absent, 3, 4),
+	)
+	if err := h.Check(); err == nil {
+		t.Fatal("lost write accepted")
+	}
+}
+
+func TestTwoWritesObserveSameValueFails(t *testing.T) {
+	h := historyOf(false,
+		w(0, 1, Absent, 10, 1, 2),
+		w(1, 1, 10, 20, 3, 4),
+		w(2, 1, 10, 30, 5, 6),
+	)
+	if err := h.Check(); err == nil {
+		t.Fatal("duplicate observation accepted")
+	}
+}
+
+func TestDuplicateWrittenValueRejected(t *testing.T) {
+	h := historyOf(false,
+		w(0, 1, Absent, 10, 1, 2),
+		w(1, 1, 10, 10, 3, 4),
+	)
+	if err := h.Check(); err == nil {
+		t.Fatal("duplicate value accepted")
+	}
+}
+
+func TestPendingWriteNeverObservedIsDropped(t *testing.T) {
+	// The pending write of 99 never took effect: fine under strict
+	// linearizability.
+	h := historyOf(true,
+		w(0, 1, Absent, 10, 1, 2),
+		w(1, 1, 0, 99, 3, -1), // pending at crash, unobserved
+		r(2, 1, 10, 4, 5),
+	)
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingWriteObservedIsSpliced(t *testing.T) {
+	// The crashed write of 99 IS observed post-crash: it must linearize
+	// before the crash, which is consistent here.
+	h := NewHistory()
+	h.clock.Store(10)
+	h.Record(w(0, 1, Absent, 10, 1, 2))
+	h.Record(w(1, 1, 0, 99, 3, -1)) // pending
+	h.Crash()                       // crash at t=11
+	h.Record(r(2, 1, 99, 12, 13))   // observed after recovery
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingWriteTakingEffectAfterCrashFails(t *testing.T) {
+	// Strict linearizability: the interrupted write must not take effect
+	// after the crash. Here a post-crash read saw the OLD value, and a
+	// later read saw the crashed write's value — meaning the write took
+	// effect between them, after the crash. Violation.
+	h := NewHistory()
+	h.clock.Store(10)
+	h.Record(w(0, 1, Absent, 10, 1, 2))
+	h.Record(w(1, 1, 0, 99, 3, -1)) // pending at crash
+	h.Crash()                       // t=11
+	h.Record(r(2, 1, 10, 12, 13))   // still old value after crash
+	h.Record(r(2, 1, 99, 14, 15))   // then the crashed write appears!
+	if err := h.Check(); err == nil {
+		t.Fatal("late-materializing write accepted")
+	}
+}
+
+func TestRealTimeOrderBetweenKeysIndependent(t *testing.T) {
+	// Different keys are independent: interleaved ops on two keys OK.
+	h := historyOf(false,
+		w(0, 1, Absent, 10, 1, 2),
+		w(0, 2, Absent, 11, 3, 4),
+		r(1, 2, 11, 5, 6),
+		r(1, 1, 10, 7, 8),
+	)
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainWithManyUpdates(t *testing.T) {
+	h := NewHistory()
+	prev := Absent
+	ts := int64(1)
+	for v := uint64(1); v <= 200; v++ {
+		h.clock.Store(ts + 1)
+		h.Record(w(int(v)%4, 7, prev, v*100, ts, ts+1))
+		prev = v * 100
+		ts += 2
+	}
+	h.clock.Store(ts + 1)
+	h.Record(r(0, 7, 200*100, ts, ts+1))
+	if err := h.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompletedWriteMissingFromChainFails(t *testing.T) {
+	// A completed write observing a value nobody wrote cannot be placed.
+	h := historyOf(false,
+		w(0, 1, Absent, 10, 1, 2),
+		w(1, 1, 55, 20, 3, 4), // observed 55: never produced
+	)
+	if err := h.Check(); err == nil {
+		t.Fatal("unplaceable write accepted")
+	}
+}
+
+func TestRecordAssignsErasAndIDs(t *testing.T) {
+	h := NewHistory()
+	h.Record(r(0, 1, Absent, 1, 2))
+	h.Crash()
+	h.Record(r(0, 1, Absent, 3, 4))
+	ops := h.Ops()
+	if ops[0].Era != 0 || ops[1].Era != 1 {
+		t.Fatalf("eras: %d %d", ops[0].Era, ops[1].Era)
+	}
+	if ops[0].ID == ops[1].ID {
+		t.Fatal("IDs not unique")
+	}
+	if h.Len() != 2 {
+		t.Fatalf("len = %d", h.Len())
+	}
+}
+
+func TestNowMonotonic(t *testing.T) {
+	h := NewHistory()
+	a, b := h.Now(), h.Now()
+	if b <= a {
+		t.Fatal("clock not monotonic")
+	}
+}

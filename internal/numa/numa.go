@@ -1,0 +1,49 @@
+// Package numa models the NUMA topology of the paper's evaluation
+// machine (4 sockets, threads assigned round-robin) and the two pool
+// placement strategies it compares: one pool per node ("NUMA-aware") vs
+// a single pool striped across all nodes ("striped").
+package numa
+
+// Placement selects how persistent-memory pools map onto NUMA nodes.
+type Placement int
+
+const (
+	// SinglePool places everything in one unstriped pool; NUMA effects
+	// are not modelled. This is the default for unit tests.
+	SinglePool Placement = iota
+	// Striped uses one pool whose cache lines are interleaved across all
+	// nodes, like the paper's PMEM device striped with a 2 MB stripe.
+	Striped
+	// PerNode uses one pool per NUMA node; allocation is node-local and
+	// the structure is NUMA-aware through extended RIV pool IDs.
+	PerNode
+)
+
+func (p Placement) String() string {
+	switch p {
+	case SinglePool:
+		return "single"
+	case Striped:
+		return "striped"
+	case PerNode:
+		return "per-node"
+	default:
+		return "unknown"
+	}
+}
+
+// Topology describes a simulated machine.
+type Topology struct {
+	// Nodes is the number of NUMA nodes (sockets).
+	Nodes int
+}
+
+// NodeOf assigns a worker thread to a node round-robin, matching the
+// paper's methodology ("threads were assigned to NUMA nodes in a
+// round-robin manner", §5.1.2).
+func (t Topology) NodeOf(threadID int) int {
+	if t.Nodes <= 1 {
+		return 0
+	}
+	return threadID % t.Nodes
+}

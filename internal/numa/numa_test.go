@@ -1,0 +1,37 @@
+package numa
+
+import "testing"
+
+func TestNodeOfRoundRobin(t *testing.T) {
+	topo := Topology{Nodes: 4}
+	for tid := 0; tid < 16; tid++ {
+		if got := topo.NodeOf(tid); got != tid%4 {
+			t.Fatalf("NodeOf(%d) = %d, want %d", tid, got, tid%4)
+		}
+	}
+}
+
+func TestNodeOfSingleNode(t *testing.T) {
+	topo := Topology{Nodes: 1}
+	if topo.NodeOf(7) != 0 {
+		t.Fatal("single-node topology must map all threads to node 0")
+	}
+	zero := Topology{}
+	if zero.NodeOf(3) != 0 {
+		t.Fatal("zero-value topology must map to node 0")
+	}
+}
+
+func TestPlacementStrings(t *testing.T) {
+	cases := map[Placement]string{
+		SinglePool:   "single",
+		Striped:      "striped",
+		PerNode:      "per-node",
+		Placement(9): "unknown",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}

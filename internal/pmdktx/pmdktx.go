@@ -1,0 +1,302 @@
+// Package pmdktx is the reproduction's stand-in for PMDK's libpmemobj
+// (§2.1.2, §3.1): word-granularity undo-log transactions plus two-word
+// "fat" persistent pointers.
+//
+// Transactions follow libpmemobj's model: before a word is modified
+// inside a transaction, its original value is appended to the calling
+// thread's persistent undo log; a crash before commit is rolled back at
+// recovery by replaying the log backwards. This is the copy-before-write
+// write amplification the paper cites as libpmemobj overhead.
+//
+// Fat pointers are two words — pool ID and offset — exactly like
+// libpmemobj's PMEMoid. Dereferencing costs two pool loads, and half as
+// many pointers fit in a cache line as with the RIV scheme; Figure 5.3
+// measures the resulting throughput loss.
+//
+// Allocation is a bump allocator over the region. Objects allocated by a
+// transaction that aborts or dies are leaked (libpmemobj's transactional
+// allocator rolls these back; the skip list baseline built on this
+// package never aborts after allocating, so the difference is not
+// observable in the reproduced experiments).
+package pmdktx
+
+import (
+	"errors"
+
+	"upskiplist/internal/exec"
+	"upskiplist/internal/pmem"
+)
+
+// Region header layout.
+const (
+	hdrMagic   = 0
+	hdrBump    = 1
+	hdrEnd     = 2
+	hdrNumLogs = 3
+	hdrLogCap  = 4
+	hdrRoot    = 5 // two words reserved for the client root fat pointer
+	hdrWords   = pmem.LineWords
+)
+
+// Per-thread undo log layout.
+const (
+	logState = 0 // 0 idle, 1 active
+	logCount = 1
+	logEnts  = 2 // entries are (addr, oldValue) pairs
+)
+
+const magic = 0x504D444B54580001
+
+// Errors.
+var (
+	ErrNotFormatted = errors.New("pmdktx: region not formatted")
+	ErrLogFull      = errors.New("pmdktx: transaction exceeds undo log capacity")
+	ErrOutOfSpace   = errors.New("pmdktx: region exhausted")
+	ErrNested       = errors.New("pmdktx: transaction already active for this thread")
+)
+
+// FatPtr is a libpmemobj-style two-word persistent pointer.
+type FatPtr struct {
+	PoolID uint64
+	Off    uint64
+}
+
+// IsNull reports whether the pointer is null.
+func (p FatPtr) IsNull() bool { return p.PoolID == 0 && p.Off == 0 }
+
+// Heap manages one transactional region of one pool.
+type Heap struct {
+	pool    *pmem.Pool
+	base    uint64
+	numLogs int
+	logCap  int
+}
+
+// Config sizes a heap.
+type Config struct {
+	RegionWords uint64
+	NumLogs     int // thread slots
+	LogCap      int // max logged words per transaction
+}
+
+// DefaultConfig returns a small test geometry.
+func DefaultConfig() Config {
+	return Config{RegionWords: 1 << 20, NumLogs: 64, LogCap: 256}
+}
+
+func logWords(logCap int) uint64 {
+	w := uint64(logEnts + 2*logCap)
+	return (w + pmem.LineWords - 1) &^ uint64(pmem.LineWords-1)
+}
+
+// Format initializes a heap at base.
+func Format(pool *pmem.Pool, base uint64, cfg Config) (*Heap, error) {
+	if cfg.NumLogs < 1 || cfg.LogCap < 1 {
+		return nil, errors.New("pmdktx: bad config")
+	}
+	if err := pool.CheckRange(base, cfg.RegionWords); err != nil {
+		return nil, err
+	}
+	h := &Heap{pool: pool, base: base, numLogs: cfg.NumLogs, logCap: cfg.LogCap}
+	bumpStart := h.logOff(cfg.NumLogs) // first word after the last log
+	pool.Store(base+hdrBump, bumpStart, nil)
+	pool.Store(base+hdrEnd, base+cfg.RegionWords, nil)
+	pool.Store(base+hdrNumLogs, uint64(cfg.NumLogs), nil)
+	pool.Store(base+hdrLogCap, uint64(cfg.LogCap), nil)
+	for t := 0; t < cfg.NumLogs; t++ {
+		off := h.logOff(t)
+		pool.Store(off+logState, 0, nil)
+		pool.Store(off+logCount, 0, nil)
+	}
+	pool.Persist(base, bumpStart-base, nil)
+	pool.Store(base+hdrMagic, magic, nil)
+	pool.Persist(base+hdrMagic, 1, nil)
+	return h, nil
+}
+
+// Attach opens an existing heap; call Recover before admitting
+// operations after a crash.
+func Attach(pool *pmem.Pool, base uint64) (*Heap, error) {
+	if pool.Load(base+hdrMagic, nil) != magic {
+		return nil, ErrNotFormatted
+	}
+	return &Heap{
+		pool: pool, base: base,
+		numLogs: int(pool.Load(base+hdrNumLogs, nil)),
+		logCap:  int(pool.Load(base+hdrLogCap, nil)),
+	}, nil
+}
+
+// Pool returns the underlying pool.
+func (h *Heap) Pool() *pmem.Pool { return h.pool }
+
+func (h *Heap) logOff(t int) uint64 {
+	return h.base + hdrWords + uint64(t)*logWords(h.logCap)
+}
+
+// RootOff returns the word offset of the two-word client root pointer.
+func (h *Heap) RootOff() uint64 { return h.base + hdrRoot }
+
+// SetRoot durably stores the client root fat pointer (outside any
+// transaction; done once at structure creation).
+func (h *Heap) SetRoot(p FatPtr) {
+	h.pool.Store(h.base+hdrRoot, p.PoolID, nil)
+	h.pool.Store(h.base+hdrRoot+1, p.Off, nil)
+	h.pool.Persist(h.base+hdrRoot, 2, nil)
+}
+
+// Root reads the client root pointer (two loads: it is a fat pointer).
+func (h *Heap) Root(ctx *exec.Ctx) FatPtr {
+	return FatPtr{
+		PoolID: h.pool.Load(h.base+hdrRoot, ctx.Mem),
+		Off:    h.pool.Load(h.base+hdrRoot+1, ctx.Mem),
+	}
+}
+
+// objHeaderWords models libpmemobj's per-object allocator metadata (its
+// internal object store keeps type number, size and list linkage ahead
+// of every allocation), which both consumes space and pushes object
+// payloads onto separate cache lines from their headers.
+const objHeaderWords = pmem.LineWords
+
+// Alloc bump-allocates n words (plus the per-object header) and returns
+// the payload offset, line-aligned like libpmemobj's allocation classes.
+func (h *Heap) Alloc(ctx *exec.Ctx, n uint64) (uint64, error) {
+	total := objHeaderWords + (n+pmem.LineWords-1)&^uint64(pmem.LineWords-1)
+	for {
+		cur := h.pool.Load(h.base+hdrBump, ctx.Mem)
+		end := h.pool.Load(h.base+hdrEnd, ctx.Mem)
+		if cur+total > end {
+			return 0, ErrOutOfSpace
+		}
+		if h.pool.CAS(h.base+hdrBump, cur, cur+total, ctx.Mem) {
+			h.pool.Persist(h.base+hdrBump, 1, ctx.Mem)
+			// Header: object size, mimicking the internal object list
+			// entry that makes atomic allocations recoverable (§3.3).
+			h.pool.Store(cur, total, ctx.Mem)
+			payload := cur + objHeaderWords
+			for w := uint64(0); w < n; w++ {
+				h.pool.Store(payload+w, 0, ctx.Mem)
+			}
+			h.pool.Persist(cur, total, ctx.Mem)
+			return payload, nil
+		}
+	}
+}
+
+// Tx is an open transaction owned by one thread.
+type Tx struct {
+	h      *Heap
+	ctx    *exec.Ctx
+	off    uint64 // this thread's log
+	count  int
+	logged map[uint64]bool // addresses already logged (DRAM-side dedup)
+	dirty  []uint64        // addresses written (persisted at commit)
+}
+
+// Begin opens a transaction for the calling thread.
+func (h *Heap) Begin(ctx *exec.Ctx) (*Tx, error) {
+	off := h.logOff(ctx.ThreadID % h.numLogs)
+	if h.pool.Load(off+logState, ctx.Mem) == 1 {
+		return nil, ErrNested
+	}
+	h.pool.Store(off+logCount, 0, ctx.Mem)
+	h.pool.Store(off+logState, 1, ctx.Mem)
+	h.pool.Persist(off, 2, ctx.Mem)
+	return &Tx{
+		h: h, ctx: ctx, off: off,
+		logged: make(map[uint64]bool),
+	}, nil
+}
+
+// Write stores v at addr with undo logging: the old value is persisted to
+// the log before the word is modified, giving failure atomicity.
+func (tx *Tx) Write(addr, v uint64) error {
+	h := tx.h
+	if !tx.logged[addr] {
+		if tx.count >= h.logCap {
+			return ErrLogFull
+		}
+		eo := tx.off + logEnts + 2*uint64(tx.count)
+		h.pool.Store(eo, addr, tx.ctx.Mem)
+		h.pool.Store(eo+1, h.pool.Load(addr, tx.ctx.Mem), tx.ctx.Mem)
+		h.pool.Persist(eo, 2, tx.ctx.Mem)
+		tx.count++
+		h.pool.Store(tx.off+logCount, uint64(tx.count), tx.ctx.Mem)
+		h.pool.Persist(tx.off+logCount, 1, tx.ctx.Mem)
+		tx.logged[addr] = true
+	}
+	h.pool.Store(addr, v, tx.ctx.Mem)
+	tx.dirty = append(tx.dirty, addr)
+	return nil
+}
+
+// WriteFat stores a fat pointer (two logged word writes).
+func (tx *Tx) WriteFat(addr uint64, p FatPtr) error {
+	if err := tx.Write(addr, p.PoolID); err != nil {
+		return err
+	}
+	return tx.Write(addr+1, p.Off)
+}
+
+// Read loads a word (no logging needed).
+func (tx *Tx) Read(addr uint64) uint64 {
+	return tx.h.pool.Load(addr, tx.ctx.Mem)
+}
+
+// Commit persists every written word, then retires the log. After Commit
+// returns, the transaction's effects are durable.
+func (tx *Tx) Commit() {
+	h := tx.h
+	for _, a := range tx.dirty {
+		h.pool.Persist(a, 1, tx.ctx.Mem)
+	}
+	h.pool.Store(tx.off+logState, 0, tx.ctx.Mem)
+	h.pool.Persist(tx.off+logState, 1, tx.ctx.Mem)
+}
+
+// Abort rolls the transaction back in place.
+func (tx *Tx) Abort() {
+	tx.h.rollback(tx.ctx, tx.off)
+}
+
+// rollback undoes an active log (newest entry first) and retires it.
+func (h *Heap) rollback(ctx *exec.Ctx, off uint64) {
+	count := int(h.pool.Load(off+logCount, ctx.Mem))
+	if count > h.logCap {
+		count = h.logCap
+	}
+	for i := count - 1; i >= 0; i-- {
+		eo := off + logEnts + 2*uint64(i)
+		addr := h.pool.Load(eo, ctx.Mem)
+		old := h.pool.Load(eo+1, ctx.Mem)
+		h.pool.Store(addr, old, ctx.Mem)
+		h.pool.Persist(addr, 1, ctx.Mem)
+	}
+	h.pool.Store(off+logState, 0, ctx.Mem)
+	h.pool.Persist(off+logState, 1, ctx.Mem)
+}
+
+// Recover rolls back every transaction that was active at the crash. It
+// is O(threads), mirroring libpmemobj's per-lane recovery; returns the
+// number of transactions rolled back.
+func (h *Heap) Recover(ctx *exec.Ctx) int {
+	n := 0
+	for t := 0; t < h.numLogs; t++ {
+		off := h.logOff(t)
+		if h.pool.Load(off+logState, ctx.Mem) == 1 {
+			h.rollback(ctx, off)
+			n++
+		}
+	}
+	return n
+}
+
+// ReadFat loads a fat pointer (two loads — the cache cost under study in
+// Figure 5.3).
+func (h *Heap) ReadFat(ctx *exec.Ctx, addr uint64) FatPtr {
+	return FatPtr{
+		PoolID: h.pool.Load(addr, ctx.Mem),
+		Off:    h.pool.Load(addr+1, ctx.Mem),
+	}
+}

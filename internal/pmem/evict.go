@@ -1,0 +1,59 @@
+package pmem
+
+import "sync/atomic"
+
+// Cache-eviction modelling for crash tests.
+//
+// On real hardware, a dirty cache line can be written back to the
+// persistence domain at any moment — evicted by capacity pressure or a
+// concurrent access — without the program ever issuing CLWB. A power
+// failure therefore does not revert *every* unflushed line; it reverts
+// an arbitrary subset. Recoverable algorithms must be correct under both
+// extremes and everything between: RECIPE-style conversions rely on
+// flush *ordering* only between dependent writes, never on a write NOT
+// having reached persistence.
+//
+// CrashPartial models this: each dirty line independently survives the
+// failure (as if it had been evicted just before) with the given
+// probability. CrashPartial(0, ...) is exactly Crash(); CrashPartial(1,
+// ...) is a failure where the caches happened to be fully written back.
+
+// splitmix64 generates the per-line survival draws deterministically
+// from a seed, so failing trials can be replayed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+	x = (x ^ x>>27) * 0x94D049BB133111EB
+	return x ^ x>>31
+}
+
+// CrashPartial simulates a power failure in which each unflushed cache
+// line has independently been evicted (and thereby persisted) with
+// probability evictProb before the power cut. Returns (reverted,
+// survived) line counts. Like Crash, the pool must be in tracking mode
+// and quiesced.
+func (p *Pool) CrashPartial(evictProb float64, seed uint64) (reverted, survived int) {
+	if evictProb <= 0 {
+		return p.Crash(), 0
+	}
+	// 32-bit threshold avoids float->uint64 overflow at evictProb = 1.
+	threshold := uint64(evictProb * float64(1<<32))
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for line, buf := range sh.lines {
+			if splitmix64(seed^line)>>32 < threshold {
+				survived++ // evicted before the failure: contents persist
+				continue
+			}
+			base := line << lineShift
+			for w := 0; w < LineWords; w++ {
+				atomic.StoreUint64(&p.words[base+uint64(w)], buf[w])
+			}
+			reverted++
+		}
+		sh.lines = make(map[uint64]*[LineWords]uint64)
+		sh.mu.Unlock()
+	}
+	return reverted, survived
+}

@@ -1,0 +1,81 @@
+package pmem
+
+import "testing"
+
+func TestCrashPartialZeroProbEqualsCrash(t *testing.T) {
+	p := mustPool(t, 1024)
+	p.EnableTracking()
+	for i := uint64(0); i < 64; i += 8 {
+		p.Store(i, i+1, nil)
+	}
+	rev, sur := p.CrashPartial(0, 42)
+	if sur != 0 || rev != 8 {
+		t.Fatalf("rev=%d sur=%d, want 8,0", rev, sur)
+	}
+	for i := uint64(0); i < 64; i += 8 {
+		if p.Load(i, nil) != 0 {
+			t.Fatalf("word %d survived a full power failure", i)
+		}
+	}
+}
+
+func TestCrashPartialFullProbKeepsEverything(t *testing.T) {
+	p := mustPool(t, 1024)
+	p.EnableTracking()
+	for i := uint64(0); i < 64; i += 8 {
+		p.Store(i, i+1, nil)
+	}
+	rev, sur := p.CrashPartial(1.0, 42)
+	if rev != 0 || sur != 8 {
+		t.Fatalf("rev=%d sur=%d, want 0,8", rev, sur)
+	}
+	for i := uint64(0); i < 64; i += 8 {
+		if p.Load(i, nil) != i+1 {
+			t.Fatalf("word %d lost despite full eviction", i)
+		}
+	}
+}
+
+func TestCrashPartialIsDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		p := mustPool(t, 4096)
+		p.EnableTracking()
+		for i := uint64(0); i < 4096; i += 8 {
+			p.Store(i, i+1, nil)
+		}
+		p.CrashPartial(0.5, 7)
+		out := make([]uint64, 0, 512)
+		for i := uint64(0); i < 4096; i += 8 {
+			out = append(out, p.Load(i, nil))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic eviction at line %d", i)
+		}
+	}
+}
+
+func TestCrashPartialMixes(t *testing.T) {
+	p := mustPool(t, 1<<14)
+	p.EnableTracking()
+	lines := 0
+	for i := uint64(0); i < 1<<14; i += 8 {
+		p.Store(i, 1, nil)
+		lines++
+	}
+	rev, sur := p.CrashPartial(0.5, 99)
+	if rev+sur != lines {
+		t.Fatalf("rev+sur = %d, want %d", rev+sur, lines)
+	}
+	// Roughly half should survive (binomial, generous bounds).
+	if sur < lines/4 || sur > lines*3/4 {
+		t.Fatalf("survived %d of %d at p=0.5", sur, lines)
+	}
+	// Shadow table must be clear either way.
+	if d := p.DirtyLines(); d != 0 {
+		t.Fatalf("dirty lines after partial crash: %d", d)
+	}
+}

@@ -1,0 +1,73 @@
+package pmem
+
+import "sync/atomic"
+
+// CrashSignal is the value panicked with when an injector fires. Worker
+// goroutines in crash tests recover this sentinel and abandon their
+// in-flight operation, modelling a thread that ceased to exist at an
+// arbitrary instruction.
+type CrashSignal struct{}
+
+func (CrashSignal) String() string { return "pmem: injected crash" }
+
+// Injector decides, at every pool access, whether the simulated machine
+// loses power at that instant. Implementations panic with CrashSignal to
+// fire. A nil injector is never invoked.
+type Injector interface {
+	// Step is called before each Load/Store/CAS/Add/Persist on a pool
+	// that has the injector installed.
+	Step()
+}
+
+// SetInjector installs (or removes, with nil) a crash injector. Must be
+// called while the pool is quiesced.
+func (p *Pool) SetInjector(inj Injector) {
+	p.inj.Store(&injBox{inj})
+}
+
+// injBox wraps the interface so it can live in an atomic.Pointer.
+type injBox struct{ inj Injector }
+
+func (p *Pool) step() {
+	if b := p.inj.Load(); b != nil && b.inj != nil {
+		b.inj.Step()
+	}
+}
+
+// CountdownInjector fires after a configurable number of pool accesses,
+// then keeps firing for every subsequent access so that all worker
+// goroutines unwind at their next persistent-memory touch — the analogue
+// of a full-system power failure where no thread survives the crash.
+type CountdownInjector struct {
+	countdown atomic.Int64
+	tripped   atomic.Bool
+}
+
+// NewCountdownInjector returns an injector that fires on the n-th access
+// (n >= 1) observed across all goroutines.
+func NewCountdownInjector(n int64) *CountdownInjector {
+	ci := &CountdownInjector{}
+	ci.countdown.Store(n)
+	return ci
+}
+
+// Step implements Injector.
+func (ci *CountdownInjector) Step() {
+	if ci.tripped.Load() {
+		panic(CrashSignal{})
+	}
+	if ci.countdown.Add(-1) <= 0 {
+		ci.tripped.Store(true)
+		panic(CrashSignal{})
+	}
+}
+
+// Tripped reports whether the injected failure has begun.
+func (ci *CountdownInjector) Tripped() bool { return ci.tripped.Load() }
+
+// Disarm stops the injector from firing again (used after the crash has
+// been processed and the pool is being recovered).
+func (ci *CountdownInjector) Disarm() {
+	ci.tripped.Store(false)
+	ci.countdown.Store(1 << 62)
+}

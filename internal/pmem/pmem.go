@@ -1,0 +1,620 @@
+// Package pmem simulates byte-addressable persistent memory for the
+// UPSkipList reproduction.
+//
+// A Pool is a word-addressable array of uint64 that stands in for a
+// memory-mapped persistent-memory pool (an Intel Optane DC "app-direct"
+// pool in the paper). The simulation reproduces the property every
+// recoverable algorithm in the paper is written against: stores become
+// durable only once their cache line has been explicitly flushed, and a
+// crash discards every write that was still in the volatile domain.
+//
+// Two operating modes exist:
+//
+//   - Fast mode (default): loads, stores and CAS operate directly on the
+//     word array. Persist and Fence only update statistics (and charge the
+//     optional cost model). This is the mode used for throughput and
+//     latency benchmarks.
+//
+//   - Tracking mode (EnableTracking): the pool additionally keeps, for
+//     every cache line that has been modified since its last flush, a
+//     shadow copy of the line's last-persisted contents. Crash() reverts
+//     all such lines, which is exactly what a power failure does to a real
+//     persistent-memory system. This mode drives the crash-recovery tests
+//     of Chapter 6.
+//
+// All state that an algorithm wants to survive a crash must live inside
+// pool words; Go-heap pointers never cross the persistence boundary.
+package pmem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// LineWords is the number of 64-bit words in a simulated cache line
+// (64 bytes, matching x86).
+const LineWords = 8
+
+// lineShift converts a word offset to a line index.
+const lineShift = 3
+
+// shardCount is the number of independent locks protecting the shadow
+// table in tracking mode. Must be a power of two.
+const shardCount = 64
+
+// Errors returned by pool construction and persistence helpers.
+var (
+	ErrPoolTooSmall = errors.New("pmem: pool size must be at least one cache line")
+	ErrBadImage     = errors.New("pmem: malformed pool image")
+	ErrOutOfRange   = errors.New("pmem: offset out of range")
+)
+
+// statShards spreads the counters so that concurrent workers do not
+// serialize on one cache line: a structure that issues 5x more loads
+// per operation would otherwise be punished by counter contention — a
+// simulator artifact, not a property under study. Each worker hashes to
+// a shard via its Acc.
+const statShards = 32
+
+// statCell is one padded shard of counters.
+type statCell struct {
+	Loads     atomic.Uint64
+	Stores    atomic.Uint64
+	CASes     atomic.Uint64
+	Flushes   atomic.Uint64
+	Fences    atomic.Uint64
+	RemoteOps atomic.Uint64
+	Misses    atomic.Uint64
+	_         [1]uint64 // pad to a cache line
+}
+
+// Stats holds cumulative operation counters for one pool, sharded to
+// stay off the measurement path.
+type Stats struct {
+	cells [statShards]statCell
+}
+
+func (s *Stats) cell(acc *Acc) *statCell {
+	if acc == nil {
+		return &s.cells[0]
+	}
+	return &s.cells[acc.shard]
+}
+
+// Snapshot returns a plain-struct copy of the aggregated counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	var out StatsSnapshot
+	for i := range s.cells {
+		c := &s.cells[i]
+		out.Loads += c.Loads.Load()
+		out.Stores += c.Stores.Load()
+		out.CASes += c.CASes.Load()
+		out.Flushes += c.Flushes.Load()
+		out.Fences += c.Fences.Load()
+		out.RemoteOps += c.RemoteOps.Load()
+		out.Misses += c.Misses.Load()
+	}
+	return out
+}
+
+// StatsSnapshot is a point-in-time copy of a pool's Stats.
+type StatsSnapshot struct {
+	Loads     uint64
+	Stores    uint64
+	CASes     uint64
+	Flushes   uint64
+	Fences    uint64
+	RemoteOps uint64
+	Misses    uint64
+}
+
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf("loads=%d stores=%d cas=%d flushes=%d fences=%d remote=%d",
+		s.Loads, s.Stores, s.CASes, s.Flushes, s.Fences, s.RemoteOps)
+}
+
+// CostModel describes the synthetic access-latency model used by
+// benchmarks. Each penalty is a spin count burned on the accessing
+// goroutine; zero disables the charge.
+//
+// Loads are charged at cache-line granularity: each worker carries a
+// small direct-mapped line cache (Acc); a load that hits a cached line
+// pays HitPenalty, a miss pays LoadPenalty (plus RemotePenalty for a
+// line homed on another NUMA node). This is what makes the paper's
+// cache-density arguments — single-word RIV pointers vs two-word fat
+// pointers, metadata sharing the first key's line — actually measurable
+// in the simulation. The defaults model the relative costs reported by
+// Izraelevitz et al. (PMEM random read ~3x DRAM, flushes on the store
+// path, remote-NUMA accesses slower than local).
+type CostModel struct {
+	HitPenalty    int // load from a line in the worker's cache
+	LoadPenalty   int // load that misses the worker's line cache
+	StorePenalty  int // store or CAS (write latency hidden by the controller)
+	FlushPenalty  int // per cache-line flush
+	FencePenalty  int // per memory fence
+	RemotePenalty int // extra charge when a missed line is remote
+	// FlushContention is the extra charge per concurrent flusher beyond
+	// the first, modelling the PMEM controller's persist bandwidth
+	// saturating "at a low number of concurrent threads" (§2.1.3). This
+	// is what makes flush-heavy synchronization (PMwCAS descriptors)
+	// degrade under write-heavy concurrency, as in Figure 5.1.
+	FlushContention int
+}
+
+// DefaultCostModel returns the cost model used by the paper-shaped
+// benchmarks.
+func DefaultCostModel() *CostModel {
+	return &CostModel{
+		HitPenalty:      2,
+		LoadPenalty:     48,
+		StorePenalty:    8,
+		FlushPenalty:    56,
+		FencePenalty:    8,
+		RemotePenalty:   24,
+		FlushContention: 48,
+	}
+}
+
+// accSets/accWays size the worker line cache (2-way set-associative);
+// at 64 bytes a line this simulates a ~512 KiB private-cache slice per
+// worker — the scale at which the paper's cache-density effects (hot
+// zipfian paths staying resident, fat pointers doubling the working
+// set) become visible.
+const (
+	accSets = 4096
+	accWays = 2
+)
+
+// Acc is a per-worker accessor: its NUMA node plus a small
+// set-associative cache of recently touched (pool, line) tags used by
+// the cost model. Workers must not share an Acc. A nil *Acc means "no
+// placement, no cache" (administrative accesses, tests).
+type Acc struct {
+	Node  int
+	shard uint32 // stats shard, assigned round-robin at creation
+	tags  [accSets][accWays]uint64
+}
+
+// accSeq hands out stats shards.
+var accSeq atomic.Uint32
+
+// NewAcc returns an accessor pinned to the given NUMA node.
+func NewAcc(node int) *Acc {
+	return &Acc{Node: node, shard: accSeq.Add(1) % statShards}
+}
+
+// touch records an access to a line and reports whether it was cached.
+func (a *Acc) touch(pool uint16, line uint64) bool {
+	tag := uint64(pool)<<44 | (line + 1)
+	set := &a.tags[(line^line>>13)&(accSets-1)]
+	if set[0] == tag {
+		return true
+	}
+	if set[1] == tag {
+		// Promote to MRU.
+		set[1], set[0] = set[0], tag
+		return true
+	}
+	// Evict LRU.
+	set[1], set[0] = set[0], tag
+	return false
+}
+
+// spinSink defeats dead-code elimination of the spin loops.
+var spinSink atomic.Uint64
+
+func spin(n int) {
+	if n <= 0 {
+		return
+	}
+	var acc uint64
+	for i := 0; i < n; i++ {
+		acc += uint64(i) ^ (acc << 1)
+	}
+	spinSink.Add(acc)
+}
+
+// shadowShard guards a slice of the dirty-line shadow table.
+type shadowShard struct {
+	mu    sync.Mutex
+	lines map[uint64]*[LineWords]uint64 // line index -> last persisted contents
+}
+
+// Pool is one simulated persistent-memory pool.
+type Pool struct {
+	id    uint16
+	words []uint64
+
+	// NUMA placement. homeNode >= 0 places the whole pool on one node.
+	// stripeNodes > 0 instead interleaves cache lines across that many
+	// nodes (modelling a pool striped across NUMA-attached DIMMs, the
+	// paper's "striped device").
+	homeNode    int
+	stripeNodes int
+
+	cost *CostModel
+
+	inj atomic.Pointer[injBox]
+
+	// flushers tracks concurrent Persist callers for the contention model.
+	flushers atomic.Int64
+
+	tracking atomic.Bool
+	shards   [shardCount]shadowShard
+
+	stats Stats
+}
+
+// Config describes how to create a Pool.
+type Config struct {
+	ID    uint16
+	Words uint64 // pool size in 64-bit words; rounded up to a cache line
+	// HomeNode is the NUMA node the pool lives on; -1 with StripeNodes=0
+	// means placement is not modelled.
+	HomeNode int
+	// StripeNodes, when > 0, stripes the pool's cache lines round-robin
+	// across nodes [0, StripeNodes).
+	StripeNodes int
+	Cost        *CostModel
+}
+
+// NewPool creates a pool of the configured size with all words zero.
+func NewPool(cfg Config) (*Pool, error) {
+	if cfg.Words < LineWords {
+		return nil, ErrPoolTooSmall
+	}
+	words := (cfg.Words + LineWords - 1) &^ (LineWords - 1)
+	p := &Pool{
+		id:          cfg.ID,
+		words:       make([]uint64, words),
+		homeNode:    cfg.HomeNode,
+		stripeNodes: cfg.StripeNodes,
+		cost:        cfg.Cost,
+	}
+	for i := range p.shards {
+		p.shards[i].lines = make(map[uint64]*[LineWords]uint64)
+	}
+	return p, nil
+}
+
+// ID returns the pool's identifier (the RIV pool field).
+func (p *Pool) ID() uint16 { return p.id }
+
+// Size returns the pool size in words.
+func (p *Pool) Size() uint64 { return uint64(len(p.words)) }
+
+// HomeNode returns the pool's NUMA node, or -1 for striped/unplaced pools.
+func (p *Pool) HomeNode() int {
+	if p.stripeNodes > 0 {
+		return -1
+	}
+	return p.homeNode
+}
+
+// Stats returns the pool's counter block.
+func (p *Pool) Stats() *Stats { return &p.stats }
+
+// nodeOf reports which NUMA node owns the cache line containing off.
+func (p *Pool) nodeOf(off uint64) int {
+	if p.stripeNodes > 0 {
+		return int((off >> lineShift) % uint64(p.stripeNodes))
+	}
+	return p.homeNode
+}
+
+// chargeLoad applies the cost model for one load by acc: a line-cache
+// hit is cheap; a miss pays full PMEM read latency plus the remote
+// surcharge when the line lives on another node.
+func (p *Pool) chargeLoad(off uint64, acc *Acc) {
+	c := p.cost
+	if c == nil {
+		return
+	}
+	if acc != nil && acc.touch(p.id, off>>lineShift) {
+		spin(c.HitPenalty)
+		return
+	}
+	if acc != nil {
+		// Next-line prefetch: hardware detects sequential scans and pulls
+		// the following line, the effect the paper leans on to make
+		// unsorted in-node key scans cheap (§4.4).
+		acc.touch(p.id, off>>lineShift+1)
+	}
+	p.stats.cell(acc).Misses.Add(1)
+	total := c.LoadPenalty
+	if c.RemotePenalty > 0 && acc != nil && acc.Node >= 0 {
+		if owner := p.nodeOf(off); owner >= 0 && owner != acc.Node {
+			total += c.RemotePenalty
+			p.stats.cell(acc).RemoteOps.Add(1)
+		}
+	}
+	spin(total)
+}
+
+// chargeStore applies the cost model for one store/CAS by acc. Stores
+// write-allocate into the accessor's line cache.
+func (p *Pool) chargeStore(off uint64, acc *Acc) {
+	c := p.cost
+	if c == nil {
+		return
+	}
+	total := c.StorePenalty
+	if acc != nil {
+		if !acc.touch(p.id, off>>lineShift) && c.RemotePenalty > 0 && acc.Node >= 0 {
+			if owner := p.nodeOf(off); owner >= 0 && owner != acc.Node {
+				total += c.RemotePenalty
+				p.stats.cell(acc).RemoteOps.Add(1)
+			}
+		}
+	}
+	spin(total)
+}
+
+func (p *Pool) shard(line uint64) *shadowShard {
+	return &p.shards[line&(shardCount-1)]
+}
+
+// captureLine records the current (persisted) contents of the line if it
+// has no shadow entry yet. Caller must hold the shard lock.
+func (p *Pool) captureLine(sh *shadowShard, line uint64) {
+	if _, ok := sh.lines[line]; ok {
+		return
+	}
+	var buf [LineWords]uint64
+	base := line << lineShift
+	for i := 0; i < LineWords; i++ {
+		buf[i] = atomic.LoadUint64(&p.words[base+uint64(i)])
+	}
+	sh.lines[line] = &buf
+}
+
+// Load atomically reads the word at off. acc identifies the accessing
+// worker for cost accounting (nil for administrative accesses).
+func (p *Pool) Load(off uint64, acc *Acc) uint64 {
+	p.step()
+	p.stats.cell(acc).Loads.Add(1)
+	p.chargeLoad(off, acc)
+	return atomic.LoadUint64(&p.words[off])
+}
+
+// Store atomically writes v to the word at off. The write lands in the
+// volatile domain: it is lost by a Crash until the covering line is
+// persisted.
+func (p *Pool) Store(off uint64, v uint64, acc *Acc) {
+	p.step()
+	p.stats.cell(acc).Stores.Add(1)
+	p.chargeStore(off, acc)
+	if p.tracking.Load() {
+		line := off >> lineShift
+		sh := p.shard(line)
+		sh.mu.Lock()
+		p.captureLine(sh, line)
+		atomic.StoreUint64(&p.words[off], v)
+		sh.mu.Unlock()
+		return
+	}
+	atomic.StoreUint64(&p.words[off], v)
+}
+
+// CAS performs an atomic compare-and-swap on the word at off.
+func (p *Pool) CAS(off uint64, old, new uint64, acc *Acc) bool {
+	p.step()
+	p.stats.cell(acc).CASes.Add(1)
+	p.chargeStore(off, acc)
+	if p.tracking.Load() {
+		line := off >> lineShift
+		sh := p.shard(line)
+		sh.mu.Lock()
+		p.captureLine(sh, line)
+		ok := atomic.CompareAndSwapUint64(&p.words[off], old, new)
+		sh.mu.Unlock()
+		return ok
+	}
+	return atomic.CompareAndSwapUint64(&p.words[off], old, new)
+}
+
+// Add atomically adds delta to the word at off and returns the new value.
+func (p *Pool) Add(off uint64, delta uint64, acc *Acc) uint64 {
+	p.step()
+	p.stats.cell(acc).Stores.Add(1)
+	p.chargeStore(off, acc)
+	if p.tracking.Load() {
+		line := off >> lineShift
+		sh := p.shard(line)
+		sh.mu.Lock()
+		p.captureLine(sh, line)
+		v := atomic.AddUint64(&p.words[off], delta)
+		sh.mu.Unlock()
+		return v
+	}
+	return atomic.AddUint64(&p.words[off], delta)
+}
+
+// Persist flushes the cache lines covering words [off, off+n) to the
+// persistent domain and issues a fence, the analogue of
+// CLWB...CLWB; SFENCE in the paper's Persist primitive (Function 1).
+func (p *Pool) Persist(off, n uint64, acc *Acc) {
+	p.step()
+	if n == 0 {
+		n = 1
+	}
+	first := off >> lineShift
+	last := (off + n - 1) >> lineShift
+	if c := p.cost; c != nil && (c.FlushPenalty > 0 || c.FlushContention > 0) {
+		depth := p.flushers.Add(1)
+		extra := 0
+		if depth > 1 {
+			extra = int(depth-1) * c.FlushContention
+		}
+		spin((c.FlushPenalty + extra) * int(last-first+1))
+		p.flushers.Add(-1)
+	}
+	for line := first; line <= last; line++ {
+		p.stats.cell(acc).Flushes.Add(1)
+		if p.tracking.Load() {
+			sh := p.shard(line)
+			sh.mu.Lock()
+			delete(sh.lines, line)
+			sh.mu.Unlock()
+		}
+	}
+	p.Fence(acc)
+}
+
+// Fence issues a store fence (SFENCE analogue). In the simulation
+// ordering is already sequentially consistent, so this only does cost and
+// stats accounting; it exists so algorithm code reads like the paper's.
+func (p *Pool) Fence(acc *Acc) {
+	p.stats.cell(acc).Fences.Add(1)
+	if p.cost != nil {
+		spin(p.cost.FencePenalty)
+	}
+}
+
+// EnableTracking switches the pool into crash-tracking mode. It must be
+// called while no other goroutines are accessing the pool.
+func (p *Pool) EnableTracking() { p.tracking.Store(true) }
+
+// DisableTracking leaves crash-tracking mode, dropping all shadow state
+// (every outstanding write is considered persisted). It must be called
+// while no other goroutines are accessing the pool.
+func (p *Pool) DisableTracking() {
+	p.tracking.Store(false)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		sh.lines = make(map[uint64]*[LineWords]uint64)
+		sh.mu.Unlock()
+	}
+}
+
+// Tracking reports whether crash-tracking mode is on.
+func (p *Pool) Tracking() bool { return p.tracking.Load() }
+
+// DirtyLines returns the number of cache lines with unflushed writes.
+// Only meaningful in tracking mode.
+func (p *Pool) DirtyLines() int {
+	total := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		total += len(sh.lines)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Crash simulates a power failure: every cache line that was modified but
+// not persisted is reverted to its last-persisted contents. The pool must
+// be in tracking mode and quiesced (no concurrent accessors); the caller
+// is responsible for abandoning all in-flight operations first, exactly
+// as a real power failure abandons all running threads.
+func (p *Pool) Crash() int {
+	reverted := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for line, buf := range sh.lines {
+			base := line << lineShift
+			for w := 0; w < LineWords; w++ {
+				atomic.StoreUint64(&p.words[base+uint64(w)], buf[w])
+			}
+			reverted++
+		}
+		sh.lines = make(map[uint64]*[LineWords]uint64)
+		sh.mu.Unlock()
+	}
+	return reverted
+}
+
+// poolImageMagic identifies a serialized pool image.
+const poolImageMagic = 0x55_50_53_4C_504D_454D // "UPSLPMEM"
+
+// WriteTo serializes the pool's durable image (dirty lines are written as
+// their last-persisted contents). It implements io.WriterTo.
+func (p *Pool) WriteTo(w io.Writer) (int64, error) {
+	var hdr [4 * 8]byte
+	binary.LittleEndian.PutUint64(hdr[0:], poolImageMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(p.id))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(p.words)))
+	binary.LittleEndian.PutUint64(hdr[24:], 0)
+	n, err := w.Write(hdr[:])
+	written := int64(n)
+	if err != nil {
+		return written, err
+	}
+	buf := make([]byte, LineWords*8)
+	for line := uint64(0); line < uint64(len(p.words))>>lineShift; line++ {
+		src := p.durableLine(line)
+		for i := 0; i < LineWords; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], src[i])
+		}
+		n, err = w.Write(buf)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// durableLine returns the persisted contents of a cache line.
+func (p *Pool) durableLine(line uint64) [LineWords]uint64 {
+	var out [LineWords]uint64
+	sh := p.shard(line)
+	sh.mu.Lock()
+	if buf, ok := sh.lines[line]; ok {
+		out = *buf
+		sh.mu.Unlock()
+		return out
+	}
+	sh.mu.Unlock()
+	base := line << lineShift
+	for i := 0; i < LineWords; i++ {
+		out[i] = atomic.LoadUint64(&p.words[base+uint64(i)])
+	}
+	return out
+}
+
+// ReadPool deserializes a pool image written by WriteTo. The returned
+// pool is in fast mode with the given cost model and placement.
+func ReadPool(r io.Reader, homeNode, stripeNodes int, cost *CostModel) (*Pool, error) {
+	var hdr [4 * 8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	if binary.LittleEndian.Uint64(hdr[0:]) != poolImageMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadImage)
+	}
+	id := uint16(binary.LittleEndian.Uint64(hdr[8:]))
+	words := binary.LittleEndian.Uint64(hdr[16:])
+	if words < LineWords || words%LineWords != 0 || words > 1<<40 {
+		return nil, fmt.Errorf("%w: bad size %d", ErrBadImage, words)
+	}
+	p, err := NewPool(Config{ID: id, Words: words, HomeNode: homeNode, StripeNodes: stripeNodes, Cost: cost})
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 8*LineWords)
+	for off := uint64(0); off < words; off += LineWords {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("%w: truncated at word %d: %v", ErrBadImage, off, err)
+		}
+		for i := uint64(0); i < LineWords; i++ {
+			p.words[off+i] = binary.LittleEndian.Uint64(buf[i*8:])
+		}
+	}
+	return p, nil
+}
+
+// CheckRange validates that [off, off+n) lies within the pool.
+func (p *Pool) CheckRange(off, n uint64) error {
+	if off >= uint64(len(p.words)) || n > uint64(len(p.words))-off {
+		return fmt.Errorf("%w: off=%d n=%d size=%d", ErrOutOfRange, off, n, len(p.words))
+	}
+	return nil
+}

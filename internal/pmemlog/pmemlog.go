@@ -1,0 +1,157 @@
+// Package pmemlog is an append-only persistent log modelled on PMDK's
+// libpmemlog, which the paper uses to record operation histories for its
+// linearizability analysis (§6.1.1): a DRAM-side log would vanish in the
+// very power failures under study, so the instrumentation itself must be
+// crash-consistent.
+//
+// The log is a region of pool words: a header holding the committed
+// length, followed by fixed-width records. Appends are made durable in
+// two steps — persist the record, then persist the new length — so a
+// crash can only truncate the log at a record boundary, never tear a
+// record (the same discipline libpmemlog applies to its write pointer).
+// Concurrent appenders reserve slots with a CAS on a volatile-side
+// cursor and publish lengths in order.
+package pmemlog
+
+import (
+	"errors"
+	"sync"
+
+	"upskiplist/internal/pmem"
+)
+
+// Header layout.
+const (
+	hdrMagic  = 0
+	hdrCap    = 1 // capacity in records
+	hdrWidth  = 2 // words per record
+	hdrLen    = 3 // committed record count (persist barrier)
+	hdrWords  = pmem.LineWords
+	magicWord = 0x504D454D4C4F4701
+)
+
+// Errors.
+var (
+	ErrNotFormatted = errors.New("pmemlog: region not formatted")
+	ErrFull         = errors.New("pmemlog: log full")
+	ErrBadRecord    = errors.New("pmemlog: record width mismatch")
+)
+
+// Log is a handle to one persistent log region.
+type Log struct {
+	pool  *pmem.Pool
+	base  uint64
+	cap   uint64
+	width uint64
+
+	mu sync.Mutex // serializes commit-length publication
+}
+
+// RegionWords returns the pool space needed for capacity records of
+// width words each.
+func RegionWords(capacity, width uint64) uint64 {
+	return hdrWords + capacity*width
+}
+
+// Format initializes an empty log.
+func Format(pool *pmem.Pool, base, capacity, width uint64) (*Log, error) {
+	if capacity == 0 || width == 0 {
+		return nil, errors.New("pmemlog: zero capacity or width")
+	}
+	if err := pool.CheckRange(base, RegionWords(capacity, width)); err != nil {
+		return nil, err
+	}
+	pool.Store(base+hdrCap, capacity, nil)
+	pool.Store(base+hdrWidth, width, nil)
+	pool.Store(base+hdrLen, 0, nil)
+	pool.Persist(base, hdrWords, nil)
+	pool.Store(base+hdrMagic, magicWord, nil)
+	pool.Persist(base+hdrMagic, 1, nil)
+	return &Log{pool: pool, base: base, cap: capacity, width: width}, nil
+}
+
+// Attach opens an existing log; the committed length is whatever the
+// last persisted header said, so records beyond it (torn by a crash)
+// are invisible — exactly libpmemlog's recovery.
+func Attach(pool *pmem.Pool, base uint64) (*Log, error) {
+	if pool.Load(base+hdrMagic, nil) != magicWord {
+		return nil, ErrNotFormatted
+	}
+	return &Log{
+		pool: pool, base: base,
+		cap:   pool.Load(base+hdrCap, nil),
+		width: pool.Load(base+hdrWidth, nil),
+	}, nil
+}
+
+// Len returns the committed record count.
+func (l *Log) Len() uint64 { return l.pool.Load(l.base+hdrLen, nil) }
+
+// Cap returns the capacity in records.
+func (l *Log) Cap() uint64 { return l.cap }
+
+// Width returns the record width in words.
+func (l *Log) Width() uint64 { return l.width }
+
+func (l *Log) recOff(i uint64) uint64 { return l.base + hdrWords + i*l.width }
+
+// Append durably adds one record: the record body is persisted before
+// the length that makes it visible, so a crash between the two persists
+// simply truncates at the old length.
+func (l *Log) Append(acc *pmem.Acc, rec []uint64) error {
+	if uint64(len(rec)) != l.width {
+		return ErrBadRecord
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.pool.Load(l.base+hdrLen, acc)
+	if n >= l.cap {
+		return ErrFull
+	}
+	off := l.recOff(n)
+	for i, w := range rec {
+		l.pool.Store(off+uint64(i), w, acc)
+	}
+	l.pool.Persist(off, l.width, acc)
+	l.pool.Store(l.base+hdrLen, n+1, acc)
+	l.pool.Persist(l.base+hdrLen, 1, acc)
+	return nil
+}
+
+// Read copies record i into out.
+func (l *Log) Read(acc *pmem.Acc, i uint64, out []uint64) error {
+	if uint64(len(out)) != l.width {
+		return ErrBadRecord
+	}
+	if i >= l.Len() {
+		return errors.New("pmemlog: index beyond committed length")
+	}
+	off := l.recOff(i)
+	for w := uint64(0); w < l.width; w++ {
+		out[w] = l.pool.Load(off+w, acc)
+	}
+	return nil
+}
+
+// Walk iterates over every committed record in order.
+func (l *Log) Walk(acc *pmem.Acc, fn func(i uint64, rec []uint64) bool) {
+	n := l.Len()
+	buf := make([]uint64, l.width)
+	for i := uint64(0); i < n; i++ {
+		off := l.recOff(i)
+		for w := uint64(0); w < l.width; w++ {
+			buf[w] = l.pool.Load(off+w, acc)
+		}
+		if !fn(i, buf) {
+			return
+		}
+	}
+}
+
+// Rewind discards all records (durably).
+func (l *Log) Rewind() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pool.Store(l.base+hdrLen, 0, nil)
+	l.pool.Persist(l.base+hdrLen, 1, nil)
+}

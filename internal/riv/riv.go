@@ -1,0 +1,197 @@
+// Package riv implements the extended Region-ID-in-Value persistent
+// pointer scheme of the paper (§4.3.1).
+//
+// A pointer is a single 64-bit word laid out as
+//
+//	[ pool:16 | chunk:16 | word offset within chunk:32 ]
+//
+// The top 16 bits select the memory pool (one per NUMA node in the
+// paper's multi-pool mode), the middle 16 bits select the dynamically
+// allocated chunk within that pool, and the low 32 bits are a word offset
+// relative to the chunk's base. Keeping the pointer one word wide is the
+// point: PMDK-style fat pointers occupy two words, halving the number of
+// pointers per cache line — Figure 5.3 of the paper quantifies that cost.
+//
+// A Space maps pool IDs to their pmem.Pool and caches each chunk's base
+// offset in DRAM. The cache can be rebuilt lazily after a restart via a
+// resolver callback, matching the paper's deferral of cache rebuilding
+// out of the recovery path (§4.3.2).
+package riv
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"upskiplist/internal/pmem"
+)
+
+// Field widths of the pointer layout.
+const (
+	PoolBits   = 16
+	ChunkBits  = 16
+	OffsetBits = 32
+
+	// MaxChunks is one less than the field capacity: the chunk field is
+	// stored biased by +1 so that no valid pointer encodes as the all-zero
+	// word, keeping 0 free as the null pointer.
+	MaxChunks = 1<<ChunkBits - 1
+)
+
+// Ptr is an extended RIV persistent pointer. The zero value is the null
+// pointer.
+type Ptr uint64
+
+// Null is the null persistent pointer.
+const Null Ptr = 0
+
+// Make assembles a pointer from its fields. chunk must be < MaxChunks.
+func Make(pool uint16, chunk uint16, off uint32) Ptr {
+	if chunk >= MaxChunks {
+		panic("riv: chunk ID out of range")
+	}
+	return Ptr(uint64(pool)<<48 | uint64(chunk+1)<<32 | uint64(off))
+}
+
+// Pool returns the pool ID field.
+func (p Ptr) Pool() uint16 { return uint16(p >> 48) }
+
+// Chunk returns the chunk ID field.
+func (p Ptr) Chunk() uint16 { return uint16(p>>32) - 1 }
+
+// Offset returns the word offset within the chunk.
+func (p Ptr) Offset() uint32 { return uint32(p) }
+
+// IsNull reports whether p is the null pointer.
+func (p Ptr) IsNull() bool { return p == 0 }
+
+// Word returns the raw 64-bit representation, suitable for storing in a
+// pool word.
+func (p Ptr) Word() uint64 { return uint64(p) }
+
+// FromWord reinterprets a pool word as a pointer.
+func FromWord(w uint64) Ptr { return Ptr(w) }
+
+func (p Ptr) String() string {
+	if p.IsNull() {
+		return "riv:null"
+	}
+	return fmt.Sprintf("riv:%d/%d+%d", p.Pool(), p.Chunk(), p.Offset())
+}
+
+// ChunkResolver recovers a chunk's base offset from the pool's persistent
+// chunk directory when the DRAM cache misses (e.g. after a restart). It
+// returns 0 if the chunk is not allocated.
+type ChunkResolver func(pool *pmem.Pool, chunk uint16) uint64
+
+// Space is the set of pools a program has attached, together with the
+// DRAM-resident chunk base cache. It is safe for concurrent use.
+type Space struct {
+	pools    []*pmem.Pool // indexed by pool ID; nil entries are unattached
+	bases    [][]uint64   // [poolIdx][chunk] -> base word offset+1, 0 = unknown
+	resolver ChunkResolver
+}
+
+// NewSpace returns an empty Space.
+func NewSpace() *Space { return &Space{} }
+
+// SetResolver installs the lazy chunk-directory resolver. It must be set
+// before concurrent use begins.
+func (s *Space) SetResolver(r ChunkResolver) { s.resolver = r }
+
+// AddPool attaches a pool; the pool's ID determines its slot. Must not
+// run concurrently with Resolve.
+func (s *Space) AddPool(p *pmem.Pool) {
+	id := int(p.ID())
+	for len(s.pools) <= id {
+		s.pools = append(s.pools, nil)
+		s.bases = append(s.bases, nil)
+	}
+	if s.pools[id] != nil {
+		panic(fmt.Sprintf("riv: pool %d attached twice", id))
+	}
+	s.pools[id] = p
+	s.bases[id] = make([]uint64, MaxChunks)
+}
+
+// Pools returns the attached pools (nil entries for unattached IDs).
+func (s *Space) Pools() []*pmem.Pool { return s.pools }
+
+// NumPools returns the number of attached pools.
+func (s *Space) NumPools() int {
+	n := 0
+	for _, p := range s.pools {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Pool returns the pool with the given ID, or nil.
+func (s *Space) Pool(id uint16) *pmem.Pool {
+	if int(id) >= len(s.pools) {
+		return nil
+	}
+	return s.pools[id]
+}
+
+// SetChunkBase records a chunk's base offset in the DRAM cache. Called by
+// the allocator when a chunk is created or re-discovered.
+func (s *Space) SetChunkBase(pool uint16, chunk uint16, base uint64) {
+	atomic.StoreUint64(&s.bases[pool][chunk], base+1)
+}
+
+// ChunkBase returns the base offset of a chunk, consulting the resolver
+// on a cache miss. The second return is false if the chunk is unknown.
+func (s *Space) ChunkBase(pool uint16, chunk uint16) (uint64, bool) {
+	if int(pool) >= len(s.bases) || s.bases[pool] == nil {
+		return 0, false
+	}
+	if v := atomic.LoadUint64(&s.bases[pool][chunk]); v != 0 {
+		return v - 1, true
+	}
+	if s.resolver == nil {
+		return 0, false
+	}
+	p := s.pools[pool]
+	if p == nil {
+		return 0, false
+	}
+	base := s.resolver(p, chunk)
+	if base == 0 {
+		return 0, false
+	}
+	atomic.StoreUint64(&s.bases[pool][chunk], base+1)
+	return base, true
+}
+
+// Resolve translates a pointer into (pool, absolute word offset). This is
+// the two-stage lookup of Figure 4.3: pool ID -> pool, chunk ID -> base,
+// base + offset -> word. Panics on null or unattached pointers; callers
+// check IsNull first, exactly as C++ code would not dereference nullptr.
+func (s *Space) Resolve(p Ptr) (*pmem.Pool, uint64) {
+	if p.IsNull() {
+		panic("riv: resolving null pointer")
+	}
+	pool := s.Pool(p.Pool())
+	if pool == nil {
+		panic(fmt.Sprintf("riv: pointer %v into unattached pool", p))
+	}
+	base, ok := s.ChunkBase(p.Pool(), p.Chunk())
+	if !ok {
+		panic(fmt.Sprintf("riv: pointer %v into unknown chunk", p))
+	}
+	return pool, base + uint64(p.Offset())
+}
+
+// InvalidateChunkCache clears the DRAM chunk-base cache for one pool so
+// that subsequent resolutions go through the resolver again. Used when
+// re-attaching after a simulated restart.
+func (s *Space) InvalidateChunkCache(pool uint16) {
+	if int(pool) >= len(s.bases) || s.bases[pool] == nil {
+		return
+	}
+	for i := range s.bases[pool] {
+		atomic.StoreUint64(&s.bases[pool][i], 0)
+	}
+}

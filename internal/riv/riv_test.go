@@ -1,0 +1,178 @@
+package riv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"upskiplist/internal/pmem"
+)
+
+func TestMakeFieldsRoundTrip(t *testing.T) {
+	p := Make(7, 42, 123456)
+	if p.Pool() != 7 || p.Chunk() != 42 || p.Offset() != 123456 {
+		t.Fatalf("fields = %d/%d/%d", p.Pool(), p.Chunk(), p.Offset())
+	}
+}
+
+func TestNull(t *testing.T) {
+	if !Null.IsNull() {
+		t.Fatal("Null not null")
+	}
+	if Make(0, 0, 1).IsNull() {
+		t.Fatal("nonzero pointer reported null")
+	}
+	if FromWord(0) != Null {
+		t.Fatal("FromWord(0) != Null")
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	p := Make(65535, MaxChunks-1, 0xffffffff)
+	if FromWord(p.Word()) != p {
+		t.Fatal("word round trip failed")
+	}
+}
+
+func TestQuickFieldRoundTrip(t *testing.T) {
+	f := func(pool, chunk uint16, off uint32) bool {
+		chunk %= MaxChunks
+		p := Make(pool, chunk, off)
+		return p.Pool() == pool && p.Chunk() == chunk && p.Offset() == off &&
+			FromWord(p.Word()) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if Null.String() != "riv:null" {
+		t.Fatalf("null string = %q", Null.String())
+	}
+	if got := Make(1, 2, 3).String(); got != "riv:1/2+3" {
+		t.Fatalf("string = %q", got)
+	}
+}
+
+func newTestPool(t testing.TB, id uint16) *pmem.Pool {
+	t.Helper()
+	p, err := pmem.NewPool(pmem.Config{ID: id, Words: 4096, HomeNode: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSpaceResolve(t *testing.T) {
+	s := NewSpace()
+	p0 := newTestPool(t, 0)
+	p1 := newTestPool(t, 1)
+	s.AddPool(p0)
+	s.AddPool(p1)
+	s.SetChunkBase(1, 3, 1024)
+
+	ptr := Make(1, 3, 16)
+	pool, off := s.Resolve(ptr)
+	if pool != p1 {
+		t.Fatal("resolved wrong pool")
+	}
+	if off != 1040 {
+		t.Fatalf("off = %d, want 1040", off)
+	}
+}
+
+func TestSpaceNumPools(t *testing.T) {
+	s := NewSpace()
+	s.AddPool(newTestPool(t, 0))
+	s.AddPool(newTestPool(t, 2))
+	if s.NumPools() != 2 {
+		t.Fatalf("NumPools = %d, want 2", s.NumPools())
+	}
+	if s.Pool(1) != nil {
+		t.Fatal("pool 1 should be unattached")
+	}
+	if s.Pool(9) != nil {
+		t.Fatal("out-of-range pool should be nil")
+	}
+}
+
+func TestSpaceDoubleAttachPanics(t *testing.T) {
+	s := NewSpace()
+	s.AddPool(newTestPool(t, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double attach")
+		}
+	}()
+	s.AddPool(newTestPool(t, 0))
+}
+
+func TestResolveNullPanics(t *testing.T) {
+	s := NewSpace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on null resolve")
+		}
+	}()
+	s.Resolve(Null)
+}
+
+func TestResolveUnknownChunkPanics(t *testing.T) {
+	s := NewSpace()
+	s.AddPool(newTestPool(t, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unknown chunk")
+		}
+	}()
+	s.Resolve(Make(0, 5, 0))
+}
+
+func TestLazyResolverRebuildsCache(t *testing.T) {
+	s := NewSpace()
+	p := newTestPool(t, 0)
+	s.AddPool(p)
+	calls := 0
+	s.SetResolver(func(pool *pmem.Pool, chunk uint16) uint64 {
+		calls++
+		if chunk == 2 {
+			return 512
+		}
+		return 0
+	})
+	// First resolution goes through the resolver.
+	if _, off := s.Resolve(Make(0, 2, 8)); off != 520 {
+		t.Fatalf("off = %d, want 520", off)
+	}
+	// Second resolution hits the cache.
+	s.Resolve(Make(0, 2, 9))
+	if calls != 1 {
+		t.Fatalf("resolver called %d times, want 1", calls)
+	}
+	// Unknown chunks still panic.
+	if _, ok := s.ChunkBase(0, 7); ok {
+		t.Fatal("unknown chunk resolved")
+	}
+}
+
+func TestInvalidateChunkCache(t *testing.T) {
+	s := NewSpace()
+	s.AddPool(newTestPool(t, 0))
+	s.SetChunkBase(0, 1, 128)
+	s.InvalidateChunkCache(0)
+	if _, ok := s.ChunkBase(0, 1); ok {
+		t.Fatal("cache entry survived invalidation")
+	}
+	s.InvalidateChunkCache(5) // no-op on unattached pool
+}
+
+func TestChunkBaseZeroIsValid(t *testing.T) {
+	// A chunk based at offset 0 must be distinguishable from "unknown".
+	s := NewSpace()
+	s.AddPool(newTestPool(t, 0))
+	s.SetChunkBase(0, 0, 0)
+	base, ok := s.ChunkBase(0, 0)
+	if !ok || base != 0 {
+		t.Fatalf("base=%d ok=%v, want 0,true", base, ok)
+	}
+}

@@ -1,0 +1,134 @@
+package skiplist
+
+import (
+	"sort"
+
+	"upskiplist/internal/exec"
+	"upskiplist/internal/riv"
+)
+
+// Iterator is a forward cursor over the live pairs of the list in
+// ascending key order — the access pattern a database index consumer
+// uses for ORDER BY / merge joins, beyond the one-shot Scan callback.
+//
+// The iterator snapshots one node at a time with the same split-count
+// validation as Scan: the pairs returned from any single node are a
+// consistent snapshot of that node, while pairs across nodes may
+// interleave with concurrent writers (the same guarantee the paper's
+// bottom-level range scans would give). An Iterator is not safe for
+// concurrent use; create one per goroutine.
+type Iterator struct {
+	s   *SkipList
+	ctx *exec.Ctx
+
+	node  riv.Ptr // node the buffer came from
+	pairs []kv    // live pairs of that node, sorted
+	idx   int     // position in pairs; idx == len(pairs) means exhausted
+}
+
+type kv struct{ k, v uint64 }
+
+// NewIterator returns an unpositioned iterator; call Seek before Next.
+func (s *SkipList) NewIterator(ctx *exec.Ctx) *Iterator {
+	return &Iterator{s: s, ctx: ctx, idx: 0}
+}
+
+// Seek positions the cursor at the first live key >= key and reports
+// whether such a key exists.
+func (it *Iterator) Seek(key uint64) bool {
+	if key < KeyMin {
+		key = KeyMin
+	}
+	s := it.s
+	preds := make([]riv.Ptr, s.maxHeight)
+	succs := make([]riv.Ptr, s.maxHeight)
+	s.traverse(it.ctx, key, preds, succs)
+	start := preds[0]
+	if start == s.head {
+		start = succs[0]
+	}
+	it.loadNode(start, key)
+	for len(it.pairs) == 0 {
+		if !it.advanceNode() {
+			return false
+		}
+	}
+	return true
+}
+
+// Next advances to the following live pair, reporting false at the end.
+// Seek positions the cursor ON the first matching pair: read it with
+// Key/Value, then call Next to move forward.
+func (it *Iterator) Next() bool {
+	if it.node.IsNull() {
+		return false
+	}
+	it.idx++
+	for it.idx >= len(it.pairs) {
+		if !it.advanceNode() {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether the cursor is on a pair.
+func (it *Iterator) Valid() bool {
+	return !it.node.IsNull() && it.idx < len(it.pairs)
+}
+
+// Key returns the current key; only meaningful when Valid.
+func (it *Iterator) Key() uint64 { return it.pairs[it.idx].k }
+
+// Value returns the current value; only meaningful when Valid.
+func (it *Iterator) Value() uint64 { return it.pairs[it.idx].v }
+
+// loadNode snapshots a node's live pairs with keys >= lo.
+func (it *Iterator) loadNode(p riv.Ptr, lo uint64) {
+	s := it.s
+	it.node = p
+	it.idx = 0
+	it.pairs = it.pairs[:0]
+	if p.IsNull() || p == s.tail {
+		it.node = riv.Null
+		return
+	}
+	n := s.node(p)
+	for {
+		if n.isWriteLocked(it.ctx.Mem) {
+			continue // split in progress: retry the snapshot
+		}
+		sc := n.splitCount(it.ctx.Mem)
+		it.pairs = it.pairs[:0]
+		for i := 0; i < s.keysPerNode; i++ {
+			k := n.key(s, i, it.ctx.Mem)
+			if k == keyEmpty || k < lo {
+				continue
+			}
+			v := n.value(s, i, it.ctx.Mem)
+			if v == Tombstone {
+				continue
+			}
+			it.pairs = append(it.pairs, kv{k, v})
+		}
+		if !n.isWriteLocked(it.ctx.Mem) && n.splitCount(it.ctx.Mem) == sc {
+			break
+		}
+	}
+	sort.Slice(it.pairs, func(a, b int) bool { return it.pairs[a].k < it.pairs[b].k })
+}
+
+// advanceNode moves the buffer to the next node's pairs.
+func (it *Iterator) advanceNode() bool {
+	s := it.s
+	if it.node.IsNull() {
+		return false
+	}
+	next := s.node(it.node).next(s, 0, it.ctx.Mem)
+	if next.IsNull() || next == s.tail {
+		it.node = riv.Null
+		return false
+	}
+	it.loadNode(next, KeyMin)
+	return len(it.pairs) > 0 || it.advanceNode()
+}

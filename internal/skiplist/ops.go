@@ -1,0 +1,412 @@
+package skiplist
+
+import (
+	"sort"
+
+	"upskiplist/internal/exec"
+	"upskiplist/internal/riv"
+)
+
+// insertStatus is the outcome of one insertIntoExistingNode attempt
+// (Function 16's {continue, needSplit, oldValue} result).
+type insertStatus int
+
+const (
+	stDone insertStatus = iota
+	stContinue
+	stNeedSplit
+)
+
+// Insert adds or updates the pair (key, value) — the paper's upsert
+// (Function 13). It returns the previous value and whether the key was
+// logically present before (a tombstoned slot counts as absent).
+func (s *SkipList) Insert(ctx *exec.Ctx, key, value uint64) (old uint64, existed bool, err error) {
+	if key < KeyMin || key > KeyMax {
+		return 0, false, ErrKeyRange
+	}
+	if value == Tombstone {
+		return 0, false, ErrValueRange
+	}
+	return s.upsert(ctx, key, value)
+}
+
+func (s *SkipList) upsert(ctx *exec.Ctx, key, value uint64) (uint64, bool, error) {
+	preds := make([]riv.Ptr, s.maxHeight)
+	succs := make([]riv.Ptr, s.maxHeight)
+	for {
+		res := s.traverse(ctx, key, preds, succs)
+		pred := s.node(preds[0])
+		if res.found {
+			// Update path: the split lock is taken shared so the value
+			// swap cannot interleave with a key transfer (Function 13
+			// lines 158–162).
+			if !pred.readLock(s.a.Clock().Current(), ctx.Mem) {
+				continue
+			}
+			if pred.splitCount(ctx.Mem) != res.splitCount {
+				pred.readUnlock(ctx.Mem)
+				continue
+			}
+			old := s.update(ctx, pred, res.keyIndex, value)
+			pred.readUnlock(ctx.Mem)
+			return old, old != Tombstone, nil
+		}
+		if preds[0] == s.head || s.keysPerNode == 1 {
+			// The covering node stores no keys (head sentinel), or nodes
+			// hold a single key and can never split: create a fresh node
+			// right after the predecessor (Function 15; for K=1 this is
+			// exactly Herlihy's classic insert). With K=1 the
+			// predecessor's only key is its first key, which is < key, so
+			// the range invariant holds for the new node.
+			ok, err := s.createSuccessor(ctx, key, value, preds, succs)
+			if err != nil {
+				return 0, false, err
+			}
+			if ok {
+				return 0, false, nil
+			}
+			continue
+		}
+		status, old, err := s.insertIntoExistingNode(ctx, key, value, preds, res.splitCount)
+		if err != nil {
+			return 0, false, err
+		}
+		switch status {
+		case stContinue:
+			continue
+		case stNeedSplit:
+			if err := s.splitNode(ctx, key, preds, succs); err != nil {
+				return 0, false, err
+			}
+			continue
+		default:
+			return old, old != Tombstone, nil
+		}
+	}
+}
+
+// update implements Function 14: CAS the value slot until the swap
+// lands, persist, and return the previous value. The CAS loop gives all
+// updates of one key a total order.
+func (s *SkipList) update(ctx *exec.Ctx, n nodeRef, keyIndex int, value uint64) uint64 {
+	for {
+		old := n.value(s, keyIndex, ctx.Mem)
+		if old == value {
+			// Idempotent write: still persist so the linearization point
+			// (persisted value, §4.5) exists.
+			n.persistValue(s, keyIndex, ctx.Mem)
+			return old
+		}
+		if n.casValue(s, keyIndex, old, value, ctx.Mem) {
+			n.persistValue(s, keyIndex, ctx.Mem)
+			return old
+		}
+	}
+}
+
+// createSuccessor implements Function 15 (CreateHeadSuccessor),
+// generalized to any predecessor: a brand-new node holding just (key,
+// value) is created and linked right after preds[0].
+func (s *SkipList) createSuccessor(ctx *exec.Ctx, key, value uint64, preds, succs []riv.Ptr) (bool, error) {
+	height := ctx.GeometricHeight(s.maxHeight)
+	succ := succs[0]
+	newPtr, err := s.a.Alloc(ctx, preds[0], key)
+	if err != nil {
+		return false, err
+	}
+	n := s.node(newPtr)
+	s.initNode(n, []uint64{key}, []uint64{value}, height, ctx.Mem)
+	for l := 0; l < height; l++ {
+		n.setNext(s, l, succs[l], ctx.Mem)
+	}
+	n.persistAll(s, ctx.Mem) // one flush covers all next pointers (§4.5)
+	pred := s.node(preds[0])
+	if !pred.casNext(s, 0, succ, newPtr, ctx.Mem) {
+		s.a.Free(ctx, newPtr)
+		return false, nil
+	}
+	pred.persistNext(s, 0, ctx.Mem)
+	s.linkHigherLevels(ctx, n, 1, height)
+	return true, nil
+}
+
+// insertIntoExistingNode implements Function 16: claim an empty key slot
+// in the covering node with a CAS, then publish the value. Claiming and
+// publishing are separate atomic steps; if another thread writes the
+// value of a slot we claimed first, it becomes the inserter and we the
+// updater, which the value-CAS loop already realizes.
+func (s *SkipList) insertIntoExistingNode(ctx *exec.Ctx, key, value uint64, preds []riv.Ptr, splitCount uint64) (insertStatus, uint64, error) {
+	pred := s.node(preds[0])
+	if !pred.readLock(s.a.Clock().Current(), ctx.Mem) {
+		return stContinue, 0, nil
+	}
+	if pred.splitCount(ctx.Mem) != splitCount {
+		pred.readUnlock(ctx.Mem)
+		return stContinue, 0, nil
+	}
+	for i := 0; i < s.keysPerNode; i++ {
+		for {
+			k := pred.key(s, i, ctx.Mem)
+			if k == key {
+				old := s.update(ctx, pred, i, value)
+				pred.readUnlock(ctx.Mem)
+				return stDone, old, nil
+			}
+			if k != keyEmpty {
+				break // occupied by someone else; next slot
+			}
+			if pred.casKey(s, i, keyEmpty, key, ctx.Mem) {
+				pred.persistKey(s, i, ctx.Mem)
+				old := s.update(ctx, pred, i, value)
+				pred.readUnlock(ctx.Mem)
+				return stDone, old, nil
+			}
+			// CAS lost: re-read this slot — the winner may have claimed
+			// it with our key.
+		}
+	}
+	pred.readUnlock(ctx.Mem)
+	return stNeedSplit, 0, nil
+}
+
+// splitNode implements Function 20: move the upper half of a full node's
+// keys into a new successor node. The write lock is held only for the
+// transfer; tower building happens after release.
+func (s *SkipList) splitNode(ctx *exec.Ctx, key uint64, preds, succs []riv.Ptr) error {
+	pred := s.node(preds[0])
+	if !pred.writeLock(s.a.Clock().Current(), ctx.Mem) {
+		return nil // a concurrent insert/update/split is progressing; retry
+	}
+	// Collect and sort the node's pairs. Under the write lock the keys
+	// cannot change (updates need the read lock; key claims do too).
+	type pair struct{ k, v uint64 }
+	pairs := make([]pair, 0, s.keysPerNode)
+	for i := 0; i < s.keysPerNode; i++ {
+		k := pred.key(s, i, ctx.Mem)
+		if k != keyEmpty {
+			pairs = append(pairs, pair{k, pred.value(s, i, ctx.Mem)})
+		}
+	}
+	if len(pairs) < 2 {
+		// Not actually splittable (e.g. raced with a prior split); let
+		// the caller retraverse.
+		pred.writeUnlock(s.a.Clock().Current(), ctx.Mem)
+		return nil
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
+	mid := len(pairs) / 2
+	upper := pairs[mid:]
+
+	keys := make([]uint64, len(upper))
+	vals := make([]uint64, len(upper))
+	for i, p := range upper {
+		keys[i] = p.k
+		vals[i] = p.v
+	}
+
+	height := ctx.GeometricHeight(s.maxHeight)
+	newPtr, err := s.a.Alloc(ctx, pred.ptr, keys[0])
+	if err != nil {
+		pred.writeUnlock(s.a.Clock().Current(), ctx.Mem)
+		return err
+	}
+	n := s.node(newPtr)
+	s.initNode(n, keys, vals, height, ctx.Mem)
+	// The new node's bottom successor is the split node's current
+	// successor; higher levels are populated from the traversal's succs.
+	bottomSucc := pred.next(s, 0, ctx.Mem)
+	n.setNext(s, 0, bottomSucc, ctx.Mem)
+	for l := 1; l < height; l++ {
+		n.setNext(s, l, succs[l], ctx.Mem)
+	}
+	n.persistAll(s, ctx.Mem)
+
+	if !pred.casNext(s, 0, bottomSucc, newPtr, ctx.Mem) {
+		s.a.Free(ctx, newPtr)
+		pred.writeUnlock(s.a.Clock().Current(), ctx.Mem)
+		return nil
+	}
+	pred.persistNext(s, 0, ctx.Mem)
+
+	// Commit the split: bump the split count (invalidates in-flight
+	// reads), then erase the moved pairs.
+	pred.pool.Add(pred.off+offSplitCount, 1, ctx.Mem)
+	pred.pool.Persist(pred.off+offSplitCount, 1, ctx.Mem)
+	moved := make(map[uint64]bool, len(upper))
+	for _, p := range upper {
+		moved[p.k] = true
+	}
+	for i := 0; i < s.keysPerNode; i++ {
+		k := pred.key(s, i, ctx.Mem)
+		if k != keyEmpty && moved[k] {
+			pred.pool.Store(pred.off+s.keyOff(i), keyEmpty, ctx.Mem)
+			pred.pool.Store(pred.off+s.valOff(i), Tombstone, ctx.Mem)
+		}
+	}
+	if s.sorted {
+		// The lower half keeps no guaranteed order (erases punched
+		// holes); record no sorted prefix for it.
+		h := metaHeight(pred.meta(ctx.Mem))
+		pred.pool.Store(pred.off+offMeta, metaWord(h, 0), ctx.Mem)
+	}
+	pred.persistAll(s, ctx.Mem)
+	pred.writeUnlock(s.a.Clock().Current(), ctx.Mem)
+
+	s.linkHigherLevels(ctx, n, 1, height)
+	return nil
+}
+
+// Get implements Function 9 (Search): locate the key and return its
+// value, validating against concurrent splits via the split count and
+// lock word. Unlike the paper's pseudocode, a not-found result is also
+// validated — a reader that raced a split could otherwise scan the old
+// node after its upper keys were erased and miss a live key.
+func (s *SkipList) Get(ctx *exec.Ctx, key uint64) (uint64, bool) {
+	if key < KeyMin || key > KeyMax {
+		return 0, false
+	}
+	preds := make([]riv.Ptr, s.maxHeight)
+	succs := make([]riv.Ptr, s.maxHeight)
+	for {
+		res := s.traverse(ctx, key, preds, succs)
+		if !res.found {
+			if preds[0] != s.head {
+				n := s.node(preds[0])
+				if n.isWriteLocked(ctx.Mem) || n.splitCount(ctx.Mem) != res.splitCount {
+					continue
+				}
+			}
+			return 0, false
+		}
+		n := s.node(preds[0])
+		if n.isWriteLocked(ctx.Mem) {
+			continue
+		}
+		value := n.value(s, res.keyIndex, ctx.Mem)
+		if n.splitCount(ctx.Mem) != res.splitCount {
+			continue
+		}
+		if value == Tombstone {
+			return 0, false
+		}
+		return value, true
+	}
+}
+
+// Contains reports whether the key is present.
+func (s *SkipList) Contains(ctx *exec.Ctx, key uint64) bool {
+	_, ok := s.Get(ctx, key)
+	return ok
+}
+
+// Remove deletes a key by tombstoning its value (§4.6). It returns the
+// removed value and whether the key was present.
+func (s *SkipList) Remove(ctx *exec.Ctx, key uint64) (uint64, bool, error) {
+	if key < KeyMin || key > KeyMax {
+		return 0, false, ErrKeyRange
+	}
+	preds := make([]riv.Ptr, s.maxHeight)
+	succs := make([]riv.Ptr, s.maxHeight)
+	for {
+		res := s.traverse(ctx, key, preds, succs)
+		if !res.found {
+			if preds[0] != s.head {
+				n := s.node(preds[0])
+				if n.isWriteLocked(ctx.Mem) || n.splitCount(ctx.Mem) != res.splitCount {
+					continue
+				}
+			}
+			return 0, false, nil
+		}
+		pred := s.node(preds[0])
+		if !pred.readLock(s.a.Clock().Current(), ctx.Mem) {
+			continue
+		}
+		if pred.splitCount(ctx.Mem) != res.splitCount {
+			pred.readUnlock(ctx.Mem)
+			continue
+		}
+		old := s.update(ctx, pred, res.keyIndex, Tombstone)
+		pred.readUnlock(ctx.Mem)
+		return old, old != Tombstone, nil
+	}
+}
+
+// Scan performs a bottom-level range query over [lo, hi], invoking fn for
+// every live pair in ascending key order until fn returns false. Each
+// node is read with split-count validation so a concurrent split cannot
+// drop or duplicate pairs from the snapshot of that node. This is the
+// range-query extension the paper lists as future work.
+func (s *SkipList) Scan(ctx *exec.Ctx, lo, hi uint64, fn func(key, value uint64) bool) error {
+	if lo < KeyMin {
+		lo = KeyMin
+	}
+	if hi > KeyMax {
+		hi = KeyMax
+	}
+	if lo > hi {
+		return nil
+	}
+	preds := make([]riv.Ptr, s.maxHeight)
+	succs := make([]riv.Ptr, s.maxHeight)
+	s.traverse(ctx, lo, preds, succs)
+	cur := preds[0]
+	if cur == s.head {
+		cur = succs[0]
+	}
+	type pair struct{ k, v uint64 }
+	for !cur.IsNull() && cur != s.tail {
+		n := s.node(cur)
+		if n.key0(s, ctx.Mem) > hi {
+			break
+		}
+		// Snapshot this node's pairs with validation.
+		var pairs []pair
+		for {
+			if n.isWriteLocked(ctx.Mem) {
+				continue
+			}
+			sc := n.splitCount(ctx.Mem)
+			pairs = pairs[:0]
+			for i := 0; i < s.keysPerNode; i++ {
+				k := n.key(s, i, ctx.Mem)
+				if k == keyEmpty || k < lo || k > hi {
+					continue
+				}
+				v := n.value(s, i, ctx.Mem)
+				if v == Tombstone {
+					continue
+				}
+				pairs = append(pairs, pair{k, v})
+			}
+			if !n.isWriteLocked(ctx.Mem) && n.splitCount(ctx.Mem) == sc {
+				break
+			}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
+		for _, p := range pairs {
+			if !fn(p.k, p.v) {
+				return nil
+			}
+		}
+		cur = n.next(s, 0, ctx.Mem)
+	}
+	return nil
+}
+
+// Count walks the bottom level and returns the number of live keys. It
+// is a debugging/verification aid, not part of the concurrent API.
+func (s *SkipList) Count(ctx *exec.Ctx) int {
+	total := 0
+	cur := s.node(s.head).next(s, 0, ctx.Mem)
+	for !cur.IsNull() && cur != s.tail {
+		n := s.node(cur)
+		for i := 0; i < s.keysPerNode; i++ {
+			if n.key(s, i, ctx.Mem) != keyEmpty && n.value(s, i, ctx.Mem) != Tombstone {
+				total++
+			}
+		}
+		cur = n.next(s, 0, ctx.Mem)
+	}
+	return total
+}

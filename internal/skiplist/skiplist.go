@@ -1,0 +1,610 @@
+// Package skiplist implements UPSkipList, the paper's recoverable,
+// persistent-memory-resident concurrent skip list (Chapter 4).
+//
+// The algorithm is Herlihy et al.'s lock-free skip list extended with:
+//
+//   - Multiple keys per node with recoverable concurrent node splits
+//     guarded by a per-node reader/writer split lock. Value updates take
+//     the lock shared; only the key-transfer phase of a split takes it
+//     exclusive, so updates to different keys and all reads stay
+//     concurrent.
+//
+//   - The RECIPE extension of §4.1.3: every node carries the failure-free
+//     epoch in which it was created or last verified. A traversal that
+//     meets a node from an older epoch claims it with a CAS on the epoch
+//     word and repairs whatever the crashed owner left behind — an
+//     unfinished tower (CheckForInsertRecovery) or a half-done split
+//     (CheckForNodeSplitRecovery). Searches repair at most one unfinished
+//     tower per traversal to keep post-recovery throughput up (§4.4.1);
+//     interrupted splits are always repaired on sight because their nodes
+//     are unusable until fixed.
+//
+//   - Allocation logging (§4.1.4) via the alloc package: each new node is
+//     logged before it leaves the free list, so a crash between
+//     allocation and linking is detected by the same thread ID's next
+//     allocation and the block reclaimed, in O(threads) total work.
+//
+// Removals follow the paper: the value slot is replaced with a tombstone
+// (§4.6); nodes are never unlinked.
+//
+// All state lives in pmem pool words addressed by extended RIV pointers;
+// reopening after a crash needs only re-attaching the pools and bumping
+// the epoch clock — recovery work is deferred into subsequent operations.
+package skiplist
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"upskiplist/internal/alloc"
+	"upskiplist/internal/exec"
+	"upskiplist/internal/pmem"
+	"upskiplist/internal/riv"
+)
+
+const (
+	rootMagic = 0x5550534B49504C53 // "UPSKIPLS"
+
+	rootOffMagic  = 0
+	rootOffHeight = 1
+	rootOffKeys   = 2
+	rootOffHead   = 3
+	rootOffTail   = 4
+	rootOffFlags  = 5
+
+	flagSorted = 1 << 0
+
+	// MaxHeight is the tallest tower supported (the paper runs with 32
+	// levels).
+	MaxHeight = 32
+)
+
+// Errors.
+var (
+	ErrBadConfig    = errors.New("skiplist: invalid configuration")
+	ErrNotFormatted = errors.New("skiplist: pool holds no skip list root")
+	ErrKeyRange     = errors.New("skiplist: key outside [KeyMin, KeyMax]")
+	ErrValueRange   = errors.New("skiplist: value must be below the tombstone sentinel")
+)
+
+// Config describes a skip list's geometry.
+type Config struct {
+	// MaxHeight is the number of levels (1..MaxHeight).
+	MaxHeight int
+	// KeysPerNode is the data-node capacity; the paper's throughput runs
+	// use 256, and 1 reproduces a classic one-key-per-node skip list
+	// (used for the Figure 5.3 pointer comparison).
+	KeysPerNode int
+	// SortedNodes enables the paper's proposed future-work optimization:
+	// node splits leave both halves sorted and lookups binary-search the
+	// sorted prefix before scanning the unsorted overflow, as BzTree does.
+	SortedNodes bool
+	// RecoveryBudget bounds how many deferrable (tower) repairs one
+	// traversal performs after a crash — the paper's k (§4.4.1), kept
+	// low to avoid post-recovery throughput collapse. 0 means the
+	// default of 1; negative means unlimited (eager repair-on-sight,
+	// the ablation baseline). Interrupted splits are always repaired
+	// regardless.
+	RecoveryBudget int
+}
+
+// DefaultConfig matches the paper's evaluation parameters scaled for
+// in-process testing.
+func DefaultConfig() Config { return Config{MaxHeight: 16, KeysPerNode: 16} }
+
+// BlockWordsFor returns the allocator block size needed by a config.
+func BlockWordsFor(cfg Config) uint64 {
+	return offNext + uint64(cfg.MaxHeight) + 2*uint64(cfg.KeysPerNode)
+}
+
+// SkipList is a handle onto a (possibly shared) persistent skip list. The
+// handle itself is volatile; everything durable lives in the pools.
+type SkipList struct {
+	a     *alloc.Allocator
+	space *riv.Space
+
+	rootPool *pmem.Pool
+	rootOff  uint64
+
+	maxHeight   int
+	keysPerNode int
+	sorted      bool
+	budget      int // deferrable repairs per traversal; <0 = unlimited
+	blockWords  uint64
+
+	head riv.Ptr
+	tail riv.Ptr
+
+	// topHint is a DRAM-side lower bound on the highest level with any
+	// node linked. Traversals start from it instead of MaxHeight, saving
+	// empty-level hops through the tail; it only ever grows (nodes are
+	// never unlinked), so starting too high is impossible and starting
+	// exactly right is the common case. Rebuilt on Open by scanning the
+	// head's next pointers.
+	topHint atomic.Int32
+
+	// stats
+	recoveries recoveryCounters
+}
+
+// Recoveries is a snapshot of repair actions performed during
+// traversals; exposed for tests and the experiment harness.
+type Recoveries struct {
+	Claims  int64 // stale nodes claimed by epoch CAS
+	Inserts int64 // towers completed
+	Splits  int64 // splits completed
+}
+
+// recoveryCounters is the live, atomically-updated form.
+type recoveryCounters struct {
+	claims  atomic.Int64
+	inserts atomic.Int64
+	splits  atomic.Int64
+}
+
+func (cfg Config) validate() error {
+	if cfg.MaxHeight < 1 || cfg.MaxHeight > MaxHeight || cfg.KeysPerNode < 1 || cfg.KeysPerNode > 0xffff {
+		return ErrBadConfig
+	}
+	return nil
+}
+
+// Create formats a new skip list in the allocator's pools. The root
+// object is written into pool 0's root area and head/tail sentinels are
+// allocated. The allocator must already be attached and its epoch clock
+// initialized.
+func Create(a *alloc.Allocator, cfg Config) (*SkipList, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rootPA := a.PoolByID(0)
+	if rootPA == nil {
+		return nil, errors.New("skiplist: allocator has no pool 0")
+	}
+	if a.BlockWords() < BlockWordsFor(cfg) {
+		return nil, fmt.Errorf("%w: block size %d < required %d", ErrBadConfig, a.BlockWords(), BlockWordsFor(cfg))
+	}
+	s := &SkipList{
+		a: a, space: a.Space(),
+		rootPool: rootPA.Pool(), rootOff: rootPA.RootOff(),
+		maxHeight: cfg.MaxHeight, keysPerNode: cfg.KeysPerNode,
+		sorted:     cfg.SortedNodes,
+		budget:     normalizeBudget(cfg.RecoveryBudget),
+		blockWords: a.BlockWords(),
+	}
+
+	node := rootPA.Pool().HomeNode()
+	if node < 0 {
+		node = 0
+	}
+	ctx := exec.NewCtx(0, node)
+	// Tail first so head can point at it.
+	tailPtr, err := a.Alloc(ctx, riv.Null, keyInf)
+	if err != nil {
+		return nil, err
+	}
+	tail := s.node(tailPtr)
+	s.initNode(tail, []uint64{keyInf}, []uint64{Tombstone}, cfg.MaxHeight, ctx.Mem)
+
+	headPtr, err := a.Alloc(ctx, riv.Null, 0)
+	if err != nil {
+		return nil, err
+	}
+	head := s.node(headPtr)
+	s.initNode(head, nil, nil, cfg.MaxHeight, ctx.Mem)
+	for l := 0; l < cfg.MaxHeight; l++ {
+		head.setNext(s, l, tailPtr, ctx.Mem)
+	}
+	head.persistAll(s, ctx.Mem)
+
+	r, off := s.rootPool, s.rootOff
+	r.Store(off+rootOffHeight, uint64(cfg.MaxHeight), ctx.Mem)
+	r.Store(off+rootOffKeys, uint64(cfg.KeysPerNode), ctx.Mem)
+	r.Store(off+rootOffHead, headPtr.Word(), ctx.Mem)
+	r.Store(off+rootOffTail, tailPtr.Word(), ctx.Mem)
+	flags := uint64(0)
+	if cfg.SortedNodes {
+		flags |= flagSorted
+	}
+	r.Store(off+rootOffFlags, flags, ctx.Mem)
+	r.Persist(off, 8, ctx.Mem)
+	r.Store(off+rootOffMagic, rootMagic, ctx.Mem)
+	r.Persist(off+rootOffMagic, 1, ctx.Mem)
+
+	s.head, s.tail = headPtr, tailPtr
+	s.topHint.Store(0)
+	s.installRecovery()
+	return s, nil
+}
+
+// Open attaches to an existing skip list. The caller is responsible for
+// having advanced the epoch clock if this attach follows a crash; Open
+// itself performs no structure-sized work — that is the paper's
+// constant-time recovery guarantee (§4.1.5).
+func Open(a *alloc.Allocator) (*SkipList, error) {
+	rootPA := a.PoolByID(0)
+	if rootPA == nil {
+		return nil, errors.New("skiplist: allocator has no pool 0")
+	}
+	r, off := rootPA.Pool(), rootPA.RootOff()
+	if r.Load(off+rootOffMagic, nil) != rootMagic {
+		return nil, ErrNotFormatted
+	}
+	s := &SkipList{
+		a: a, space: a.Space(),
+		rootPool: r, rootOff: off,
+		maxHeight:   int(r.Load(off+rootOffHeight, nil)),
+		keysPerNode: int(r.Load(off+rootOffKeys, nil)),
+		sorted:      r.Load(off+rootOffFlags, nil)&flagSorted != 0,
+		budget:      1,
+		blockWords:  a.BlockWords(),
+		head:        riv.FromWord(r.Load(off+rootOffHead, nil)),
+		tail:        riv.FromWord(r.Load(off+rootOffTail, nil)),
+	}
+	if s.maxHeight < 1 || s.maxHeight > MaxHeight || s.head.IsNull() || s.tail.IsNull() {
+		return nil, ErrNotFormatted
+	}
+	// Rebuild the DRAM top-level hint from the persistent head node.
+	head := s.node(s.head)
+	top := 0
+	for l := s.maxHeight - 1; l >= 0; l-- {
+		if head.next(s, l, nil) != s.tail {
+			top = l
+			break
+		}
+	}
+	s.topHint.Store(int32(top))
+	s.installRecovery()
+	// Finish any compaction a crash interrupted (quiesced; see compact.go).
+	s.recoverCompaction(exec.NewCtx(0, 0))
+	return s, nil
+}
+
+// installRecovery wires the allocator's deferred-log reachability check
+// to a bottom-level walk of this list (Function 3 lines 15–22).
+func (s *SkipList) installRecovery() {
+	s.a.SetReachabilityCheck(func(ctx *exec.Ctx, pred riv.Ptr, key uint64, block riv.Ptr) bool {
+		start := pred
+		if start.IsNull() {
+			start = s.head
+		}
+		cur := s.node(start)
+		for {
+			if cur.ptr == block {
+				return true
+			}
+			nxt := cur.next(s, 0, ctx.Mem)
+			if nxt.IsNull() {
+				return false
+			}
+			cur = s.node(nxt)
+			if cur.key0(s, ctx.Mem) > key {
+				return false
+			}
+		}
+	})
+}
+
+// initNode fills a freshly allocated block with node fields and persists
+// it. keys[i] beyond len(keys) are empty; values likewise tombstones.
+func (s *SkipList) initNode(n nodeRef, keys, values []uint64, height int, nd *pmem.Acc) {
+	n.pool.Store(n.off+offSplitCount, 0, nd)
+	n.pool.Store(n.off+offSplitLock, 0, nd)
+	sorted := 0
+	if s.sorted {
+		sorted = len(keys)
+	}
+	n.pool.Store(n.off+offMeta, metaWord(height, sorted), nd)
+	k0 := keyEmpty
+	if len(keys) > 0 {
+		k0 = keys[0]
+	}
+	n.pool.Store(n.off+offKey0, k0, nd)
+	for l := 0; l < s.maxHeight; l++ {
+		n.setNext(s, l, riv.Null, nd)
+	}
+	for i := 0; i < s.keysPerNode; i++ {
+		k, v := keyEmpty, Tombstone
+		if i < len(keys) {
+			k = keys[i]
+			v = values[i]
+		}
+		n.pool.Store(n.off+s.keyOff(i), k, nd)
+		n.pool.Store(n.off+s.valOff(i), v, nd)
+	}
+	n.persistAll(s, nd)
+}
+
+func normalizeBudget(b int) int {
+	if b == 0 {
+		return 1
+	}
+	return b
+}
+
+// SetRecoveryBudget tunes the per-traversal deferred-repair bound (the
+// paper's k, §4.4.1) on this volatile handle. Negative = unlimited.
+func (s *SkipList) SetRecoveryBudget(k int) { s.budget = normalizeBudget(k) }
+
+// Head and Tail expose the sentinels for tests and invariant checkers.
+func (s *SkipList) Head() riv.Ptr { return s.head }
+func (s *SkipList) Tail() riv.Ptr { return s.tail }
+
+// Config returns the effective geometry.
+func (s *SkipList) Config() Config {
+	return Config{MaxHeight: s.maxHeight, KeysPerNode: s.keysPerNode, SortedNodes: s.sorted}
+}
+
+// RecoveryStats returns a snapshot of the repair counters.
+func (s *SkipList) RecoveryStats() Recoveries {
+	return Recoveries{
+		Claims:  s.recoveries.claims.Load(),
+		Inserts: s.recoveries.inserts.Load(),
+		Splits:  s.recoveries.splits.Load(),
+	}
+}
+
+// traverseResult carries what Traverse (Function 7) reports back.
+type traverseResult struct {
+	splitCount uint64
+	keyIndex   int
+	found      bool
+	levelFound int
+}
+
+// traverse implements Function 7: descend the tower lists recording, per
+// level, the last node whose first key is <= key (preds) and its
+// successor (succs). preds[0] is the data node whose key range covers
+// key. Along the way stale-epoch nodes are claimed and repaired; any
+// repair restarts the traversal, with at most one deferrable (tower)
+// repair per call.
+func (s *SkipList) traverse(ctx *exec.Ctx, key uint64, preds, succs []riv.Ptr) traverseResult {
+	res := traverseResult{keyIndex: -1, levelFound: -1}
+	recoveriesDone := 0
+	// The current epoch only changes at a post-crash attach, never while
+	// operations run, so one read per traversal suffices.
+	curEpoch := s.a.Clock().Current()
+outer:
+	for {
+		pred := s.node(s.head)
+		startLevel := int(s.topHint.Load())
+		for level := startLevel; level >= 0; level-- {
+			cur := s.node(pred.next(s, level, ctx.Mem))
+			for {
+				if cur.epoch(ctx.Mem) != curEpoch {
+					if s.checkForRecovery(ctx, level, cur, &recoveriesDone) {
+						res = traverseResult{keyIndex: -1, levelFound: -1}
+						continue outer
+					}
+				}
+				curSplit := cur.splitCount(ctx.Mem)
+				k0 := cur.key0(s, ctx.Mem)
+				if k0 <= key {
+					res.splitCount = curSplit
+					if k0 == key && res.levelFound < 0 {
+						res.keyIndex = 0
+						res.levelFound = level
+					}
+					pred = cur
+					cur = s.node(pred.next(s, level, ctx.Mem))
+					continue
+				}
+				break
+			}
+			preds[level] = pred.ptr
+			succs[level] = cur.ptr
+		}
+		for level := startLevel + 1; level < s.maxHeight; level++ {
+			preds[level] = s.head
+			succs[level] = s.tail
+		}
+		if res.keyIndex < 0 {
+			// First keys did not match: scan the covering node's
+			// internal keys once, at the bottom (Function 8).
+			if preds[0] != s.head {
+				if idx := s.scanInternalKeys(ctx, s.node(preds[0]), key); idx >= 0 {
+					res.keyIndex = idx
+					res.levelFound = 0
+				}
+			}
+		}
+		res.found = res.keyIndex >= 0
+		return res
+	}
+}
+
+// scanInternalKeys finds key within a node (Function 8). When the sorted
+// option is on, the sorted prefix left by the last split is binary
+// searched before the unsorted overflow is scanned linearly — the
+// BzTree-style lookup the paper names as future work.
+func (s *SkipList) scanInternalKeys(ctx *exec.Ctx, n nodeRef, key uint64) int {
+	start := 1
+	if s.sorted {
+		sorted := metaSorted(n.meta(ctx.Mem))
+		if sorted > s.keysPerNode {
+			sorted = s.keysPerNode
+		}
+		if sorted > 1 {
+			lo, hi := 1, sorted-1
+			for lo <= hi {
+				mid := (lo + hi) / 2
+				k := n.key(s, mid, ctx.Mem)
+				switch {
+				case k == key:
+					return mid
+				case k != keyEmpty && k < key:
+					lo = mid + 1
+				default:
+					hi = mid - 1
+				}
+			}
+			start = sorted
+		}
+	}
+	for i := start; i < s.keysPerNode; i++ {
+		if n.key(s, i, ctx.Mem) == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkForRecovery implements Function 10 for a node already known to
+// carry a stale epoch. It returns true when a repair was performed (the
+// caller restarts its traversal).
+func (s *SkipList) checkForRecovery(ctx *exec.Ctx, level int, cur nodeRef, recoveriesDone *int) bool {
+	curEpoch := s.a.Clock().Current()
+	nodeEpoch := cur.epoch(ctx.Mem)
+	if nodeEpoch == curEpoch {
+		return false
+	}
+	lockWord := cur.lockWord(ctx.Mem)
+	// A write-locked node from a dead epoch is an interrupted split and
+	// must be repaired on sight; dead reader counts need no explicit
+	// drain — the epoch embedded in the lock word makes the next locker
+	// discard them atomically (see node.go).
+	recoveryNeeded := lockWord&splitWr != 0 && lockEpoch(lockWord) != curEpoch
+	if s.budget >= 0 && *recoveriesDone >= s.budget && !recoveryNeeded {
+		// Defer this node's (tower) repair to a later operation to avoid
+		// post-recovery throughput collapse (§4.4.1).
+		return false
+	}
+	if !cur.pool.CAS(cur.off+offEpoch, nodeEpoch, curEpoch, ctx.Mem) {
+		// Another thread claimed the node; it will repair it.
+		return false
+	}
+	cur.pool.Persist(cur.off+offEpoch, 1, ctx.Mem)
+	s.recoveries.claims.Add(1)
+	s.checkForNodeSplitRecovery(ctx, cur)
+	s.checkForInsertRecovery(ctx, level, cur)
+	*recoveriesDone++
+	return true
+}
+
+// checkForNodeSplitRecovery implements Function 11: if the node is still
+// write-locked by a thread from a dead epoch, the split either copied its
+// upper keys into a (linked) successor or failed before linking. Either
+// way, erasing every key duplicated in the successor and tombstoning
+// half-erased slots returns the node to a consistent state, after which
+// the lock is released.
+func (s *SkipList) checkForNodeSplitRecovery(ctx *exec.Ctx, cur nodeRef) {
+	w := cur.lockWord(ctx.Mem)
+	if w&splitWr == 0 || lockEpoch(w) == s.a.Clock().Current() {
+		// Not write-locked, or write-locked by a live splitter in the
+		// current epoch (possible when this node's own epoch claim was
+		// budget-deferred earlier): only a dead epoch's writer bit means
+		// an interrupted split.
+		return
+	}
+	succPtr := cur.next(s, 0, ctx.Mem)
+	var succ nodeRef
+	haveSucc := !succPtr.IsNull()
+	if haveSucc {
+		succ = s.node(succPtr)
+	}
+	for i := 0; i < s.keysPerNode; i++ {
+		k := cur.key(s, i, ctx.Mem)
+		if k == keyEmpty {
+			// A slot whose key was erased but whose value write may not
+			// have completed: finish the erase.
+			cur.pool.Store(cur.off+s.valOff(i), Tombstone, ctx.Mem)
+			continue
+		}
+		if !haveSucc {
+			continue
+		}
+		for j := 0; j < s.keysPerNode; j++ {
+			if succ.key(s, j, ctx.Mem) == k {
+				cur.pool.Store(cur.off+s.keyOff(i), keyEmpty, ctx.Mem)
+				cur.pool.Store(cur.off+s.valOff(i), Tombstone, ctx.Mem)
+				break
+			}
+		}
+	}
+	// The sorted prefix may have been invalidated by the erases; fall
+	// back to linear scans for this node.
+	if s.sorted {
+		h := metaHeight(cur.meta(ctx.Mem))
+		cur.pool.Store(cur.off+offMeta, metaWord(h, 0), ctx.Mem)
+	}
+	cur.persistAll(s, ctx.Mem)
+	cur.writeUnlock(s.a.Clock().Current(), ctx.Mem)
+	s.recoveries.splits.Add(1)
+}
+
+// checkForInsertRecovery implements Function 12: a stale node first met
+// at a level below its top was probably abandoned mid-tower-build;
+// complete the build. linkHigherLevels is a no-op for levels already
+// linked, so false positives (a fully linked node merely encountered low
+// on the search path) are harmless.
+func (s *SkipList) checkForInsertRecovery(ctx *exec.Ctx, level int, cur nodeRef) {
+	h := cur.height(ctx.Mem)
+	if h <= level+1 {
+		return
+	}
+	if cur.ptr == s.head || cur.ptr == s.tail {
+		return
+	}
+	s.linkHigherLevels(ctx, cur, level+1, h)
+	s.recoveries.inserts.Add(1)
+}
+
+// linkTraverse is the strict-predecessor variant of traverse used for
+// tower building: preds hold the last node with first key strictly below
+// key, succs the first node with first key >= key (possibly the node
+// being linked itself, which signals "already linked at this level"). It
+// performs no recovery — it is called from within recovery.
+func (s *SkipList) linkTraverse(ctx *exec.Ctx, key uint64, preds, succs []riv.Ptr) {
+	pred := s.node(s.head)
+	for level := s.maxHeight - 1; level >= 0; level-- {
+		cur := s.node(pred.next(s, level, ctx.Mem))
+		for cur.key0(s, ctx.Mem) < key {
+			pred = cur
+			cur = s.node(pred.next(s, level, ctx.Mem))
+		}
+		preds[level] = pred.ptr
+		succs[level] = cur.ptr
+	}
+}
+
+// linkHigherLevels implements Function 17 (with Function 18's pointer
+// population folded in): link the node into levels [from, height). It is
+// idempotent — levels where the node is already present are skipped — so
+// it serves both fresh inserts and insert recovery.
+func (s *SkipList) linkHigherLevels(ctx *exec.Ctx, n nodeRef, from, height int) {
+	key := n.key0(s, ctx.Mem)
+	preds := make([]riv.Ptr, s.maxHeight)
+	succs := make([]riv.Ptr, s.maxHeight)
+	s.linkTraverse(ctx, key, preds, succs)
+	if h := int32(height - 1); h > s.topHint.Load() {
+		// Grow the hint first so concurrent traversals cannot miss the
+		// levels being linked below.
+		for {
+			cur := s.topHint.Load()
+			if h <= cur || s.topHint.CompareAndSwap(cur, h) {
+				break
+			}
+		}
+	}
+	for level := from; level < height; level++ {
+		for {
+			if succs[level] == n.ptr {
+				break // already linked at this level
+			}
+			pred := s.node(preds[level])
+			succ := succs[level]
+			// Point the node at its successor first, persist, then swing
+			// the predecessor. Persisting lower levels before higher ones
+			// is required for recoverability (Function 17's comment).
+			n.setNext(s, level, succ, ctx.Mem)
+			n.persistNext(s, level, ctx.Mem)
+			if pred.casNext(s, level, succ, n.ptr, ctx.Mem) {
+				pred.persistNext(s, level, ctx.Mem)
+				break
+			}
+			// World moved: refresh preds/succs and retry this level.
+			s.linkTraverse(ctx, key, preds, succs)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package ycsb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"A", "B", "C", "D"} {
+		w, err := ByName(name)
+		if err != nil || w.Name != name {
+			t.Fatalf("ByName(%s): %+v %v", name, w, err)
+		}
+	}
+	if _, err := ByName("Z"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestMixesSumTo100(t *testing.T) {
+	for _, w := range append(Workloads, WorkloadE) {
+		if w.ReadPct+w.UpdatePct+w.InsertPct+w.ScanPct != 100 {
+			t.Fatalf("workload %s percentages sum to %d", w.Name,
+				w.ReadPct+w.UpdatePct+w.InsertPct+w.ScanPct)
+		}
+	}
+}
+
+// TestTable51Ratios reproduces Table 5.1: the generated mix must match
+// the declared read/update/insert ratios.
+func TestTable51Ratios(t *testing.T) {
+	const n = 100000
+	for _, w := range Workloads {
+		run := NewRun(w, 10000)
+		st := run.NewStream(1)
+		counts := map[OpType]int{}
+		for i := 0; i < n; i++ {
+			counts[st.Next().Type]++
+		}
+		check := func(got int, wantPct int, kind string) {
+			gotPct := float64(got) / n * 100
+			if math.Abs(gotPct-float64(wantPct)) > 1.0 {
+				t.Errorf("workload %s %s = %.2f%%, want %d%%", w.Name, kind, gotPct, wantPct)
+			}
+		}
+		check(counts[Read], w.ReadPct, "reads")
+		check(counts[Update], w.UpdatePct, "updates")
+		check(counts[Insert], w.InsertPct, "inserts")
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := newZipf(1000, ZipfianTheta)
+	run := NewRun(WorkloadC, 1000)
+	st := run.NewStream(2)
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.next(st.rng)]++
+	}
+	// Rank 0 should be far more popular than rank 500.
+	if counts[0] < 10*counts[500]+1 {
+		t.Fatalf("zipfian not skewed: rank0=%d rank500=%d", counts[0], counts[500])
+	}
+	// Every draw in range, and the head (top 10%) carries most mass.
+	head := 0
+	for i := 0; i < 100; i++ {
+		head += counts[i]
+	}
+	if float64(head)/n < 0.5 {
+		t.Fatalf("top-10%% mass = %.2f, want > 0.5 for theta=0.99", float64(head)/n)
+	}
+}
+
+func TestZipfianBounds(t *testing.T) {
+	z := newZipf(50, ZipfianTheta)
+	run := NewRun(WorkloadC, 50)
+	st := run.NewStream(3)
+	f := func(_ uint8) bool {
+		r := z.next(st.rng)
+		return r < 50
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrambleSpreadsHotKeys(t *testing.T) {
+	// Adjacent ranks must not map to adjacent keys.
+	a := fnvScramble(0)
+	b := fnvScramble(1)
+	if a == b || a+1 == b || b+1 == a {
+		t.Fatalf("scramble too smooth: %d %d", a, b)
+	}
+}
+
+func TestKeysInRange(t *testing.T) {
+	for _, w := range Workloads {
+		run := NewRun(w, 5000)
+		st := run.NewStream(4)
+		for i := 0; i < 20000; i++ {
+			op := st.Next()
+			if op.Key == 0 {
+				t.Fatalf("workload %s produced key 0", w.Name)
+			}
+			if op.Type != Insert && w.Dist == Zipfian && op.Key > 5000 {
+				t.Fatalf("workload %s read/update key %d beyond preload", w.Name, op.Key)
+			}
+		}
+	}
+}
+
+func TestInsertKeysAreDenseAndUnique(t *testing.T) {
+	run := NewRun(WorkloadD, 1000)
+	st1 := run.NewStream(5)
+	st2 := run.NewStream(6)
+	seen := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		for _, st := range []*Stream{st1, st2} {
+			op := st.Next()
+			if op.Type != Insert {
+				continue
+			}
+			if op.Key <= 1000 {
+				t.Fatalf("insert key %d within preload", op.Key)
+			}
+			if seen[op.Key] {
+				t.Fatalf("insert key %d issued twice", op.Key)
+			}
+			seen[op.Key] = true
+		}
+	}
+	if run.InsertedKeys() != uint64(len(seen)) {
+		t.Fatalf("InsertedKeys = %d, want %d", run.InsertedKeys(), len(seen))
+	}
+}
+
+func TestLatestSkewsToRecent(t *testing.T) {
+	run := NewRun(WorkloadD, 10000)
+	st := run.NewStream(7)
+	recent, old := 0, 0
+	for i := 0; i < 50000; i++ {
+		op := st.Next()
+		if op.Type != Read {
+			continue
+		}
+		if op.Key > run.Preload()*9/10 {
+			recent++
+		} else {
+			old++
+		}
+	}
+	if recent < old {
+		t.Fatalf("latest distribution not recent-skewed: recent=%d old=%d", recent, old)
+	}
+}
+
+func TestStreamsDeterministicAndIndependent(t *testing.T) {
+	mk := func(seed int64) []Op {
+		run := NewRun(WorkloadA, 1000)
+		return run.NewStream(seed).Fill(nil, 100)
+	}
+	a1, a2, b := mk(1), mk(1), mk(2)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	same := 0
+	for i := range a1 {
+		if a1[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a1) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestFillReusesBuffer(t *testing.T) {
+	run := NewRun(WorkloadB, 100)
+	st := run.NewStream(8)
+	buf := make([]Op, 0, 64)
+	out := st.Fill(buf, 64)
+	if len(out) != 64 || cap(out) != 64 {
+		t.Fatalf("Fill: len=%d cap=%d", len(out), cap(out))
+	}
+	out2 := st.Fill(out, 128)
+	if len(out2) != 128 {
+		t.Fatalf("Fill grow: len=%d", len(out2))
+	}
+}
+
+func TestUniformDistribution(t *testing.T) {
+	w := Workload{Name: "U", ReadPct: 100, Dist: Uniform}
+	run := NewRun(w, 100)
+	st := run.NewStream(9)
+	counts := make([]int, 101)
+	for i := 0; i < 100000; i++ {
+		counts[st.Next().Key]++
+	}
+	for k := 1; k <= 100; k++ {
+		if counts[k] < 500 || counts[k] > 1500 {
+			t.Fatalf("uniform key %d drawn %d times, want ~1000", k, counts[k])
+		}
+	}
+}
+
+func BenchmarkStreamNext(b *testing.B) {
+	run := NewRun(WorkloadA, 100000)
+	st := run.NewStream(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = st.Next()
+	}
+}
+
+func TestWorkloadEScans(t *testing.T) {
+	run := NewRun(WorkloadE, 5000)
+	st := run.NewStream(12)
+	scans, inserts, other := 0, 0, 0
+	for i := 0; i < 20000; i++ {
+		op := st.Next()
+		switch op.Type {
+		case Scan:
+			scans++
+			if op.ScanLen < 1 || op.ScanLen > WorkloadE.MaxScanLen {
+				t.Fatalf("scan length %d out of range", op.ScanLen)
+			}
+			if op.Key == 0 || op.Key > 5000 {
+				t.Fatalf("scan start key %d out of preload", op.Key)
+			}
+		case Insert:
+			inserts++
+		default:
+			other++
+		}
+	}
+	if other != 0 {
+		t.Fatalf("workload E produced %d non-scan non-insert ops", other)
+	}
+	if scans < 18000 || inserts < 500 {
+		t.Fatalf("mix off: scans=%d inserts=%d", scans, inserts)
+	}
+}

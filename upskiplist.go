@@ -1,0 +1,531 @@
+// Package upskiplist is a Go reproduction of UPSkipList — the scalable,
+// recoverable, persistent-memory-resident skip list of "A Scalable
+// Recoverable Skip List for Persistent Memory" (SPAA 2021).
+//
+// A Store bundles one or more simulated persistent-memory pools, the
+// extended Region-ID-in-Value (RIV) address space, the failure-free
+// epoch clock, the recoverable block allocator, and the skip list
+// itself. All durable state lives in the pools; the Store handle is
+// volatile and can be re-created over the same pools at any time, which
+// is exactly what post-crash recovery amounts to (constant time in the
+// structure size).
+//
+// Quick start:
+//
+//	st, _ := upskiplist.Create(upskiplist.DefaultOptions())
+//	w := st.NewWorker(0)
+//	w.Insert(42, 1000)
+//	v, ok := w.Get(42)
+//
+// Crash recovery:
+//
+//	st.EnableCrashTracking()
+//	... workload, then power failure ...
+//	st.SimulateCrash()          // unflushed cache lines are lost
+//	st2, _ := st.Reopen()       // epoch advances; repairs are deferred
+//
+// Keys must lie in [upskiplist.KeyMin, upskiplist.KeyMax]; values must
+// be below upskiplist.Tombstone.
+package upskiplist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"upskiplist/internal/alloc"
+	"upskiplist/internal/epoch"
+	"upskiplist/internal/exec"
+	"upskiplist/internal/numa"
+	"upskiplist/internal/pmem"
+	"upskiplist/internal/riv"
+	"upskiplist/internal/skiplist"
+)
+
+// Re-exported key/value sentinels.
+const (
+	KeyMin    = skiplist.KeyMin
+	KeyMax    = skiplist.KeyMax
+	Tombstone = skiplist.Tombstone
+)
+
+// Placement selects the pool layout (see the paper's §5.2.3 comparison).
+type Placement = numa.Placement
+
+// Placement values.
+const (
+	SinglePool = numa.SinglePool
+	Striped    = numa.Striped
+	PerNode    = numa.PerNode
+)
+
+// Options configures a Store.
+type Options struct {
+	// MaxHeight and KeysPerNode mirror the paper's parameters (32 levels,
+	// 256 keys per node in the evaluation; smaller defaults here).
+	MaxHeight   int
+	KeysPerNode int
+	// SortedNodes enables sorted-on-split nodes with binary-search
+	// lookups (the paper's proposed optimization).
+	SortedNodes bool
+	// RecoveryBudget bounds deferrable post-crash repairs per traversal
+	// (the paper's k, §4.4.1); 0 = default 1, negative = unlimited
+	// eager repair.
+	RecoveryBudget int
+
+	// NUMANodes is the simulated socket count; Placement selects
+	// single-pool, striped, or one-pool-per-node layouts.
+	NUMANodes int
+	Placement Placement
+
+	// PoolWords is the size of each pool in 64-bit words.
+	PoolWords uint64
+	// ChunkWords, MaxChunks, NumArenas, NumThreads size the allocator
+	// (coarse chunks, free-list arenas, per-thread log slots).
+	ChunkWords uint64
+	MaxChunks  uint64
+	NumArenas  int
+	NumThreads int
+	// Preallocate carves every chunk into free blocks at Create (the
+	// paper's allocation mode 1, §4.3.2) instead of provisioning chunks
+	// on demand as the structure grows (mode 2, the default).
+	Preallocate bool
+
+	// Cost enables the synthetic PMEM access-cost model (benchmarks).
+	Cost *pmem.CostModel
+}
+
+// DefaultOptions returns a laptop-scale configuration.
+func DefaultOptions() Options {
+	return Options{
+		MaxHeight:   16,
+		KeysPerNode: 16,
+		NUMANodes:   1,
+		Placement:   SinglePool,
+		PoolWords:   1 << 22,
+		ChunkWords:  1 << 14,
+		MaxChunks:   1024,
+		NumArenas:   4,
+		NumThreads:  128,
+	}
+}
+
+func (o *Options) normalize() error {
+	if o.MaxHeight == 0 {
+		o.MaxHeight = 16
+	}
+	if o.KeysPerNode == 0 {
+		o.KeysPerNode = 16
+	}
+	if o.NUMANodes <= 0 {
+		o.NUMANodes = 1
+	}
+	if o.Placement == PerNode && o.NUMANodes < 2 {
+		return errors.New("upskiplist: PerNode placement needs >= 2 NUMA nodes")
+	}
+	if o.PoolWords == 0 {
+		o.PoolWords = 1 << 22
+	}
+	if o.ChunkWords == 0 {
+		o.ChunkWords = 1 << 14
+	}
+	if o.MaxChunks == 0 {
+		o.MaxChunks = 1024
+	}
+	if o.NumArenas == 0 {
+		o.NumArenas = 4
+	}
+	if o.NumThreads == 0 {
+		o.NumThreads = 128
+	}
+	return nil
+}
+
+func (o Options) allocConfig() alloc.Config {
+	return alloc.Config{
+		ChunkWords:  o.ChunkWords,
+		MaxChunks:   o.MaxChunks,
+		BlockWords:  skiplist.BlockWordsFor(o.skipConfig()),
+		NumArenas:   o.NumArenas,
+		NumLogs:     o.NumThreads,
+		RootWords:   64,
+		Preallocate: o.Preallocate,
+	}
+}
+
+func (o Options) skipConfig() skiplist.Config {
+	return skiplist.Config{
+		MaxHeight:      o.MaxHeight,
+		KeysPerNode:    o.KeysPerNode,
+		SortedNodes:    o.SortedNodes,
+		RecoveryBudget: o.RecoveryBudget,
+	}
+}
+
+// Store is a handle onto a persistent skip list and its pools.
+type Store struct {
+	opts  Options
+	topo  numa.Topology
+	pools []*pmem.Pool
+	space *riv.Space
+	clock *epoch.Clock
+	alloc *alloc.Allocator
+	list  *skiplist.SkipList
+}
+
+// Create builds a fresh store.
+func Create(opts Options) (*Store, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	var pools []*pmem.Pool
+	switch opts.Placement {
+	case PerNode:
+		for n := 0; n < opts.NUMANodes; n++ {
+			p, err := pmem.NewPool(pmem.Config{
+				ID: uint16(n), Words: opts.PoolWords, HomeNode: n, Cost: opts.Cost,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pools = append(pools, p)
+		}
+	case Striped:
+		p, err := pmem.NewPool(pmem.Config{
+			ID: 0, Words: opts.PoolWords, HomeNode: -1,
+			StripeNodes: opts.NUMANodes, Cost: opts.Cost,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pools = append(pools, p)
+	default:
+		p, err := pmem.NewPool(pmem.Config{ID: 0, Words: opts.PoolWords, HomeNode: -1, Cost: opts.Cost})
+		if err != nil {
+			return nil, err
+		}
+		pools = append(pools, p)
+	}
+	acfg := opts.allocConfig()
+	var pas []*alloc.PoolAllocator
+	for _, p := range pools {
+		pa, err := alloc.Format(p, acfg)
+		if err != nil {
+			return nil, fmt.Errorf("formatting pool %d: %w", p.ID(), err)
+		}
+		pas = append(pas, pa)
+	}
+	st, err := assemble(opts, pools, pas, false)
+	if err != nil {
+		return nil, err
+	}
+	list, err := skiplist.Create(st.alloc, opts.skipConfig())
+	if err != nil {
+		return nil, err
+	}
+	st.list = list
+	return st, nil
+}
+
+// assemble wires space/clock/allocator over formatted pools.
+func assemble(opts Options, pools []*pmem.Pool, pas []*alloc.PoolAllocator, afterRestart bool) (*Store, error) {
+	space := riv.NewSpace()
+	for _, p := range pools {
+		space.AddPool(p)
+	}
+	clock := epoch.Attach(pools[0], alloc.EpochOff)
+	if afterRestart {
+		// A restart is a crash boundary: all prior failure-free work
+		// belongs to a dead epoch (§4.1.3). This is the entire
+		// structure-independent part of recovery.
+		clock.Advance()
+	} else {
+		clock.InitIfZero()
+	}
+	a := alloc.New(space, clock)
+	for i, pa := range pas {
+		node := -1
+		if opts.Placement == PerNode {
+			node = i
+		}
+		a.AttachPool(pa, node)
+	}
+	return &Store{
+		opts: opts, topo: numa.Topology{Nodes: opts.NUMANodes},
+		pools: pools, space: space, clock: clock, alloc: a,
+	}, nil
+}
+
+// Reopen simulates a process restart (or post-crash recovery) over the
+// same pools: a brand-new handle is assembled, the failure-free epoch is
+// advanced, and the old handle must no longer be used. Per the paper,
+// this is all the recovery there is — repairs happen lazily during
+// subsequent operations.
+func (s *Store) Reopen() (*Store, error) {
+	var pas []*alloc.PoolAllocator
+	for _, p := range s.pools {
+		pa, err := alloc.Attach(p)
+		if err != nil {
+			return nil, err
+		}
+		pas = append(pas, pa)
+	}
+	st, err := assemble(s.opts, s.pools, pas, true)
+	if err != nil {
+		return nil, err
+	}
+	list, err := skiplist.Open(st.alloc)
+	if err != nil {
+		return nil, err
+	}
+	list.SetRecoveryBudget(s.opts.RecoveryBudget)
+	st.list = list
+	return st, nil
+}
+
+// Options returns the store's configuration.
+func (s *Store) Options() Options { return s.opts }
+
+// Pools exposes the underlying pools (stats, crash control).
+func (s *Store) Pools() []*pmem.Pool { return s.pools }
+
+// Epoch returns the current failure-free epoch.
+func (s *Store) Epoch() uint64 { return s.clock.Current() }
+
+// List exposes the internal skip list (tests, harness).
+func (s *Store) List() *skiplist.SkipList { return s.list }
+
+// Allocator exposes the internal allocator (tests, harness).
+func (s *Store) Allocator() *alloc.Allocator { return s.alloc }
+
+// EnableCrashTracking switches every pool into crash-tracking mode. Must
+// be called quiesced.
+func (s *Store) EnableCrashTracking() {
+	for _, p := range s.pools {
+		p.EnableTracking()
+	}
+}
+
+// DisableCrashTracking leaves crash-tracking mode (all pending writes
+// count as persisted).
+func (s *Store) DisableCrashTracking() {
+	for _, p := range s.pools {
+		p.DisableTracking()
+	}
+}
+
+// SimulateCrash discards every unflushed cache line in every pool,
+// modelling a power failure. The store must be quiesced: all workers
+// abandoned or stopped. Returns the number of lines reverted.
+func (s *Store) SimulateCrash() int {
+	n := 0
+	for _, p := range s.pools {
+		n += p.Crash()
+	}
+	return n
+}
+
+// SimulateCrashPartial is SimulateCrash with cache-eviction modelling:
+// each unflushed line independently survives (as if evicted to the
+// persistence domain just before the failure) with probability
+// evictProb. Returns (reverted, survived) line counts.
+func (s *Store) SimulateCrashPartial(evictProb float64, seed uint64) (int, int) {
+	rev, sur := 0, 0
+	for _, p := range s.pools {
+		r, v := p.CrashPartial(evictProb, seed^uint64(p.ID()))
+		rev += r
+		sur += v
+	}
+	return rev, sur
+}
+
+// SetInjector installs a crash injector on every pool (nil to remove).
+func (s *Store) SetInjector(inj pmem.Injector) {
+	for _, p := range s.pools {
+		p.SetInjector(inj)
+	}
+}
+
+// ReclaimOrphans runs the optional quiesced sweep for chunks orphaned by
+// a crash during chunk provisioning (see alloc.ReclaimOrphanChunks).
+func (s *Store) ReclaimOrphans() int {
+	return s.alloc.ReclaimOrphanChunks(exec.NewCtx(0, 0))
+}
+
+// Compact reclaims every node whose keys are all tombstoned, returning
+// their blocks to the allocator — the maintenance pass the paper names
+// as the next step beyond tombstoning removals (§4.6, §7). The store
+// must be quiesced (no concurrent workers); an interrupted compaction is
+// completed automatically at the next Reopen.
+func (s *Store) Compact() (int, error) {
+	return s.list.Compact(exec.NewCtx(0, 0))
+}
+
+// Worker is a per-thread handle. Workers are not safe for concurrent use
+// by multiple goroutines; create one per goroutine, with distinct IDs.
+// Thread IDs must stay below Options.NumThreads and should be reused
+// across a crash by the "same" logical thread (the paper's deferred
+// allocation recovery keys off thread identity).
+type Worker struct {
+	s   *Store
+	ctx *exec.Ctx
+}
+
+// NewWorker creates a worker pinned (round-robin) to a NUMA node.
+func (s *Store) NewWorker(threadID int) *Worker {
+	return &Worker{s: s, ctx: exec.NewCtx(threadID, s.topo.NodeOf(threadID))}
+}
+
+// Ctx exposes the execution context (harness use).
+func (w *Worker) Ctx() *exec.Ctx { return w.ctx }
+
+// Insert adds or updates a key, returning the previous value and whether
+// the key was present.
+func (w *Worker) Insert(key, value uint64) (old uint64, existed bool, err error) {
+	return w.s.list.Insert(w.ctx, key, value)
+}
+
+// Get returns the value stored under key.
+func (w *Worker) Get(key uint64) (uint64, bool) {
+	return w.s.list.Get(w.ctx, key)
+}
+
+// Contains reports whether key is present.
+func (w *Worker) Contains(key uint64) bool {
+	return w.s.list.Contains(w.ctx, key)
+}
+
+// Remove deletes key, returning the removed value and whether it was
+// present.
+func (w *Worker) Remove(key uint64) (uint64, bool, error) {
+	return w.s.list.Remove(w.ctx, key)
+}
+
+// Scan visits all live pairs with keys in [lo, hi] in ascending order
+// until fn returns false.
+func (w *Worker) Scan(lo, hi uint64, fn func(key, value uint64) bool) error {
+	return w.s.list.Scan(w.ctx, lo, hi, fn)
+}
+
+// Count returns the number of live keys (quiesced walk).
+func (w *Worker) Count() int { return w.s.list.Count(w.ctx) }
+
+// Iterator returns a forward cursor over live pairs in ascending key
+// order. Like the worker itself, it must not be shared between
+// goroutines.
+func (w *Worker) Iterator() *skiplist.Iterator { return w.s.list.NewIterator(w.ctx) }
+
+// CheckInvariants validates structural invariants (quiesced).
+func (w *Worker) CheckInvariants() error { return w.s.list.CheckInvariants(w.ctx) }
+
+// Save writes every pool's durable image into dir (one file per pool).
+func (s *Store) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, p := range s.pools {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("pool%d.upsl", p.ID())))
+		if err != nil {
+			return err
+		}
+		if _, err := p.WriteTo(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return saveMeta(dir, s.opts)
+}
+
+// Load re-creates a store from images written by Save; this is a restart
+// across processes, so the epoch advances.
+func Load(dir string) (*Store, error) {
+	opts, err := loadMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	nPools := 1
+	if opts.Placement == PerNode {
+		nPools = opts.NUMANodes
+	}
+	var pools []*pmem.Pool
+	for id := 0; id < nPools; id++ {
+		f, err := os.Open(filepath.Join(dir, fmt.Sprintf("pool%d.upsl", id)))
+		if err != nil {
+			return nil, err
+		}
+		home, stripe := -1, 0
+		if opts.Placement == PerNode {
+			home = id
+		} else if opts.Placement == Striped {
+			stripe = opts.NUMANodes
+		}
+		p, err := pmem.ReadPool(f, home, stripe, opts.Cost)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		pools = append(pools, p)
+	}
+	var pas []*alloc.PoolAllocator
+	for _, p := range pools {
+		pa, err := alloc.Attach(p)
+		if err != nil {
+			return nil, err
+		}
+		pas = append(pas, pa)
+	}
+	st, err := assemble(opts, pools, pas, true)
+	if err != nil {
+		return nil, err
+	}
+	list, err := skiplist.Open(st.alloc)
+	if err != nil {
+		return nil, err
+	}
+	st.list = list
+	return st, nil
+}
+
+// saveMeta/loadMeta persist Options in a tiny sidecar file.
+func saveMeta(dir string, o Options) error {
+	f, err := os.Create(filepath.Join(dir, "meta.upsl"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sorted := 0
+	if o.SortedNodes {
+		sorted = 1
+	}
+	_, err = fmt.Fprintf(f, "v1 %d %d %d %d %d %d %d %d %d %d\n",
+		o.MaxHeight, o.KeysPerNode, sorted, o.NUMANodes, int(o.Placement),
+		o.PoolWords, o.ChunkWords, o.MaxChunks, o.NumArenas, o.NumThreads)
+	return err
+}
+
+func loadMeta(dir string) (Options, error) {
+	f, err := os.Open(filepath.Join(dir, "meta.upsl"))
+	if err != nil {
+		return Options{}, err
+	}
+	defer f.Close()
+	var o Options
+	var sorted, placement int
+	var ver string
+	_, err = fmt.Fscan(f, &ver, &o.MaxHeight, &o.KeysPerNode, &sorted, &o.NUMANodes,
+		&placement, &o.PoolWords, &o.ChunkWords, &o.MaxChunks, &o.NumArenas, &o.NumThreads)
+	if err != nil && err != io.EOF {
+		return Options{}, err
+	}
+	if ver != "v1" {
+		return Options{}, fmt.Errorf("upskiplist: unknown meta version %q", ver)
+	}
+	o.SortedNodes = sorted == 1
+	o.Placement = Placement(placement)
+	return o, nil
+}
