@@ -89,6 +89,7 @@ func newBenchLazy(b *testing.B, cost *pmem.CostModel) *harness.LazyIndex {
 func runWorkload(b *testing.B, idx harness.Index, w ycsb.Workload) {
 	run := ycsb.NewRun(w, benchPreload)
 	var nextID atomic.Int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		id := int(nextID.Add(1) - 1)
@@ -197,6 +198,7 @@ func benchOpKind(b *testing.B, idx harness.Index, read bool) {
 	h := idx.NewHandle(0)
 	run := ycsb.NewRun(ycsb.WorkloadA, benchPreload)
 	st := run.NewStream(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		op := st.Next()
@@ -231,6 +233,63 @@ func BenchmarkFig56_Read_PMDKSkipList(b *testing.B) {
 func BenchmarkFig56_Update_PMDKSkipList(b *testing.B) {
 	benchOpKind(b, newBenchLazy(b, pmem.DefaultCostModel()), false)
 }
+
+// --- Hot path: single-worker steady-state allocs/op and ns/op, with the
+// volatile hint cache on (default) and off. Op streams are pre-generated
+// outside the timer; inserts hit preloaded keys (pure updates), so the
+// measured path is traversal + value publish with zero heap traffic. ---
+
+func benchHotPath(b *testing.B, mode string, disableHints bool) {
+	o := benchUPSLOptions(benchKeysPN, upskiplist.SinglePool, pmem.DefaultCostModel())
+	o.DisableHintCache = disableHints
+	u, err := harness.NewUPSL(o, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := harness.Preload(u, benchPreload, 4); err != nil {
+		b.Fatal(err)
+	}
+	w := u.Store().NewWorker(0)
+	ops := ycsb.NewRun(ycsb.WorkloadC, benchPreload).NewStream(1).Fill(nil, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := ops[i&(len(ops)-1)]
+		read := mode == "get" || (mode == "mixed" && i&1 == 0)
+		if read {
+			w.Get(op.Key)
+		} else if _, _, err := w.Insert(op.Key, op.Value&harness.ValueMask|1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotPath_Get(b *testing.B)            { benchHotPath(b, "get", false) }
+func BenchmarkHotPath_Get_NoHints(b *testing.B)    { benchHotPath(b, "get", true) }
+func BenchmarkHotPath_Insert(b *testing.B)         { benchHotPath(b, "insert", false) }
+func BenchmarkHotPath_Insert_NoHints(b *testing.B) { benchHotPath(b, "insert", true) }
+func BenchmarkHotPath_Mixed(b *testing.B)          { benchHotPath(b, "mixed", false) }
+func BenchmarkHotPath_Mixed_NoHints(b *testing.B)  { benchHotPath(b, "mixed", true) }
+
+// Hint cache vs the SortedNodes-only baseline on the skewed (Zipfian)
+// read-only workload — the acceptance comparison recorded in
+// EXPERIMENTS.md.
+func benchHintCacheYCSBC(b *testing.B, disableHints bool) {
+	o := benchUPSLOptions(benchKeysPN, upskiplist.SinglePool, pmem.DefaultCostModel())
+	o.SortedNodes = true
+	o.DisableHintCache = disableHints
+	u, err := harness.NewUPSL(o, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := harness.Preload(u, benchPreload, 4); err != nil {
+		b.Fatal(err)
+	}
+	runWorkload(b, u, ycsb.WorkloadC)
+}
+
+func BenchmarkHintCache_YCSBC_On(b *testing.B)  { benchHintCacheYCSBC(b, false) }
+func BenchmarkHintCache_YCSBC_Off(b *testing.B) { benchHintCacheYCSBC(b, true) }
 
 // --- Table 5.4: recovery time. Each iteration performs one full
 // crash-recovery reattach. ---

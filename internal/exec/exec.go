@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"upskiplist/internal/pmem"
+	"upskiplist/internal/riv"
 )
 
 // Ctx identifies one logical worker thread.
@@ -28,6 +29,26 @@ type Ctx struct {
 	Mem *pmem.Acc
 	// Rand is the worker-private PRNG used for skip-list height draws.
 	Rand *rand.Rand
+	// Hints is the worker-private volatile traversal-hint cache. It lives
+	// here, not in any pool, because a hint is only ever a performance
+	// shortcut: anything volatile may vanish at a crash, so nothing
+	// recoverable may depend on it.
+	Hints HintCache
+	// Batch is a reusable coalesced-persist batch for multi-line flushes
+	// (node initialization, split publishing).
+	Batch pmem.Batch
+	// towers is a free list of preds/succs scratch pairs. It is a list
+	// rather than a single buffer because recovery helpers re-enter the
+	// traversal path (traverse -> checkForInsertRecovery -> tower link)
+	// while the outer operation still holds its pair.
+	towers []*Towers
+}
+
+// Towers is a reusable preds/succs pair for skip-list traversals. Reusing
+// the pair across operations keeps steady-state point ops allocation-free.
+type Towers struct {
+	Preds []riv.Ptr
+	Succs []riv.Ptr
 }
 
 // NewCtx returns a context for the given worker, pinned to the given
@@ -39,6 +60,109 @@ func NewCtx(threadID, node int) *Ctx {
 		Mem:      pmem.NewAcc(node),
 		Rand:     rand.New(rand.NewSource(int64(threadID)*0x5851F42D4C957F2D + 1)),
 	}
+}
+
+// GetTowers returns a preds/succs pair with the given number of levels,
+// reusing a previously returned pair when one is free. Contents are
+// unspecified; the caller must hand the pair back with PutTowers. After a
+// few operations the free list is as deep as the worst-case re-entrant
+// nesting and Get/Put stop allocating entirely.
+func (c *Ctx) GetTowers(levels int) *Towers {
+	if n := len(c.towers) - 1; n >= 0 {
+		t := c.towers[n]
+		c.towers[n] = nil
+		c.towers = c.towers[:n]
+		if cap(t.Preds) < levels {
+			t.Preds = make([]riv.Ptr, levels)
+			t.Succs = make([]riv.Ptr, levels)
+		} else {
+			t.Preds = t.Preds[:levels]
+			t.Succs = t.Succs[:levels]
+		}
+		return t
+	}
+	return &Towers{Preds: make([]riv.Ptr, levels), Succs: make([]riv.Ptr, levels)}
+}
+
+// PutTowers returns a pair obtained from GetTowers to the free list.
+func (c *Ctx) PutTowers(t *Towers) {
+	c.towers = append(c.towers, t)
+}
+
+// HintSlots is the number of direct-mapped entries in a HintCache:
+// 512 slots x 24 bytes ≈ 12 KiB per worker, comfortably DRAM-resident.
+const HintSlots = 512
+
+type hintSlot struct {
+	tag uint64 // key prefix + 1; 0 marks an empty slot
+	val uint64 // raw riv.Ptr word of the hinted predecessor
+	lvl uint8  // level at which the hinted node is known to be linked
+}
+
+// HintCache is a direct-mapped volatile cache of recently observed
+// traversal predecessors, keyed by a key prefix. It belongs to exactly one
+// worker, so it needs no synchronization.
+//
+// The cache never affects correctness: every entry must be re-validated
+// against the live node before use, and the (owner, gen) stamp lets the
+// data structure wipe all entries wholesale when node memory may have been
+// reclaimed (compaction) or when the context is reused against a different
+// structure or a reopened one.
+type HintCache struct {
+	owner any
+	gen   uint64
+	slots [HintSlots]hintSlot
+
+	// Plain per-worker counters (the cache is single-owner, so no atomics):
+	// Seeded counts traversals that started from a validated hint, Missed
+	// counts lookups with no usable entry, Fallback counts seeded
+	// traversals that had to restart from the head after the hint proved
+	// stale mid-descent.
+	Seeded   uint64
+	Missed   uint64
+	Fallback uint64
+}
+
+// Validate checks that the cache's contents were recorded against the
+// given owner and generation; on mismatch all entries are dropped and the
+// stamp is updated. Callers invoke this once per operation before reading
+// any hint.
+func (h *HintCache) Validate(owner any, gen uint64) {
+	if h.owner != owner || h.gen != gen {
+		clear(h.slots[:])
+		h.owner = owner
+		h.gen = gen
+	}
+}
+
+// Get looks up the hint recorded for tag. ok is false on a miss.
+func (h *HintCache) Get(tag uint64) (val uint64, lvl uint8, ok bool) {
+	s := &h.slots[tag&(HintSlots-1)]
+	if s.tag != tag+1 {
+		return 0, 0, false
+	}
+	return s.val, s.lvl, true
+}
+
+// Put records a hint for tag, evicting whatever shared its slot.
+func (h *HintCache) Put(tag, val uint64, lvl uint8) {
+	h.slots[tag&(HintSlots-1)] = hintSlot{tag: tag + 1, val: val, lvl: lvl}
+}
+
+// Drop invalidates a single entry (used after a hint fails validation, so
+// the same stale pointer is not retried on the next operation).
+func (h *HintCache) Drop(tag uint64) {
+	s := &h.slots[tag&(HintSlots-1)]
+	if s.tag == tag+1 {
+		*s = hintSlot{}
+	}
+}
+
+// Reset clears the cache and its ownership stamp.
+func (h *HintCache) Reset() {
+	clear(h.slots[:])
+	h.owner = nil
+	h.gen = 0
 }
 
 // GeometricHeight draws a tower height in [1, max] from the geometric

@@ -51,6 +51,91 @@ func TestGeometricHeightDistributionShape(t *testing.T) {
 	}
 }
 
+func TestGetTowersReuse(t *testing.T) {
+	c := NewCtx(1, 0)
+	a := c.GetTowers(16)
+	if len(a.Preds) != 16 || len(a.Succs) != 16 {
+		t.Fatalf("towers sized %d/%d, want 16", len(a.Preds), len(a.Succs))
+	}
+	c.PutTowers(a)
+	b := c.GetTowers(16)
+	if b != a {
+		t.Fatal("free list did not reuse the returned pair")
+	}
+	// Nested acquisition (traversal holding a pair while recovery takes
+	// another) must hand out a distinct pair.
+	inner := c.GetTowers(16)
+	if inner == b {
+		t.Fatal("nested GetTowers returned the pair already in use")
+	}
+	c.PutTowers(inner)
+	c.PutTowers(b)
+}
+
+func TestGetTowersRegrow(t *testing.T) {
+	c := NewCtx(1, 0)
+	a := c.GetTowers(4)
+	c.PutTowers(a)
+	b := c.GetTowers(32)
+	if len(b.Preds) != 32 || len(b.Succs) != 32 {
+		t.Fatalf("regrown towers sized %d/%d, want 32", len(b.Preds), len(b.Succs))
+	}
+}
+
+func TestHintCacheBasic(t *testing.T) {
+	var h HintCache
+	h.Validate("owner", 1)
+	if _, _, ok := h.Get(7); ok {
+		t.Fatal("hit on empty cache")
+	}
+	h.Put(7, 0xabc, 1)
+	v, lvl, ok := h.Get(7)
+	if !ok || v != 0xabc || lvl != 1 {
+		t.Fatalf("Get = (%#x, %d, %v), want (0xabc, 1, true)", v, lvl, ok)
+	}
+	// tag 0 must be storable (slot-empty marking is tag+1 internally).
+	h.Put(0, 0x123, 0)
+	if v, _, ok := h.Get(0); !ok || v != 0x123 {
+		t.Fatalf("Get(0) = (%#x, %v), want (0x123, true)", v, ok)
+	}
+	h.Drop(7)
+	if _, _, ok := h.Get(7); ok {
+		t.Fatal("entry survived Drop")
+	}
+}
+
+func TestHintCacheValidateWipes(t *testing.T) {
+	var h HintCache
+	ownerA, ownerB := &struct{ int }{}, &struct{ int }{}
+	h.Validate(ownerA, 1)
+	h.Put(7, 0xabc, 0)
+	h.Validate(ownerA, 1)
+	if _, _, ok := h.Get(7); !ok {
+		t.Fatal("matching Validate dropped entries")
+	}
+	h.Validate(ownerA, 2) // generation bump (compaction)
+	if _, _, ok := h.Get(7); ok {
+		t.Fatal("entry survived a generation bump")
+	}
+	h.Put(7, 0xabc, 0)
+	h.Validate(ownerB, 2) // different structure / reopened handle
+	if _, _, ok := h.Get(7); ok {
+		t.Fatal("entry survived an owner change")
+	}
+}
+
+func TestHintCacheCollision(t *testing.T) {
+	var h HintCache
+	h.Put(3, 111, 0)
+	h.Put(3+HintSlots, 222, 0) // same slot, different tag
+	if _, _, ok := h.Get(3); ok {
+		t.Fatal("evicted entry still readable")
+	}
+	if v, _, ok := h.Get(3 + HintSlots); !ok || v != 222 {
+		t.Fatalf("colliding Put lost: (%d, %v)", v, ok)
+	}
+}
+
 func TestGeometricHeightMaxOne(t *testing.T) {
 	c := NewCtx(1, 0)
 	for i := 0; i < 100; i++ {

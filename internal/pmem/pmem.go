@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"slices"
 	"sync"
 	"sync/atomic"
 )
@@ -465,6 +466,98 @@ func (p *Pool) Persist(off, n uint64, acc *Acc) {
 	p.Fence(acc)
 }
 
+// persistLineKey packs (shard, line) into one sortable word so that a
+// batch can be ordered shard-major with a single integer sort. Line
+// indices fit in 40 bits (pool images cap at 2^40 words).
+const persistLineMask = 1<<40 - 1
+
+// PersistLines flushes the given cache lines (line indices, not word
+// offsets) and issues one trailing fence: the multi-line analogue of
+// Persist, CLWB;CLWB;...;SFENCE. Lines may repeat and arrive in any
+// order; they are sorted shard-major and deduplicated, each shadow shard
+// lock is taken once per batch instead of once per line, and the cost
+// model charges one contention round for the whole batch. The slice is
+// used as scratch and comes back reordered.
+func (p *Pool) PersistLines(lines []uint64, acc *Acc) {
+	if len(lines) == 0 {
+		return
+	}
+	p.step()
+	for i, ln := range lines {
+		lines[i] = (ln&(shardCount-1))<<40 | ln
+	}
+	slices.Sort(lines)
+	uniq := lines[:1]
+	for _, k := range lines[1:] {
+		if k != uniq[len(uniq)-1] {
+			uniq = append(uniq, k)
+		}
+	}
+	if c := p.cost; c != nil && (c.FlushPenalty > 0 || c.FlushContention > 0) {
+		depth := p.flushers.Add(1)
+		extra := 0
+		if depth > 1 {
+			extra = int(depth-1) * c.FlushContention
+		}
+		spin((c.FlushPenalty + extra) * len(uniq))
+		p.flushers.Add(-1)
+	}
+	p.stats.cell(acc).Flushes.Add(uint64(len(uniq)))
+	tracking := p.tracking.Load()
+	for i := 0; i < len(uniq); {
+		shard := uniq[i] >> 40
+		if !tracking {
+			for i < len(uniq) && uniq[i]>>40 == shard {
+				i++
+			}
+			continue
+		}
+		sh := &p.shards[shard]
+		sh.mu.Lock()
+		for i < len(uniq) && uniq[i]>>40 == shard {
+			delete(sh.lines, uniq[i]&persistLineMask)
+			i++
+		}
+		sh.mu.Unlock()
+	}
+	p.Fence(acc)
+}
+
+// Batch accumulates the cache lines touched by a group of stores so they
+// can be flushed with one PersistLines call — one flush round, one shard
+// visit per shard, one trailing fence — instead of a Persist-with-fence
+// per store. A Batch belongs to one worker and covers one pool at a time;
+// adding a range from a different pool flushes what is pending first.
+type Batch struct {
+	pool  *Pool
+	lines []uint64
+}
+
+// Add registers words [off, off+n) of pool p for flushing. acc is used
+// only if a pending batch against a different pool must be flushed.
+func (b *Batch) Add(p *Pool, off, n uint64, acc *Acc) {
+	if b.pool != p && b.pool != nil {
+		b.Flush(acc)
+	}
+	b.pool = p
+	if n == 0 {
+		n = 1
+	}
+	for line, last := off>>lineShift, (off+n-1)>>lineShift; line <= last; line++ {
+		b.lines = append(b.lines, line)
+	}
+}
+
+// Flush persists every registered line with a single trailing fence and
+// resets the batch for reuse. A no-op on an empty batch.
+func (b *Batch) Flush(acc *Acc) {
+	if b.pool != nil && len(b.lines) > 0 {
+		b.pool.PersistLines(b.lines, acc)
+	}
+	b.pool = nil
+	b.lines = b.lines[:0]
+}
+
 // Fence issues a store fence (SFENCE analogue). In the simulation
 // ordering is already sequentially consistent, so this only does cost and
 // stats accounting; it exists so algorithm code reads like the paper's.
@@ -487,7 +580,7 @@ func (p *Pool) DisableTracking() {
 	for i := range p.shards {
 		sh := &p.shards[i]
 		sh.mu.Lock()
-		sh.lines = make(map[uint64]*[LineWords]uint64)
+		clear(sh.lines)
 		sh.mu.Unlock()
 	}
 }
@@ -525,7 +618,7 @@ func (p *Pool) Crash() int {
 			}
 			reverted++
 		}
-		sh.lines = make(map[uint64]*[LineWords]uint64)
+		clear(sh.lines)
 		sh.mu.Unlock()
 	}
 	return reverted

@@ -120,6 +120,122 @@ func TestPersistRangeCoversMultipleLines(t *testing.T) {
 	}
 }
 
+func TestPersistLinesCrashSemantics(t *testing.T) {
+	p := mustPool(t, 8192)
+	p.EnableTracking()
+	// Dirty lines spread across several shadow shards (line index mod 64
+	// picks the shard), plus one line left unflushed.
+	dirty := []uint64{0, 1, 65, 130, 700}
+	for _, line := range dirty {
+		p.Store(line<<lineShift, line+1, nil)
+	}
+	p.Store(300<<lineShift, 999, nil) // stays unflushed
+	lines := append([]uint64(nil), dirty...)
+	lines = append(lines, 0, 65) // duplicates must be tolerated
+	p.PersistLines(lines, nil)
+	if n := p.Crash(); n != 1 {
+		t.Fatalf("Crash reverted %d lines, want 1 (only the unflushed one)", n)
+	}
+	for _, line := range dirty {
+		if got := p.Load(line<<lineShift, nil); got != line+1 {
+			t.Fatalf("line %d word = %d, want %d", line, got, line+1)
+		}
+	}
+	if got := p.Load(300<<lineShift, nil); got != 0 {
+		t.Fatalf("unflushed line survived: %d", got)
+	}
+}
+
+func TestPersistLinesDedupsAndSingleFence(t *testing.T) {
+	p := mustPool(t, 1024)
+	before := p.Stats().Snapshot()
+	p.PersistLines([]uint64{5, 3, 5, 3, 5, 9}, nil)
+	after := p.Stats().Snapshot()
+	if got := after.Flushes - before.Flushes; got != 3 {
+		t.Fatalf("flushes = %d, want 3 (deduped)", got)
+	}
+	if got := after.Fences - before.Fences; got != 1 {
+		t.Fatalf("fences = %d, want 1 (single trailing fence)", got)
+	}
+	if p.PersistLines(nil, nil); p.Stats().Snapshot().Fences != after.Fences {
+		t.Fatal("empty PersistLines issued a fence")
+	}
+}
+
+func TestBatchAccumulatesAndResets(t *testing.T) {
+	p := mustPool(t, 1024)
+	var b Batch
+	b.Flush(nil) // empty flush is a no-op
+	before := p.Stats().Snapshot()
+	b.Add(p, 0, 20, nil)  // lines 0..2
+	b.Add(p, 16, 1, nil)  // line 2 again
+	b.Add(p, 800, 0, nil) // n=0 still covers one word's line
+	b.Flush(nil)
+	after := p.Stats().Snapshot()
+	if got := after.Flushes - before.Flushes; got != 4 {
+		t.Fatalf("flushes = %d, want 4 (lines 0,1,2,100)", got)
+	}
+	if got := after.Fences - before.Fences; got != 1 {
+		t.Fatalf("fences = %d, want 1", got)
+	}
+	// The batch must be reusable after Flush.
+	b.Add(p, 0, 1, nil)
+	b.Flush(nil)
+	if got := p.Stats().Snapshot().Flushes - after.Flushes; got != 1 {
+		t.Fatalf("reused batch flushed %d lines, want 1", got)
+	}
+}
+
+func TestBatchPoolSwitchFlushesPending(t *testing.T) {
+	p1 := mustPool(t, 1024)
+	p2, err := NewPool(Config{ID: 2, Words: 1024, HomeNode: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.EnableTracking()
+	p1.Store(0, 42, nil)
+	var b Batch
+	b.Add(p1, 0, 1, nil)
+	b.Add(p2, 0, 1, nil) // must flush p1's pending line first
+	if d := p1.DirtyLines(); d != 0 {
+		t.Fatalf("pool switch left %d dirty lines in p1", d)
+	}
+	b.Flush(nil)
+	if got := p2.Stats().Snapshot().Flushes; got != 1 {
+		t.Fatalf("p2 flushes = %d, want 1", got)
+	}
+}
+
+func TestTrackingShadowMapsReusedAfterCrash(t *testing.T) {
+	// Crash and DisableTracking clear() the shard maps in place instead
+	// of reallocating; tracking must keep working over the same maps.
+	p := mustPool(t, 1024)
+	p.EnableTracking()
+	for round := 0; round < 3; round++ {
+		p.Store(8, uint64(round)+100, nil)
+		if n := p.Crash(); n != 1 {
+			t.Fatalf("round %d: Crash reverted %d lines, want 1", round, n)
+		}
+		if got := p.Load(8, nil); got != 0 {
+			t.Fatalf("round %d: word 8 = %d, want 0", round, got)
+		}
+	}
+	p.DisableTracking()
+	for i := range p.shards {
+		if p.shards[i].lines == nil {
+			t.Fatal("DisableTracking nilled a shard map")
+		}
+		if len(p.shards[i].lines) != 0 {
+			t.Fatal("DisableTracking left shadow entries")
+		}
+	}
+	p.EnableTracking()
+	p.Store(16, 7, nil)
+	if d := p.DirtyLines(); d != 1 {
+		t.Fatalf("tracking broken after map reuse: dirty = %d", d)
+	}
+}
+
 func TestPartialLinePersistKeepsWholeLine(t *testing.T) {
 	// Flushing any word of a line persists the whole line, as on real
 	// hardware.

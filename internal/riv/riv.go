@@ -184,6 +184,30 @@ func (s *Space) Resolve(p Ptr) (*pmem.Pool, uint64) {
 	return pool, base + uint64(p.Offset())
 }
 
+// TryResolve is Resolve without the panics: it reports ok == false for
+// null pointers, unattached pools, unknown chunks, and offsets past the
+// end of the pool. Callers holding a pointer of uncertain provenance — a
+// volatile traversal hint, for example — validate with TryResolve instead
+// of risking a crash on a stale word.
+func (s *Space) TryResolve(p Ptr) (pool *pmem.Pool, off uint64, ok bool) {
+	if p.IsNull() {
+		return nil, 0, false
+	}
+	pool = s.Pool(p.Pool())
+	if pool == nil {
+		return nil, 0, false
+	}
+	base, ok := s.ChunkBase(p.Pool(), p.Chunk())
+	if !ok {
+		return nil, 0, false
+	}
+	off = base + uint64(p.Offset())
+	if off >= pool.Size() {
+		return nil, 0, false
+	}
+	return pool, off, true
+}
+
 // InvalidateChunkCache clears the DRAM chunk-base cache for one pool so
 // that subsequent resolutions go through the resolver again. Used when
 // re-attaching after a simulated restart.

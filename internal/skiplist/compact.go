@@ -35,6 +35,11 @@ const (
 // tombstoned. It must be called with the list quiesced. Returns the
 // number of nodes reclaimed.
 func (s *SkipList) Compact(ctx *exec.Ctx) (int, error) {
+	// Freed blocks can be reallocated as different nodes, so every cached
+	// predecessor hint in every worker must die: bumping the generation
+	// makes each HintCache wipe itself on its next Validate. (Compaction
+	// is quiesced, so no traversal is concurrently trusting a hint.)
+	s.hintGen.Add(1)
 	reclaimed := 0
 	for {
 		victim := s.findEmptyNode(ctx)
@@ -97,8 +102,9 @@ func (s *SkipList) reclaimNode(ctx *exec.Ctx, victim riv.Ptr) error {
 // the node is still linked.
 func (s *SkipList) unlinkEverywhere(ctx *exec.Ctx, n nodeRef) {
 	key := n.key0(s, ctx.Mem)
-	preds := make([]riv.Ptr, s.maxHeight)
-	succs := make([]riv.Ptr, s.maxHeight)
+	t := ctx.GetTowers(s.maxHeight)
+	defer ctx.PutTowers(t)
+	preds, succs := t.Preds, t.Succs
 	s.linkTraverse(ctx, key, preds, succs)
 	for level := s.maxHeight - 1; level >= 0; level-- {
 		if succs[level] != n.ptr {

@@ -40,8 +40,9 @@ func (it *Iterator) Seek(key uint64) bool {
 		key = KeyMin
 	}
 	s := it.s
-	preds := make([]riv.Ptr, s.maxHeight)
-	succs := make([]riv.Ptr, s.maxHeight)
+	t := it.ctx.GetTowers(s.maxHeight)
+	defer it.ctx.PutTowers(t)
+	preds, succs := t.Preds, t.Succs
 	s.traverse(it.ctx, key, preds, succs)
 	start := preds[0]
 	if start == s.head {

@@ -31,8 +31,9 @@ func (s *SkipList) Insert(ctx *exec.Ctx, key, value uint64) (old uint64, existed
 }
 
 func (s *SkipList) upsert(ctx *exec.Ctx, key, value uint64) (uint64, bool, error) {
-	preds := make([]riv.Ptr, s.maxHeight)
-	succs := make([]riv.Ptr, s.maxHeight)
+	t := ctx.GetTowers(s.maxHeight)
+	defer ctx.PutTowers(t)
+	preds, succs := t.Preds, t.Succs
 	for {
 		res := s.traverse(ctx, key, preds, succs)
 		pred := s.node(preds[0])
@@ -119,7 +120,11 @@ func (s *SkipList) createSuccessor(ctx *exec.Ctx, key, value uint64, preds, succ
 	for l := 0; l < height; l++ {
 		n.setNext(s, l, succs[l], ctx.Mem)
 	}
-	n.persistAll(s, ctx.Mem) // one flush covers all next pointers (§4.5)
+	// One coalesced flush makes the initialized block — fields, keys and
+	// all next pointers — durable with a single fence before publication
+	// (§4.5).
+	ctx.Batch.Add(n.pool, n.off, s.blockWords, ctx.Mem)
+	ctx.Batch.Flush(ctx.Mem)
 	pred := s.node(preds[0])
 	if !pred.casNext(s, 0, succ, newPtr, ctx.Mem) {
 		s.a.Free(ctx, newPtr)
@@ -219,19 +224,26 @@ func (s *SkipList) splitNode(ctx *exec.Ctx, key uint64, preds, succs []riv.Ptr) 
 	for l := 1; l < height; l++ {
 		n.setNext(s, l, succs[l], ctx.Mem)
 	}
-	n.persistAll(s, ctx.Mem)
+	ctx.Batch.Add(n.pool, n.off, s.blockWords, ctx.Mem)
+	ctx.Batch.Flush(ctx.Mem)
 
 	if !pred.casNext(s, 0, bottomSucc, newPtr, ctx.Mem) {
 		s.a.Free(ctx, newPtr)
 		pred.writeUnlock(s.a.Clock().Current(), ctx.Mem)
 		return nil
 	}
-	pred.persistNext(s, 0, ctx.Mem)
 
 	// Commit the split: bump the split count (invalidates in-flight
-	// reads), then erase the moved pairs.
+	// reads) and make the new bottom link durable. The split count and
+	// next[0] share the node's leading cache line, so the coalesced
+	// batch pays one flush and one fence where two Persist calls paid
+	// two of each. Recovery tolerates either word landing first: a lost
+	// link just leaves an unreachable logged block, and the durable
+	// write lock replays the erase phase below in either case.
 	pred.pool.Add(pred.off+offSplitCount, 1, ctx.Mem)
-	pred.pool.Persist(pred.off+offSplitCount, 1, ctx.Mem)
+	ctx.Batch.Add(pred.pool, pred.off+offNext, 1, ctx.Mem)
+	ctx.Batch.Add(pred.pool, pred.off+offSplitCount, 1, ctx.Mem)
+	ctx.Batch.Flush(ctx.Mem)
 	moved := make(map[uint64]bool, len(upper))
 	for _, p := range upper {
 		moved[p.k] = true
@@ -265,8 +277,9 @@ func (s *SkipList) Get(ctx *exec.Ctx, key uint64) (uint64, bool) {
 	if key < KeyMin || key > KeyMax {
 		return 0, false
 	}
-	preds := make([]riv.Ptr, s.maxHeight)
-	succs := make([]riv.Ptr, s.maxHeight)
+	t := ctx.GetTowers(s.maxHeight)
+	defer ctx.PutTowers(t)
+	preds, succs := t.Preds, t.Succs
 	for {
 		res := s.traverse(ctx, key, preds, succs)
 		if !res.found {
@@ -305,8 +318,9 @@ func (s *SkipList) Remove(ctx *exec.Ctx, key uint64) (uint64, bool, error) {
 	if key < KeyMin || key > KeyMax {
 		return 0, false, ErrKeyRange
 	}
-	preds := make([]riv.Ptr, s.maxHeight)
-	succs := make([]riv.Ptr, s.maxHeight)
+	t := ctx.GetTowers(s.maxHeight)
+	defer ctx.PutTowers(t)
+	preds, succs := t.Preds, t.Succs
 	for {
 		res := s.traverse(ctx, key, preds, succs)
 		if !res.found {
@@ -347,8 +361,9 @@ func (s *SkipList) Scan(ctx *exec.Ctx, lo, hi uint64, fn func(key, value uint64)
 	if lo > hi {
 		return nil
 	}
-	preds := make([]riv.Ptr, s.maxHeight)
-	succs := make([]riv.Ptr, s.maxHeight)
+	t := ctx.GetTowers(s.maxHeight)
+	defer ctx.PutTowers(t)
+	preds, succs := t.Preds, t.Succs
 	s.traverse(ctx, lo, preds, succs)
 	cur := preds[0]
 	if cur == s.head {

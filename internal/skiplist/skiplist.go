@@ -87,6 +87,12 @@ type Config struct {
 	// the ablation baseline). Interrupted splits are always repaired
 	// regardless.
 	RecoveryBudget int
+	// DisableHintCache turns off the volatile per-worker predecessor-hint
+	// cache that seeds traversals below the top levels. The cache is pure
+	// DRAM state on each exec.Ctx and never affects results or recovery —
+	// this knob exists for ablation and debugging. The setting is
+	// volatile (per handle), not persisted.
+	DisableHintCache bool
 }
 
 // DefaultConfig matches the paper's evaluation parameters scaled for
@@ -123,6 +129,14 @@ type SkipList struct {
 	// exactly right is the common case. Rebuilt on Open by scanning the
 	// head's next pointers.
 	topHint atomic.Int32
+
+	// hints enables seeding traversals from each worker's volatile
+	// HintCache. hintGen is bumped whenever node memory may be reclaimed
+	// (compaction) so every worker's cache self-invalidates: within one
+	// generation a published node's block is never freed, which is what
+	// makes a cached pointer safe to probe.
+	hints   bool
+	hintGen atomic.Uint64
 
 	// stats
 	recoveries recoveryCounters
@@ -172,6 +186,7 @@ func Create(a *alloc.Allocator, cfg Config) (*SkipList, error) {
 		sorted:     cfg.SortedNodes,
 		budget:     normalizeBudget(cfg.RecoveryBudget),
 		blockWords: a.BlockWords(),
+		hints:      !cfg.DisableHintCache,
 	}
 
 	node := rootPA.Pool().HomeNode()
@@ -186,6 +201,7 @@ func Create(a *alloc.Allocator, cfg Config) (*SkipList, error) {
 	}
 	tail := s.node(tailPtr)
 	s.initNode(tail, []uint64{keyInf}, []uint64{Tombstone}, cfg.MaxHeight, ctx.Mem)
+	tail.persistAll(s, ctx.Mem)
 
 	headPtr, err := a.Alloc(ctx, riv.Null, 0)
 	if err != nil {
@@ -239,6 +255,7 @@ func Open(a *alloc.Allocator) (*SkipList, error) {
 		sorted:      r.Load(off+rootOffFlags, nil)&flagSorted != 0,
 		budget:      1,
 		blockWords:  a.BlockWords(),
+		hints:       true,
 		head:        riv.FromWord(r.Load(off+rootOffHead, nil)),
 		tail:        riv.FromWord(r.Load(off+rootOffTail, nil)),
 	}
@@ -286,8 +303,11 @@ func (s *SkipList) installRecovery() {
 	})
 }
 
-// initNode fills a freshly allocated block with node fields and persists
-// it. keys[i] beyond len(keys) are empty; values likewise tombstones.
+// initNode fills a freshly allocated block with node fields. keys[i]
+// beyond len(keys) are empty; values likewise tombstones. It does NOT
+// persist: callers flush the block — together with any tower prefill
+// stores that follow — in one coalesced batch with a single fence, and
+// must do so before publishing the node.
 func (s *SkipList) initNode(n nodeRef, keys, values []uint64, height int, nd *pmem.Acc) {
 	n.pool.Store(n.off+offSplitCount, 0, nd)
 	n.pool.Store(n.off+offSplitLock, 0, nd)
@@ -313,7 +333,6 @@ func (s *SkipList) initNode(n nodeRef, keys, values []uint64, height int, nd *pm
 		n.pool.Store(n.off+s.keyOff(i), k, nd)
 		n.pool.Store(n.off+s.valOff(i), v, nd)
 	}
-	n.persistAll(s, nd)
 }
 
 func normalizeBudget(b int) int {
@@ -327,13 +346,18 @@ func normalizeBudget(b int) int {
 // paper's k, §4.4.1) on this volatile handle. Negative = unlimited.
 func (s *SkipList) SetRecoveryBudget(k int) { s.budget = normalizeBudget(k) }
 
+// SetHintCache enables or disables hint-cache seeding on this volatile
+// handle. Like the recovery budget, the setting is not persisted. It must
+// be called before concurrent operations begin.
+func (s *SkipList) SetHintCache(enabled bool) { s.hints = enabled }
+
 // Head and Tail expose the sentinels for tests and invariant checkers.
 func (s *SkipList) Head() riv.Ptr { return s.head }
 func (s *SkipList) Tail() riv.Ptr { return s.tail }
 
 // Config returns the effective geometry.
 func (s *SkipList) Config() Config {
-	return Config{MaxHeight: s.maxHeight, KeysPerNode: s.keysPerNode, SortedNodes: s.sorted}
+	return Config{MaxHeight: s.maxHeight, KeysPerNode: s.keysPerNode, SortedNodes: s.sorted, DisableHintCache: !s.hints}
 }
 
 // RecoveryStats returns a snapshot of the repair counters.
@@ -353,24 +377,131 @@ type traverseResult struct {
 	levelFound int
 }
 
+// Hint-cache tuning. A hint maps a key prefix (key >> hintShift) to the
+// node that covered the last key traversed in that prefix, so nearby keys
+// skip the upper levels entirely.
+const (
+	// hintShift groups 2^hintShift adjacent keys per cache slot; with
+	// multi-key nodes, neighbours usually share a covering node anyway.
+	hintShift = 3
+	// hintHopBudget bounds how many advances a hint-seeded descent may
+	// make before concluding the hint is stale (the structure grew past
+	// it) and restarting cold. A fresh hint needs only a handful of hops.
+	hintHopBudget = 32
+)
+
+// hintSeed validates a cached predecessor hint for key against the live
+// node. A hint may be arbitrarily stale — the block could have been any
+// node, or (after compaction, which bumps hintGen and so wipes caches
+// before this runs) even freed — so every property the descent relies on
+// is re-checked: the block is a node of the current epoch whose immutable
+// first key is a lower bound for key, linked at the hinted level with a
+// non-null successor. Anything else falls back to the full descent.
+func (s *SkipList) hintSeed(ctx *exec.Ctx, key, curEpoch uint64) (nodeRef, int, bool) {
+	w, lvl8, ok := ctx.Hints.Get(key >> hintShift)
+	if !ok {
+		ctx.Hints.Missed++
+		return nodeRef{}, 0, false
+	}
+	pool, off, ok := s.space.TryResolve(riv.FromWord(w))
+	if !ok || off+s.blockWords > pool.Size() {
+		return nodeRef{}, 0, false
+	}
+	n := nodeRef{pool: pool, off: off, ptr: riv.FromWord(w)}
+	if pool.Load(off+offKind, ctx.Mem) != alloc.KindNode {
+		return nodeRef{}, 0, false
+	}
+	if n.epoch(ctx.Mem) != curEpoch {
+		// Pre-crash nodes must go through the normal claim/repair path;
+		// epoch mismatch also catches hints recorded against a previous
+		// incarnation of the store.
+		return nodeRef{}, 0, false
+	}
+	k0 := n.key0(s, ctx.Mem)
+	if k0 == keyEmpty || k0 == keyInf || k0 > key {
+		return nodeRef{}, 0, false
+	}
+	lvl := int(lvl8)
+	if lvl >= n.height(ctx.Mem) {
+		lvl = 0
+	}
+	if n.next(s, lvl, ctx.Mem).IsNull() {
+		// Unpublished (mid-initialization) reuse of the block: not safe
+		// to walk from.
+		return nodeRef{}, 0, false
+	}
+	return n, lvl, true
+}
+
+// hintRecord remembers the node covering key so the next traversal for a
+// nearby key can seed from it. The covering node's height decides the
+// seed level: level 1 when the tower reaches it, so the seeded descent
+// can still skip over bottom-level nodes in front of the target.
+func (s *SkipList) hintRecord(ctx *exec.Ctx, key uint64, cover riv.Ptr) {
+	lvl := uint8(0)
+	if s.node(cover).height(ctx.Mem) > 1 {
+		lvl = 1
+	}
+	ctx.Hints.Put(key>>hintShift, cover.Word(), lvl)
+}
+
 // traverse implements Function 7: descend the tower lists recording, per
 // level, the last node whose first key is <= key (preds) and its
 // successor (succs). preds[0] is the data node whose key range covers
 // key. Along the way stale-epoch nodes are claimed and repaired; any
 // repair restarts the traversal, with at most one deferrable (tower)
 // repair per call.
+//
+// When the hint cache is on, the descent starts from a validated
+// recently-seen predecessor instead of the head. Levels above the seed
+// are filled with head/tail exactly as the levels above topHint are:
+// only preds[0]/succs[0] must be exact (bottom-level CASes validate
+// them), while upper-level entries are prefill hints that
+// linkHigherLevels re-derives before every CAS. A seed that proves stale
+// mid-descent (null pointer under it, or more hops than a fresh hint
+// could need) abandons hinting and restarts from the head.
 func (s *SkipList) traverse(ctx *exec.Ctx, key uint64, preds, succs []riv.Ptr) traverseResult {
 	res := traverseResult{keyIndex: -1, levelFound: -1}
 	recoveriesDone := 0
 	// The current epoch only changes at a post-crash attach, never while
 	// operations run, so one read per traversal suffices.
 	curEpoch := s.a.Clock().Current()
+	useHint := s.hints
+	if useHint {
+		ctx.Hints.Validate(s, s.hintGen.Load())
+	}
 outer:
 	for {
 		pred := s.node(s.head)
 		startLevel := int(s.topHint.Load())
+		seeded := false
+		hops := 0
+		if useHint {
+			if n, lvl, ok := s.hintSeed(ctx, key, curEpoch); ok {
+				pred, startLevel, seeded = n, lvl, true
+				ctx.Hints.Seeded++
+				// The descent below only inspects nodes it advances INTO,
+				// so the seed — which may itself be the covering node —
+				// is accounted for here, mirroring the loop's order.
+				res.splitCount = pred.splitCount(ctx.Mem)
+				if pred.key0(s, ctx.Mem) == key {
+					res.keyIndex = 0
+					res.levelFound = startLevel
+				}
+			}
+		}
 		for level := startLevel; level >= 0; level-- {
-			cur := s.node(pred.next(s, level, ctx.Mem))
+			nxt := pred.next(s, level, ctx.Mem)
+			if seeded && nxt.IsNull() {
+				// The seed's block was recycled under us mid-descent:
+				// forget the hint and restart cold.
+				ctx.Hints.Drop(key >> hintShift)
+				ctx.Hints.Fallback++
+				useHint = false
+				res = traverseResult{keyIndex: -1, levelFound: -1}
+				continue outer
+			}
+			cur := s.node(nxt)
 			for {
 				if cur.epoch(ctx.Mem) != curEpoch {
 					if s.checkForRecovery(ctx, level, cur, &recoveriesDone) {
@@ -381,6 +512,17 @@ outer:
 				curSplit := cur.splitCount(ctx.Mem)
 				k0 := cur.key0(s, ctx.Mem)
 				if k0 <= key {
+					if seeded {
+						if hops++; hops > hintHopBudget {
+							// The structure grew far past the hint; a cold
+							// descent is cheaper than crawling level 0/1.
+							ctx.Hints.Drop(key >> hintShift)
+							ctx.Hints.Fallback++
+							useHint = false
+							res = traverseResult{keyIndex: -1, levelFound: -1}
+							continue outer
+						}
+					}
 					res.splitCount = curSplit
 					if k0 == key && res.levelFound < 0 {
 						res.keyIndex = 0
@@ -410,6 +552,9 @@ outer:
 			}
 		}
 		res.found = res.keyIndex >= 0
+		if s.hints && preds[0] != s.head {
+			s.hintRecord(ctx, key, preds[0])
+		}
 		return res
 	}
 }
@@ -574,8 +719,11 @@ func (s *SkipList) linkTraverse(ctx *exec.Ctx, key uint64, preds, succs []riv.Pt
 // it serves both fresh inserts and insert recovery.
 func (s *SkipList) linkHigherLevels(ctx *exec.Ctx, n nodeRef, from, height int) {
 	key := n.key0(s, ctx.Mem)
-	preds := make([]riv.Ptr, s.maxHeight)
-	succs := make([]riv.Ptr, s.maxHeight)
+	// A second tower pair from the free list: this can run re-entrantly
+	// under a traversal that still holds its own pair (insert recovery).
+	t := ctx.GetTowers(s.maxHeight)
+	defer ctx.PutTowers(t)
+	preds, succs := t.Preds, t.Succs
 	s.linkTraverse(ctx, key, preds, succs)
 	if h := int32(height - 1); h > s.topHint.Load() {
 		// Grow the hint first so concurrent traversals cannot miss the

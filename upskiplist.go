@@ -74,6 +74,12 @@ type Options struct {
 	// (the paper's k, §4.4.1); 0 = default 1, negative = unlimited
 	// eager repair.
 	RecoveryBudget int
+	// DisableHintCache turns off the volatile per-worker predecessor-hint
+	// cache (on by default) that seeds traversals near recently visited
+	// keys. The cache lives in DRAM on each worker, is discarded by
+	// Reopen/crash, and can only ever change performance, never results;
+	// the knob exists for ablation and debugging. Not persisted by Save.
+	DisableHintCache bool
 
 	// NUMANodes is the simulated socket count; Placement selects
 	// single-pool, striped, or one-pool-per-node layouts.
@@ -157,10 +163,11 @@ func (o Options) allocConfig() alloc.Config {
 
 func (o Options) skipConfig() skiplist.Config {
 	return skiplist.Config{
-		MaxHeight:      o.MaxHeight,
-		KeysPerNode:    o.KeysPerNode,
-		SortedNodes:    o.SortedNodes,
-		RecoveryBudget: o.RecoveryBudget,
+		MaxHeight:        o.MaxHeight,
+		KeysPerNode:      o.KeysPerNode,
+		SortedNodes:      o.SortedNodes,
+		RecoveryBudget:   o.RecoveryBudget,
+		DisableHintCache: o.DisableHintCache,
 	}
 }
 
@@ -281,6 +288,7 @@ func (s *Store) Reopen() (*Store, error) {
 		return nil, err
 	}
 	list.SetRecoveryBudget(s.opts.RecoveryBudget)
+	list.SetHintCache(!s.opts.DisableHintCache)
 	st.list = list
 	return st, nil
 }
