@@ -1,0 +1,91 @@
+package upskiplist
+
+import "upskiplist/internal/skiplist"
+
+// OpKind selects what one batched Op does.
+type OpKind uint8
+
+const (
+	// OpInsert adds or updates a key (upsert).
+	OpInsert OpKind = iota
+	// OpGet reads a key.
+	OpGet
+	// OpRemove tombstones a key.
+	OpRemove
+)
+
+// Op is one operation of a group-committed batch (see Worker.ApplyBatch).
+type Op struct {
+	Kind  OpKind
+	Key   uint64
+	Value uint64 // ignored for OpGet/OpRemove
+}
+
+// OpResult is the outcome of one batched Op, in submission order. For
+// OpInsert, Value/Found are the previous value and whether the key
+// existed; for OpGet, the read value and whether it was found; for
+// OpRemove, the removed value and whether the key was present.
+type OpResult struct {
+	Value uint64
+	Found bool
+	Err   error
+}
+
+// ApplyBatch applies ops as a group-committed batch and returns their
+// results in submission order. See ApplyBatchInto for semantics; this
+// variant allocates the result slice.
+func (w *Worker) ApplyBatch(ops []Op) []OpResult {
+	return w.ApplyBatchInto(ops, make([]OpResult, len(ops)))
+}
+
+// ApplyBatchInto is ApplyBatch writing results into res (which must have
+// len(ops) elements), for callers that reuse buffers across batches.
+//
+// Operations are grouped by owning shard and each shard's run is applied
+// under one traversal context in ascending key order, with per-operation
+// commit persists (value publication, key-slot claims) deferred and
+// drained by a single trailing flush-and-fence per shard — a batch of B
+// operations on one shard pays one fence rather than B. Operations on
+// the same key are applied in submission order, so results are identical
+// to applying the batch sequentially; results for different keys never
+// depend on each other.
+//
+// Durability is group-commit: no operation of the batch is guaranteed
+// durable until ApplyBatchInto returns. A crash mid-batch may lose any
+// subset of the batch's effects — the same exposure as a crash just
+// before a lone operation's commit fence, amortized over the batch.
+func (w *Worker) ApplyBatchInto(ops []Op, res []OpResult) []OpResult {
+	if len(res) != len(ops) {
+		panic("upskiplist: ApplyBatchInto result buffer length mismatch")
+	}
+	ns := len(w.s.shards)
+	if w.runs == nil {
+		w.runs = make([][]skiplist.BatchOp, ns)
+	}
+	for si := range w.runs {
+		w.runs[si] = w.runs[si][:0]
+	}
+	for i, op := range ops {
+		si := w.s.shardOf(op.Key)
+		kind := skiplist.BatchInsert
+		switch op.Kind {
+		case OpGet:
+			kind = skiplist.BatchGet
+		case OpRemove:
+			kind = skiplist.BatchRemove
+		}
+		w.runs[si] = append(w.runs[si], skiplist.BatchOp{
+			Kind: kind, Key: op.Key, Value: op.Value, Tag: i,
+		})
+	}
+	for si, run := range w.runs {
+		if len(run) == 0 {
+			continue
+		}
+		w.s.shards[si].list.ApplyBatch(w.ctxs[si], run)
+		for j := range run {
+			res[run[j].Tag] = OpResult{Value: run[j].Old, Found: run[j].Found, Err: run[j].Err}
+		}
+	}
+	return res
+}

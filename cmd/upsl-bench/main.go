@@ -17,6 +17,8 @@
 //	fig5.5    latency percentiles, UPSkipList vs BzTree
 //	fig5.6    latency percentiles, UPSkipList vs PMDK skip list
 //	table5.4  recovery time for all structures
+//	extE      workload E scan throughput vs keys per node
+//	shards    keyspace-sharding sweep + group-commit batches (BENCH_shards.json)
 //
 // Absolute numbers will differ from the paper (its substrate was a
 // 4-socket Optane machine; ours is a simulator) — the comparisons,
@@ -49,6 +51,8 @@ type benchConfig struct {
 	descLarge  int
 	descSmall  int
 	trials     int
+	shards     []int
+	benchJSON  string
 	cost       *pmem.CostModel
 }
 
@@ -65,6 +69,8 @@ func main() {
 		descLarge  = flag.Int("desc-large", 50000, "BzTree descriptor pool, large (paper: 500K)")
 		descSmall  = flag.Int("desc-small", 10000, "BzTree descriptor pool, small (paper: 100K)")
 		trials     = flag.Int("trials", 3, "recovery trials (paper: 3)")
+		shardsCSV  = flag.String("shards", "1,2,4,8", "shard counts for the sharding sweep")
+		benchJSON  = flag.String("bench-json", "BENCH_shards.json", "machine-readable output for the shards experiment")
 		noCost     = flag.Bool("no-cost", false, "disable the PMEM access-cost model")
 	)
 	flag.Parse()
@@ -79,6 +85,7 @@ func main() {
 		descLarge:  *descLarge,
 		descSmall:  *descSmall,
 		trials:     *trials,
+		benchJSON:  *benchJSON,
 	}
 	if !*noCost {
 		cfg.cost = pmem.DefaultCostModel()
@@ -89,6 +96,13 @@ func main() {
 			fatalf("bad -threads element %q", s)
 		}
 		cfg.threads = append(cfg.threads, n)
+	}
+	for _, s := range strings.Split(*shardsCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fatalf("bad -shards element %q", s)
+		}
+		cfg.shards = append(cfg.shards, n)
 	}
 
 	experiments := map[string]func(benchConfig){
@@ -101,8 +115,9 @@ func main() {
 		"fig5.6":   runFig56,
 		"table5.4": runTable54,
 		"extE":     runExtE,
+		"shards":   runShards,
 	}
-	order := []string{"table5.1", "fig5.1", "fig5.2", "fig5.3", "fig5.4", "fig5.5", "fig5.6", "table5.4", "extE"}
+	order := []string{"table5.1", "fig5.1", "fig5.2", "fig5.3", "fig5.4", "fig5.5", "fig5.6", "table5.4", "extE", "shards"}
 	if *exp == "all" {
 		for _, name := range order {
 			experiments[name](cfg)
@@ -450,4 +465,96 @@ func runExtE(c benchConfig) {
 	}
 	runOne("PMDK skip list", c.newLazy())
 	runOne("BzTree", c.newBzTree(c.descLarge))
+}
+
+// ---------------------------------------------------------------------
+// Extension — keyspace sharding sweep and group-commit batches.
+
+// upslShardOptions sizes a sharded store: each shard's single pool holds
+// roughly 1/shards of the data (plus slack), placed NUMA-locally by
+// shard index.
+func (c benchConfig) upslShardOptions(keysPerNode int, placement upskiplist.Placement, shards int) upskiplist.Options {
+	o := c.upslOptions(keysPerNode, placement)
+	o.Shards = shards
+	if shards > 1 {
+		blockWords := uint64(5+c.maxHeight+2*keysPerNode) + 8
+		nodes := (c.preload+uint64(c.ops)*8)/uint64(maxInt(keysPerNode/2, 1)) + 1024
+		words := nodes * blockWords * 3
+		o.PoolWords = words/uint64(shards) + (1 << 21)
+		o.MaxChunks = o.PoolWords/o.ChunkWords + 16
+	}
+	return o
+}
+
+func (c benchConfig) newShardedUPSL(shards int, label string) *harness.UPSL {
+	placement := upskiplist.PerNode
+	if c.numaNodes < 2 {
+		placement = upskiplist.SinglePool
+	}
+	u, err := harness.NewUPSL(c.upslShardOptions(c.keysNode, placement, shards), label)
+	if err != nil {
+		fatalf("creating sharded UPSkipList: %v", err)
+	}
+	return u
+}
+
+// runShards sweeps the shard count over YCSB A–E (plus a group-commit
+// batch comparison on workload A) and writes every data point to
+// -bench-json as well as stdout.
+func runShards(c benchConfig) {
+	header("Extension — keyspace sharding: shard sweep over YCSB A–E + group-commit batches")
+	th := c.latThreads
+	fmt.Printf("(threads=%d, %d simulated NUMA nodes, per-node shard placement; latencies per item)\n",
+		th, c.numaNodes)
+	var records []harness.BenchRecord
+
+	measure := func(exp string, w ycsb.Workload, shards, batch int) harness.BenchRecord {
+		label := fmt.Sprintf("UPSL-%dsh", shards)
+		idx := c.newShardedUPSL(shards, label)
+		if err := harness.Preload(idx, c.preload, 4); err != nil {
+			fatalf("preload: %v", err)
+		}
+		run := ycsb.NewRun(w, c.preload)
+		before := idx.PoolStats().Fences
+		res, err := harness.RunMeasured(idx, run, th, c.ops, batch)
+		if err != nil {
+			fatalf("%s: %v", label, err)
+		}
+		rec := harness.BenchRecord{
+			Experiment: exp, Index: label, Workload: w.Name,
+			Threads: th, Shards: shards, Batch: batch,
+			Ops: res.Ops, OpsPerSec: res.OpsPerSec,
+			P50Micros:   float64(res.Lat.Quantile(0.50)) / 1e3,
+			P99Micros:   float64(res.Lat.Quantile(0.99)) / 1e3,
+			FencesPerOp: harness.FencesPerOp(before, idx.PoolStats().Fences, res.Ops),
+		}
+		fmt.Println(rec)
+		records = append(records, rec)
+		return rec
+	}
+
+	workloads := append(append([]ycsb.Workload{}, ycsb.Workloads...), ycsb.WorkloadE)
+	for _, w := range workloads {
+		for _, ns := range c.shards {
+			measure("shard-sweep", w, ns, 1)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Group commit (workload A): ApplyBatch(64) vs one fence per op")
+	for _, ns := range []int{1, 4} {
+		single := measure("group-commit", ycsb.WorkloadA, ns, 1)
+		batched := measure("group-commit", ycsb.WorkloadA, ns, 64)
+		fmt.Printf("  shards=%d: fences/op %.3f -> %.3f (%.1fx fewer), throughput %.2fx\n",
+			ns, single.FencesPerOp, batched.FencesPerOp,
+			single.FencesPerOp/batched.FencesPerOp,
+			batched.OpsPerSec/single.OpsPerSec)
+	}
+
+	if c.benchJSON != "" {
+		if err := harness.WriteBenchJSON(c.benchJSON, records); err != nil {
+			fatalf("writing %s: %v", c.benchJSON, err)
+		}
+		fmt.Printf("\nwrote %d records to %s\n", len(records), c.benchJSON)
+	}
 }

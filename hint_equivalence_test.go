@@ -133,8 +133,8 @@ func TestHintEquivalenceAcrossCrashReopen(t *testing.T) {
 	// harshest reading of "hints must never survive a reopen": the caches
 	// still hold pre-crash pointers, and every result must still match
 	// the hint-free store exactly.
-	wa2 := &Worker{s: a2, ctx: wa.Ctx()}
-	wb2 := &Worker{s: b2, ctx: wb.Ctx()}
+	wa2 := &Worker{s: a2, ctxs: wa.ctxs}
+	wb2 := &Worker{s: b2, ctxs: wb.ctxs}
 	runMirrored(t, wa2, wb2, rand.New(rand.NewSource(4)), 12000, 300)
 	compareState(t, wa2, wb2)
 }

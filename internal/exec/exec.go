@@ -37,6 +37,19 @@ type Ctx struct {
 	// Batch is a reusable coalesced-persist batch for multi-line flushes
 	// (node initialization, split publishing).
 	Batch pmem.Batch
+	// Deferred switches per-operation commit persists (value publication
+	// and key-slot claims) into group-commit mode: instead of paying a
+	// flush+fence per operation, the touched lines accumulate in Group and
+	// the batch applier drains them with one trailing fence. Structural
+	// persists (node initialization, tower links, split publication) are
+	// never deferred — recovery depends on their ordering. Only batch
+	// appliers set this; it must be false again before the context runs
+	// ordinary operations.
+	Deferred bool
+	// Group collects the commit lines deferred while Deferred is set. It
+	// is separate from Batch because the structural paths flush Batch
+	// mid-operation, which would prematurely drain a shared group.
+	Group pmem.Batch
 	// towers is a free list of preds/succs scratch pairs. It is a list
 	// rather than a single buffer because recovery helpers re-enter the
 	// traversal path (traverse -> checkForInsertRecovery -> tower link)

@@ -39,6 +39,12 @@ type Scanner interface {
 	Scan(start uint64, n int) int
 }
 
+// BatchHandle is implemented by handles that can apply a slice of
+// operations as one group-committed batch (UPSkipList's ApplyBatch).
+type BatchHandle interface {
+	ApplyBatch(ops []ycsb.Op) error
+}
+
 // Index is a benchmarkable key-value structure.
 type Index interface {
 	Name() string
@@ -91,28 +97,61 @@ func (u *UPSL) PoolStats() pmem.StatsSnapshot {
 	return out
 }
 
-type upslHandle struct{ w *upskiplist.Worker }
+type upslHandle struct {
+	w *upskiplist.Worker
+	// batch/results are reusable buffers for ApplyBatch replays.
+	batch   []upskiplist.Op
+	results []upskiplist.OpResult
+}
 
 // NewHandle implements Index.
 func (u *UPSL) NewHandle(threadID int) Handle {
-	return upslHandle{w: u.store.NewWorker(threadID)}
+	return &upslHandle{w: u.store.NewWorker(threadID)}
 }
 
-func (h upslHandle) Insert(key, value uint64) error {
+func (h *upslHandle) Insert(key, value uint64) error {
 	_, _, err := h.w.Insert(key, value)
 	return err
 }
 
-func (h upslHandle) Read(key uint64) (uint64, bool) { return h.w.Get(key) }
+func (h *upslHandle) Read(key uint64) (uint64, bool) { return h.w.Get(key) }
 
 // Scan implements Scanner via the bottom-level range query.
-func (h upslHandle) Scan(start uint64, n int) int {
+func (h *upslHandle) Scan(start uint64, n int) int {
 	seen := 0
 	h.w.Scan(start, ^uint64(0)-1, func(k, v uint64) bool {
 		seen++
 		return seen < n
 	})
 	return seen
+}
+
+// ApplyBatch implements BatchHandle: reads map to OpGet, everything else
+// to the upsert, and the whole slice group-commits through
+// Worker.ApplyBatch (one trailing fence per touched shard). Scans are
+// not batchable and must be routed by the caller through Scanner.
+func (h *upslHandle) ApplyBatch(ops []ycsb.Op) error {
+	h.batch = h.batch[:0]
+	for _, op := range ops {
+		switch op.Type {
+		case ycsb.Read:
+			h.batch = append(h.batch, upskiplist.Op{Kind: upskiplist.OpGet, Key: op.Key})
+		default:
+			h.batch = append(h.batch, upskiplist.Op{
+				Kind: upskiplist.OpInsert, Key: op.Key, Value: op.Value&ValueMask | 1,
+			})
+		}
+	}
+	if cap(h.results) < len(h.batch) {
+		h.results = make([]upskiplist.OpResult, len(h.batch))
+	}
+	res := h.w.ApplyBatchInto(h.batch, h.results[:len(h.batch)])
+	for _, r := range res {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
 }
 
 // Recover implements Index: reattach the pools and bump the epoch —

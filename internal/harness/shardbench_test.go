@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"upskiplist"
+	"upskiplist/internal/ycsb"
+)
+
+func shardedOpts(shards int) upskiplist.Options {
+	o := upskiplist.DefaultOptions()
+	o.MaxHeight = 12
+	o.KeysPerNode = 16
+	o.Shards = shards
+	o.PoolWords = 1 << 21
+	o.ChunkWords = 1 << 13
+	o.MaxChunks = 512
+	return o
+}
+
+// TestShardedWorkloadEMergedScan runs the scan-heavy YCSB workload E
+// through the harness against a 4-shard store and an unsharded control:
+// scans must cross shard boundaries in strictly increasing key order,
+// and the final key count must agree between the two layouts (every
+// generated insert lands exactly once regardless of routing).
+func TestShardedWorkloadEMergedScan(t *testing.T) {
+	const preload = 4000
+	const threads = 4
+	const opsPerThread = 1500
+
+	counts := map[int]int{}
+	for _, shards := range []int{1, 4} {
+		idx, err := NewUPSL(shardedOpts(shards), "upsl-test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Preload(idx, preload, threads); err != nil {
+			t.Fatal(err)
+		}
+		run := ycsb.NewRun(ycsb.WorkloadE, preload)
+		if _, err := RunThroughput(idx, ycsb.WorkloadE, run, threads, opsPerThread); err != nil {
+			t.Fatal(err)
+		}
+
+		// Full scan over the finished store: strictly increasing keys —
+		// across shard boundaries for the sharded layout — and a count
+		// that matches what the generator handed out.
+		w := idx.Store().NewWorker(0)
+		prev := uint64(0)
+		n := 0
+		err = w.Scan(upskiplist.KeyMin, upskiplist.KeyMax, func(k, v uint64) bool {
+			if k <= prev {
+				t.Fatalf("shards=%d: scan out of order: key %d after %d", shards, k, prev)
+			}
+			prev = k
+			n++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(preload + run.InsertedKeys())
+		if n != want {
+			t.Fatalf("shards=%d: scan saw %d keys, want %d (preload %d + inserted %d)",
+				shards, n, want, preload, run.InsertedKeys())
+		}
+		counts[shards] = n
+		if err := w.CheckInvariants(); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+	}
+	// The generators consumed identical streams, so both layouts must
+	// have inserted the same number of keys.
+	if counts[1] != counts[4] {
+		t.Fatalf("key counts diverged: unsharded %d vs 4-shard %d", counts[1], counts[4])
+	}
+}
+
+// TestRunMeasuredBatched exercises the group-commit replay path end to
+// end and checks batching actually reduces fences per operation on a
+// workload with updates.
+func TestRunMeasuredBatched(t *testing.T) {
+	const preload = 2000
+	const threads = 2
+	const opsPerThread = 2000
+
+	fences := map[int]float64{}
+	for _, batch := range []int{1, 64} {
+		idx, err := NewUPSL(shardedOpts(4), "upsl-test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Preload(idx, preload, threads); err != nil {
+			t.Fatal(err)
+		}
+		run := ycsb.NewRun(ycsb.WorkloadA, preload)
+		before := idx.PoolStats().Fences
+		res, err := RunMeasured(idx, run, threads, opsPerThread, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ops != threads*opsPerThread {
+			t.Fatalf("batch=%d: ran %d ops, want %d", batch, res.Ops, threads*opsPerThread)
+		}
+		if res.Lat.Count() == 0 {
+			t.Fatalf("batch=%d: empty latency histogram", batch)
+		}
+		fences[batch] = FencesPerOp(before, idx.PoolStats().Fences, res.Ops)
+	}
+	// YCSB-A is half updates: singles pay ~0.5 fences/op, 64-op batches
+	// amortize to a small fraction of that.
+	if fences[64] >= fences[1]/4 {
+		t.Fatalf("batched replay saved too few fences: %.3f/op vs %.3f/op", fences[64], fences[1])
+	}
+}
+
+// TestWriteBenchJSON round-trips a record file.
+func TestWriteBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	recs := []BenchRecord{{
+		Experiment: "shard-sweep", Index: "UPSL-4sh", Workload: "A",
+		Threads: 8, Shards: 4, Batch: 1, Ops: 1000,
+		OpsPerSec: 123456.7, P50Micros: 1.5, P99Micros: 9.0, FencesPerOp: 0.5,
+	}}
+	if err := WriteBenchJSON(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"experiment": "shard-sweep"`, `"shards": 4`, `"ops_per_sec"`, `"p99_micros"`} {
+		if !contains(string(data), want) {
+			t.Fatalf("JSON missing %q:\n%s", want, data)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

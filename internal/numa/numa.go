@@ -47,3 +47,14 @@ func (t Topology) NodeOf(threadID int) int {
 	}
 	return threadID % t.Nodes
 }
+
+// ShardNode assigns a keyspace shard's pool to a node round-robin, the
+// per-node placement of the sharded store: shard i's pool lives whole on
+// node i mod Nodes, so shards spread evenly over the sockets and every
+// shard's traversals stay within one node's memory.
+func (t Topology) ShardNode(shard int) int {
+	if t.Nodes <= 1 {
+		return 0
+	}
+	return shard % t.Nodes
+}

@@ -1,0 +1,133 @@
+package skiplist
+
+import (
+	"math/rand"
+	"testing"
+
+	"upskiplist/internal/exec"
+)
+
+// TestApplyBatchMatchesSequential drives one list with batches and a
+// twin list with the same ops applied singly; per-op results and the
+// final state must match exactly (group commit changes only when
+// persistence fences happen, never what operations observe).
+func TestApplyBatchMatchesSequential(t *testing.T) {
+	cfg := Config{MaxHeight: 10, KeysPerNode: 8}
+	eb := newEnv(t, cfg)
+	es := newEnv(t, cfg)
+	ctxB := exec.NewCtx(0, 0)
+	ctxS := exec.NewCtx(0, 0)
+	rng := rand.New(rand.NewSource(7))
+
+	for round := 0; round < 100; round++ {
+		ops := make([]BatchOp, 32)
+		for i := range ops {
+			ops[i] = BatchOp{
+				Kind:  BatchKind(rng.Intn(3)),
+				Key:   uint64(rng.Intn(200)) + 1,
+				Value: uint64(rng.Intn(1 << 20)),
+				Tag:   i,
+			}
+		}
+		// Sequential twin runs in submission order — the batch sorts by
+		// key, but results may only depend on same-key subsequences, which
+		// the stable sort preserves.
+		want := make([]BatchOp, len(ops))
+		copy(want, ops)
+		for i := range want {
+			op := &want[i]
+			switch op.Kind {
+			case BatchGet:
+				op.Old, op.Found = es.sl.Get(ctxS, op.Key)
+			case BatchRemove:
+				op.Old, op.Found, op.Err = es.sl.Remove(ctxS, op.Key)
+			default:
+				op.Old, op.Found, op.Err = es.sl.Insert(ctxS, op.Key, op.Value)
+			}
+		}
+		eb.sl.ApplyBatch(ctxB, ops)
+		for i := range ops {
+			got := &ops[i]
+			exp := &want[got.Tag]
+			if got.Old != exp.Old || got.Found != exp.Found || (got.Err == nil) != (exp.Err == nil) {
+				t.Fatalf("round %d tag %d: batched (%d,%v,%v) vs sequential (%d,%v,%v)",
+					round, got.Tag, got.Old, got.Found, got.Err, exp.Old, exp.Found, exp.Err)
+			}
+		}
+	}
+
+	var sb, ss []uint64
+	eb.sl.Scan(ctxB, KeyMin, KeyMax, func(k, v uint64) bool { sb = append(sb, k, v); return true })
+	es.sl.Scan(ctxS, KeyMin, KeyMax, func(k, v uint64) bool { ss = append(ss, k, v); return true })
+	if len(sb) != len(ss) {
+		t.Fatalf("final scans differ in length: %d vs %d", len(sb), len(ss))
+	}
+	for i := range sb {
+		if sb[i] != ss[i] {
+			t.Fatalf("final scans diverge at %d: %d vs %d", i, sb[i], ss[i])
+		}
+	}
+	if err := eb.sl.CheckInvariants(ctxB); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApplyBatchLeavesCtxClean verifies a batch leaves no deferred state
+// behind: Deferred is off and the group is drained, so a following
+// single operation commits with its own immediate fence.
+func TestApplyBatchLeavesCtxClean(t *testing.T) {
+	e := newEnv(t, Config{MaxHeight: 8, KeysPerNode: 4})
+	ctx := exec.NewCtx(0, 0)
+	e.sl.ApplyBatch(ctx, []BatchOp{
+		{Kind: BatchInsert, Key: 1, Value: 10},
+		{Kind: BatchInsert, Key: 2, Value: 20},
+	})
+	if ctx.Deferred {
+		t.Fatal("Deferred still set after ApplyBatch")
+	}
+	before := e.pool.Stats().Snapshot().Fences
+	if _, _, err := e.sl.Insert(ctx, 1, 11); err != nil {
+		t.Fatal(err)
+	}
+	if after := e.pool.Stats().Snapshot().Fences; after == before {
+		t.Fatal("single op after a batch issued no fence — group still deferring")
+	}
+	if v, ok := e.sl.Get(ctx, 2); !ok || v != 20 {
+		t.Fatalf("Get(2) = (%d,%v), want (20,true)", v, ok)
+	}
+}
+
+// TestApplyBatchDurability crashes right after a batch returns: every
+// operation of the batch must have reached the persistence domain (the
+// trailing fence is the batch's durability point).
+func TestApplyBatchDurability(t *testing.T) {
+	e := newEnv(t, Config{MaxHeight: 10, KeysPerNode: 8})
+	ctx := exec.NewCtx(0, 0)
+	for k := uint64(1); k <= 100; k++ {
+		if _, _, err := e.sl.Insert(ctx, k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.pool.EnableTracking()
+	ops := make([]BatchOp, 0, 64)
+	for k := uint64(1); k <= 64; k++ {
+		ops = append(ops, BatchOp{Kind: BatchInsert, Key: k, Value: k + 1000})
+	}
+	e.sl.ApplyBatch(ctx, ops)
+	for i := range ops {
+		if ops[i].Err != nil || !ops[i].Found {
+			t.Fatalf("op %d: (%v,%v)", i, ops[i].Found, ops[i].Err)
+		}
+	}
+	e.pool.Crash()
+	e2 := e.reopen(t)
+	ctx2 := exec.NewCtx(0, 0)
+	for k := uint64(1); k <= 64; k++ {
+		if v, ok := e2.sl.Get(ctx2, k); !ok || v != k+1000 {
+			t.Fatalf("after crash: Get(%d) = (%d,%v), want (%d,true)", k, v, ok, k+1000)
+		}
+	}
+	if err := e2.sl.CheckInvariants(ctx2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package skiplist
+
+// Merged is a k-way merge cursor over independent per-list iterators,
+// presenting their union in ascending key order. It exists for the
+// keyspace-sharded store: each shard's bottom level is sorted, and
+// merging N sorted streams restores the global order for any disjoint
+// key partition (the modulo routing the store uses included).
+//
+// The sources are assumed to hold disjoint key sets, as shard routing
+// guarantees; if two sources do surface an equal key, both pairs are
+// emitted (lowest source index first) rather than deduplicated.
+//
+// With at most a handful of shards, a linear min-scan per step beats a
+// heap: the candidate keys live in N already-loaded iterator buffers.
+// Like the underlying iterators, a Merged must not be shared between
+// goroutines.
+type Merged struct {
+	its []*Iterator
+	cur int // source holding the smallest current key; -1 when exhausted
+}
+
+// NewMerged builds a merge cursor over the given iterators. The slice is
+// retained; the iterators must be unpositioned or about to be Seek'd via
+// the Merged (never advanced behind its back).
+func NewMerged(its []*Iterator) *Merged {
+	return &Merged{its: its, cur: -1}
+}
+
+// Seek positions every source at its first live key >= key and reports
+// whether any source has one.
+func (m *Merged) Seek(key uint64) bool {
+	for _, it := range m.its {
+		it.Seek(key)
+	}
+	return m.pick()
+}
+
+// Next advances past the current pair, reporting false at the end.
+func (m *Merged) Next() bool {
+	if m.cur < 0 {
+		return false
+	}
+	m.its[m.cur].Next()
+	return m.pick()
+}
+
+// pick selects the source with the smallest current key.
+func (m *Merged) pick() bool {
+	m.cur = -1
+	var best uint64
+	for i, it := range m.its {
+		if !it.Valid() {
+			continue
+		}
+		if k := it.Key(); m.cur < 0 || k < best {
+			m.cur, best = i, k
+		}
+	}
+	return m.cur >= 0
+}
+
+// Valid reports whether the cursor is on a pair.
+func (m *Merged) Valid() bool { return m.cur >= 0 && m.its[m.cur].Valid() }
+
+// Key returns the current key; only meaningful when Valid.
+func (m *Merged) Key() uint64 { return m.its[m.cur].Key() }
+
+// Value returns the current value; only meaningful when Valid.
+func (m *Merged) Value() uint64 { return m.its[m.cur].Value() }

@@ -1,0 +1,115 @@
+package skiplist
+
+import (
+	"math/rand"
+	"testing"
+
+	"upskiplist/internal/exec"
+)
+
+// TestMergedOverDisjointLists splits a random key set modulo 3 across
+// three independent lists and checks the merged cursor yields exactly
+// the sorted union, from any Seek position.
+func TestMergedOverDisjointLists(t *testing.T) {
+	cfg := Config{MaxHeight: 10, KeysPerNode: 8}
+	envs := []*env{newEnv(t, cfg), newEnv(t, cfg), newEnv(t, cfg)}
+	ctxs := []*exec.Ctx{exec.NewCtx(0, 0), exec.NewCtx(0, 0), exec.NewCtx(0, 0)}
+	rng := rand.New(rand.NewSource(5))
+
+	keys := map[uint64]uint64{}
+	for i := 0; i < 2000; i++ {
+		k := uint64(rng.Intn(5000)) + 1
+		v := uint64(rng.Intn(1 << 20))
+		keys[k] = v
+		si := int(k % 3)
+		if _, _, err := envs[si].sl.Insert(ctxs[si], k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remove a quarter of them again — tombstones must stay invisible
+	// through the merge.
+	for k := range keys {
+		if rng.Intn(4) == 0 {
+			si := int(k % 3)
+			if _, _, err := envs[si].sl.Remove(ctxs[si], k); err != nil {
+				t.Fatal(err)
+			}
+			delete(keys, k)
+		}
+	}
+
+	its := make([]*Iterator, len(envs))
+	for i, e := range envs {
+		its[i] = e.sl.NewIterator(ctxs[i])
+	}
+	m := NewMerged(its)
+
+	count, prev := 0, uint64(0)
+	for ok := m.Seek(KeyMin); ok; ok = m.Next() {
+		k, v := m.Key(), m.Value()
+		if k <= prev {
+			t.Fatalf("merge out of order: %d after %d", k, prev)
+		}
+		want, live := keys[k]
+		if !live {
+			t.Fatalf("merge surfaced dead/unknown key %d", k)
+		}
+		if v != want {
+			t.Fatalf("key %d: value %d, want %d", k, v, want)
+		}
+		prev = k
+		count++
+	}
+	if count != len(keys) {
+		t.Fatalf("merge visited %d keys, want %d", count, len(keys))
+	}
+
+	// Seek into the middle: first key >= 2500, regardless of source.
+	var want uint64
+	for k := range keys {
+		if k >= 2500 && (want == 0 || k < want) {
+			want = k
+		}
+	}
+	if want != 0 {
+		if !m.Seek(2500) || m.Key() != want {
+			t.Fatalf("Seek(2500) landed on %d (valid=%v), want %d", m.Key(), m.Valid(), want)
+		}
+	}
+
+	// Seek past everything.
+	if m.Seek(5001) {
+		t.Fatal("Seek past the largest key reported a pair")
+	}
+	if m.Valid() {
+		t.Fatal("exhausted merge still Valid")
+	}
+	if m.Next() {
+		t.Fatal("Next on exhausted merge reported a pair")
+	}
+}
+
+// TestMergedSingleSource degenerates to a plain iterator.
+func TestMergedSingleSource(t *testing.T) {
+	e := newEnv(t, Config{MaxHeight: 8, KeysPerNode: 4})
+	ctx := exec.NewCtx(0, 0)
+	for k := uint64(10); k <= 50; k += 10 {
+		if _, _, err := e.sl.Insert(ctx, k, k*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := NewMerged([]*Iterator{e.sl.NewIterator(ctx)})
+	got := []uint64{}
+	for ok := m.Seek(KeyMin); ok; ok = m.Next() {
+		got = append(got, m.Key())
+	}
+	want := []uint64{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

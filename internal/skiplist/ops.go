@@ -50,7 +50,8 @@ func (s *SkipList) upsert(ctx *exec.Ctx, key, value uint64) (uint64, bool, error
 			}
 			old := s.update(ctx, pred, res.keyIndex, value)
 			pred.readUnlock(ctx.Mem)
-			return old, old != Tombstone, nil
+			o, ex := normPrev(old)
+			return o, ex, nil
 		}
 		if preds[0] == s.head || s.keysPerNode == 1 {
 			// The covering node stores no keys (head sentinel), or nodes
@@ -81,9 +82,24 @@ func (s *SkipList) upsert(ctx *exec.Ctx, key, value uint64) (uint64, bool, error
 			}
 			continue
 		default:
-			return old, old != Tombstone, nil
+			o, ex := normPrev(old)
+			return o, ex, nil
 		}
 	}
+}
+
+// normPrev maps a raw prior slot value to the public (old, existed)
+// result. Empty and tombstoned slots both read as Tombstone internally;
+// reporting them as (0, false) keeps operation results independent of
+// which structural path ran — a fresh insert returns the same result
+// whether it created a node or claimed a slot in an existing one, which
+// layout-equivalence (hinted vs unhinted, sharded vs unsharded) relies
+// on.
+func normPrev(old uint64) (uint64, bool) {
+	if old == Tombstone {
+		return 0, false
+	}
+	return old, true
 }
 
 // update implements Function 14: CAS the value slot until the swap
@@ -95,11 +111,11 @@ func (s *SkipList) update(ctx *exec.Ctx, n nodeRef, keyIndex int, value uint64) 
 		if old == value {
 			// Idempotent write: still persist so the linearization point
 			// (persisted value, §4.5) exists.
-			n.persistValue(s, keyIndex, ctx.Mem)
+			s.persistValueOp(ctx, n, keyIndex)
 			return old
 		}
 		if n.casValue(s, keyIndex, old, value, ctx.Mem) {
-			n.persistValue(s, keyIndex, ctx.Mem)
+			s.persistValueOp(ctx, n, keyIndex)
 			return old
 		}
 	}
@@ -161,7 +177,7 @@ func (s *SkipList) insertIntoExistingNode(ctx *exec.Ctx, key, value uint64, pred
 				break // occupied by someone else; next slot
 			}
 			if pred.casKey(s, i, keyEmpty, key, ctx.Mem) {
-				pred.persistKey(s, i, ctx.Mem)
+				s.persistKeyOp(ctx, pred, i)
 				old := s.update(ctx, pred, i, value)
 				pred.readUnlock(ctx.Mem)
 				return stDone, old, nil
@@ -342,7 +358,8 @@ func (s *SkipList) Remove(ctx *exec.Ctx, key uint64) (uint64, bool, error) {
 		}
 		old := s.update(ctx, pred, res.keyIndex, Tombstone)
 		pred.readUnlock(ctx.Mem)
-		return old, old != Tombstone, nil
+		o, ex := normPrev(old)
+		return o, ex, nil
 	}
 }
 

@@ -1,0 +1,5 @@
+//go:build !race
+
+package upskiplist
+
+const raceEnabled = false

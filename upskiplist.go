@@ -10,6 +10,15 @@
 // is exactly what post-crash recovery amounts to (constant time in the
 // structure size).
 //
+// With Options.Shards > 1 the store splits the keyspace across that many
+// independent skip lists ("shards"), each with its own pool, allocator
+// and epoch clock. Shard pools are placed NUMA-locally under the PerNode
+// placement (shard i's pool lives whole on node i mod NUMANodes), point
+// operations route by key to the owning shard, and range scans merge the
+// per-shard bottom levels back into one ascending key stream. Sharding
+// is a volatile routing layer over unchanged per-shard engines: each
+// shard recovers exactly like a single-list store.
+//
 // Quick start:
 //
 //	st, _ := upskiplist.Create(upskiplist.DefaultOptions())
@@ -23,6 +32,14 @@
 //	... workload, then power failure ...
 //	st.SimulateCrash()          // unflushed cache lines are lost
 //	st2, _ := st.Reopen()       // epoch advances; repairs are deferred
+//
+// Group-committed batches (one trailing fence per shard per batch
+// instead of one fence per operation):
+//
+//	res := w.ApplyBatch([]upskiplist.Op{
+//		{Kind: upskiplist.OpInsert, Key: 7, Value: 70},
+//		{Kind: upskiplist.OpGet, Key: 7},
+//	})
 //
 // Keys must lie in [upskiplist.KeyMin, upskiplist.KeyMax]; values must
 // be below upskiplist.Tombstone.
@@ -81,6 +98,16 @@ type Options struct {
 	// the knob exists for ablation and debugging. Not persisted by Save.
 	DisableHintCache bool
 
+	// Shards splits the keyspace across this many independent skip lists
+	// (0 or 1 = today's single-list store). Routing is by key modulo the
+	// shard count, so dense keyspaces spread evenly; each shard has its
+	// own pool (sized PoolWords), allocator and epoch clock, and under
+	// PerNode placement shard i's pool is placed whole on NUMA node
+	// i mod NUMANodes. Sharding is volatile configuration the same way
+	// pool geometry is: a store must be reopened with the shard count it
+	// was created with (Save/Load records it).
+	Shards int
+
 	// NUMANodes is the simulated socket count; Placement selects
 	// single-pool, striped, or one-pool-per-node layouts.
 	NUMANodes int
@@ -124,6 +151,9 @@ func (o *Options) normalize() error {
 	}
 	if o.KeysPerNode == 0 {
 		o.KeysPerNode = 16
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
 	}
 	if o.NUMANodes <= 0 {
 		o.NUMANodes = 1
@@ -171,10 +201,14 @@ func (o Options) skipConfig() skiplist.Config {
 	}
 }
 
-// Store is a handle onto a persistent skip list and its pools.
-type Store struct {
-	opts  Options
-	topo  numa.Topology
+// engine is one complete single-list store: pools, RIV address space,
+// epoch clock, allocator and skip list. An unsharded Store holds exactly
+// one; a sharded Store holds Options.Shards of them, each owning a
+// disjoint slice of the keyspace. Engines share nothing — separate
+// address spaces, separate clocks, separate allocation logs — which is
+// what lets each one recover independently and exactly like the
+// single-list store of earlier revisions.
+type engine struct {
 	pools []*pmem.Pool
 	space *riv.Space
 	clock *epoch.Clock
@@ -182,10 +216,35 @@ type Store struct {
 	list  *skiplist.SkipList
 }
 
-// Create builds a fresh store.
-func Create(opts Options) (*Store, error) {
-	if err := opts.normalize(); err != nil {
-		return nil, err
+// Store is a handle onto a persistent skip list (or a keyspace-sharded
+// group of them) and its pools.
+type Store struct {
+	opts   Options
+	topo   numa.Topology
+	shards []*engine
+}
+
+// newShardPools builds the pool set for one shard. An unsharded store
+// keeps the original layouts (one pool per node under PerNode, one
+// striped pool, or one plain pool); a sharded store gives every shard a
+// single pool whose NUMA placement derives from the shard index.
+func newShardPools(opts Options, topo numa.Topology, shard int) ([]*pmem.Pool, error) {
+	if opts.Shards > 1 {
+		home, stripe := -1, 0
+		switch opts.Placement {
+		case PerNode:
+			home = topo.ShardNode(shard)
+		case Striped:
+			stripe = opts.NUMANodes
+		}
+		p, err := pmem.NewPool(pmem.Config{
+			ID: 0, Words: opts.PoolWords, HomeNode: home,
+			StripeNodes: stripe, Cost: opts.Cost,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []*pmem.Pool{p}, nil
 	}
 	var pools []*pmem.Pool
 	switch opts.Placement {
@@ -215,29 +274,46 @@ func Create(opts Options) (*Store, error) {
 		}
 		pools = append(pools, p)
 	}
+	return pools, nil
+}
+
+// Create builds a fresh store.
+func Create(opts Options) (*Store, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	st := &Store{opts: opts, topo: numa.Topology{Nodes: opts.NUMANodes}}
 	acfg := opts.allocConfig()
-	var pas []*alloc.PoolAllocator
-	for _, p := range pools {
-		pa, err := alloc.Format(p, acfg)
+	for si := 0; si < opts.Shards; si++ {
+		pools, err := newShardPools(opts, st.topo, si)
 		if err != nil {
-			return nil, fmt.Errorf("formatting pool %d: %w", p.ID(), err)
+			return nil, err
 		}
-		pas = append(pas, pa)
+		var pas []*alloc.PoolAllocator
+		for _, p := range pools {
+			pa, err := alloc.Format(p, acfg)
+			if err != nil {
+				return nil, fmt.Errorf("formatting shard %d pool %d: %w", si, p.ID(), err)
+			}
+			pas = append(pas, pa)
+		}
+		e, err := assembleEngine(opts, pools, pas, false)
+		if err != nil {
+			return nil, err
+		}
+		list, err := skiplist.Create(e.alloc, opts.skipConfig())
+		if err != nil {
+			return nil, err
+		}
+		e.list = list
+		st.shards = append(st.shards, e)
 	}
-	st, err := assemble(opts, pools, pas, false)
-	if err != nil {
-		return nil, err
-	}
-	list, err := skiplist.Create(st.alloc, opts.skipConfig())
-	if err != nil {
-		return nil, err
-	}
-	st.list = list
 	return st, nil
 }
 
-// assemble wires space/clock/allocator over formatted pools.
-func assemble(opts Options, pools []*pmem.Pool, pas []*alloc.PoolAllocator, afterRestart bool) (*Store, error) {
+// assembleEngine wires space/clock/allocator over one shard's formatted
+// pools.
+func assembleEngine(opts Options, pools []*pmem.Pool, pas []*alloc.PoolAllocator, afterRestart bool) (*engine, error) {
 	space := riv.NewSpace()
 	for _, p := range pools {
 		space.AddPool(p)
@@ -253,122 +329,199 @@ func assemble(opts Options, pools []*pmem.Pool, pas []*alloc.PoolAllocator, afte
 	}
 	a := alloc.New(space, clock)
 	for i, pa := range pas {
+		// Node-local allocation only applies to the unsharded PerNode
+		// layout, where one engine spans one pool per node. A sharded
+		// engine owns a single pool (already placed by shard index), so it
+		// is attached unplaced and serves workers from every node.
 		node := -1
-		if opts.Placement == PerNode {
+		if opts.Shards == 1 && opts.Placement == PerNode {
 			node = i
 		}
 		a.AttachPool(pa, node)
 	}
-	return &Store{
-		opts: opts, topo: numa.Topology{Nodes: opts.NUMANodes},
-		pools: pools, space: space, clock: clock, alloc: a,
-	}, nil
+	return &engine{pools: pools, space: space, clock: clock, alloc: a}, nil
 }
 
 // Reopen simulates a process restart (or post-crash recovery) over the
-// same pools: a brand-new handle is assembled, the failure-free epoch is
-// advanced, and the old handle must no longer be used. Per the paper,
-// this is all the recovery there is — repairs happen lazily during
-// subsequent operations.
+// same pools: a brand-new handle is assembled, each shard's failure-free
+// epoch is advanced, and the old handle must no longer be used. Per the
+// paper, this is all the recovery there is — repairs happen lazily
+// during subsequent operations.
 func (s *Store) Reopen() (*Store, error) {
-	var pas []*alloc.PoolAllocator
-	for _, p := range s.pools {
-		pa, err := alloc.Attach(p)
+	st := &Store{opts: s.opts, topo: s.topo}
+	for _, old := range s.shards {
+		var pas []*alloc.PoolAllocator
+		for _, p := range old.pools {
+			pa, err := alloc.Attach(p)
+			if err != nil {
+				return nil, err
+			}
+			pas = append(pas, pa)
+		}
+		e, err := assembleEngine(s.opts, old.pools, pas, true)
 		if err != nil {
 			return nil, err
 		}
-		pas = append(pas, pa)
+		list, err := skiplist.Open(e.alloc)
+		if err != nil {
+			return nil, err
+		}
+		list.SetRecoveryBudget(s.opts.RecoveryBudget)
+		list.SetHintCache(!s.opts.DisableHintCache)
+		e.list = list
+		st.shards = append(st.shards, e)
 	}
-	st, err := assemble(s.opts, s.pools, pas, true)
-	if err != nil {
-		return nil, err
-	}
-	list, err := skiplist.Open(st.alloc)
-	if err != nil {
-		return nil, err
-	}
-	list.SetRecoveryBudget(s.opts.RecoveryBudget)
-	list.SetHintCache(!s.opts.DisableHintCache)
-	st.list = list
 	return st, nil
 }
 
 // Options returns the store's configuration.
 func (s *Store) Options() Options { return s.opts }
 
-// Pools exposes the underlying pools (stats, crash control).
-func (s *Store) Pools() []*pmem.Pool { return s.pools }
+// Pools exposes the underlying pools of every shard, in shard order
+// (stats, crash control).
+func (s *Store) Pools() []*pmem.Pool {
+	if len(s.shards) == 1 {
+		return s.shards[0].pools
+	}
+	var out []*pmem.Pool
+	for _, e := range s.shards {
+		out = append(out, e.pools...)
+	}
+	return out
+}
 
-// Epoch returns the current failure-free epoch.
-func (s *Store) Epoch() uint64 { return s.clock.Current() }
+// Epoch returns the current failure-free epoch of shard 0. All shards
+// advance their clocks together at Reopen, so for stores that have only
+// been reopened whole this is every shard's epoch.
+func (s *Store) Epoch() uint64 { return s.shards[0].clock.Current() }
 
-// List exposes the internal skip list (tests, harness).
-func (s *Store) List() *skiplist.SkipList { return s.list }
+// List exposes the internal skip list (tests, harness). For a sharded
+// store this is shard 0's list; see ShardList for the others.
+func (s *Store) List() *skiplist.SkipList { return s.shards[0].list }
 
-// Allocator exposes the internal allocator (tests, harness).
-func (s *Store) Allocator() *alloc.Allocator { return s.alloc }
+// Allocator exposes the internal allocator (tests, harness); shard 0's
+// for a sharded store.
+func (s *Store) Allocator() *alloc.Allocator { return s.shards[0].alloc }
 
-// EnableCrashTracking switches every pool into crash-tracking mode. Must
-// be called quiesced.
+// NumShards returns the number of keyspace shards (1 for an unsharded
+// store).
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ShardList exposes shard i's skip list (tests, invariant checks).
+func (s *Store) ShardList(i int) *skiplist.SkipList { return s.shards[i].list }
+
+// ShardPools exposes shard i's pools.
+func (s *Store) ShardPools(i int) []*pmem.Pool { return s.shards[i].pools }
+
+// shardOf routes a key to its owning shard. Keys are interleaved modulo
+// the shard count rather than range-partitioned: YCSB-style dense
+// keyspaces (keys 1..N) then load every shard evenly, where contiguous
+// range splits of the full uint64 domain would send every dense key to
+// shard 0. Merged scans do not care — merging N sorted streams restores
+// ascending order for any disjoint partition. Out-of-range keys map to
+// shard 0, whose engine rejects them with the usual range errors.
+func (s *Store) shardOf(key uint64) int {
+	n := len(s.shards)
+	if n == 1 || key < KeyMin || key > KeyMax {
+		return 0
+	}
+	return int((key - KeyMin) % uint64(n))
+}
+
+// EnableCrashTracking switches every pool of every shard into
+// crash-tracking mode. Must be called quiesced.
 func (s *Store) EnableCrashTracking() {
-	for _, p := range s.pools {
-		p.EnableTracking()
+	for _, e := range s.shards {
+		for _, p := range e.pools {
+			p.EnableTracking()
+		}
 	}
 }
 
 // DisableCrashTracking leaves crash-tracking mode (all pending writes
 // count as persisted).
 func (s *Store) DisableCrashTracking() {
-	for _, p := range s.pools {
-		p.DisableTracking()
+	for _, e := range s.shards {
+		for _, p := range e.pools {
+			p.DisableTracking()
+		}
 	}
 }
 
-// SimulateCrash discards every unflushed cache line in every pool,
-// modelling a power failure. The store must be quiesced: all workers
-// abandoned or stopped. Returns the number of lines reverted.
+// SimulateCrash discards every unflushed cache line in every pool of
+// every shard, modelling a power failure of the whole machine. The store
+// must be quiesced: all workers abandoned or stopped. Returns the number
+// of lines reverted.
 func (s *Store) SimulateCrash() int {
 	n := 0
-	for _, p := range s.pools {
-		n += p.Crash()
+	for _, e := range s.shards {
+		for _, p := range e.pools {
+			n += p.Crash()
+		}
 	}
 	return n
+}
+
+// shardSalt decorrelates per-shard eviction draws in SimulateCrashPartial
+// while leaving shard 0 (and so every unsharded store) with exactly the
+// pre-sharding seed derivation.
+func shardSalt(shard int) uint64 {
+	return uint64(shard) * 0x9E3779B97F4A7C15
 }
 
 // SimulateCrashPartial is SimulateCrash with cache-eviction modelling:
 // each unflushed line independently survives (as if evicted to the
 // persistence domain just before the failure) with probability
-// evictProb. Returns (reverted, survived) line counts.
+// evictProb. Every shard crashes under its own derived seed, so the
+// surviving subsets differ per shard as they would across real devices.
+// Returns (reverted, survived) line counts.
 func (s *Store) SimulateCrashPartial(evictProb float64, seed uint64) (int, int) {
 	rev, sur := 0, 0
-	for _, p := range s.pools {
-		r, v := p.CrashPartial(evictProb, seed^uint64(p.ID()))
-		rev += r
-		sur += v
+	for si, e := range s.shards {
+		for _, p := range e.pools {
+			r, v := p.CrashPartial(evictProb, seed^shardSalt(si)^uint64(p.ID()))
+			rev += r
+			sur += v
+		}
 	}
 	return rev, sur
 }
 
 // SetInjector installs a crash injector on every pool (nil to remove).
 func (s *Store) SetInjector(inj pmem.Injector) {
-	for _, p := range s.pools {
-		p.SetInjector(inj)
+	for _, e := range s.shards {
+		for _, p := range e.pools {
+			p.SetInjector(inj)
+		}
 	}
 }
 
 // ReclaimOrphans runs the optional quiesced sweep for chunks orphaned by
-// a crash during chunk provisioning (see alloc.ReclaimOrphanChunks).
+// a crash during chunk provisioning, across every shard (see
+// alloc.ReclaimOrphanChunks).
 func (s *Store) ReclaimOrphans() int {
-	return s.alloc.ReclaimOrphanChunks(exec.NewCtx(0, 0))
+	n := 0
+	for _, e := range s.shards {
+		n += e.alloc.ReclaimOrphanChunks(exec.NewCtx(0, 0))
+	}
+	return n
 }
 
 // Compact reclaims every node whose keys are all tombstoned, returning
 // their blocks to the allocator — the maintenance pass the paper names
-// as the next step beyond tombstoning removals (§4.6, §7). The store
-// must be quiesced (no concurrent workers); an interrupted compaction is
-// completed automatically at the next Reopen.
+// as the next step beyond tombstoning removals (§4.6, §7). Every shard
+// is compacted; the store must be quiesced (no concurrent workers). An
+// interrupted compaction is completed automatically at the next Reopen.
 func (s *Store) Compact() (int, error) {
-	return s.list.Compact(exec.NewCtx(0, 0))
+	total := 0
+	for _, e := range s.shards {
+		n, err := e.list.Compact(exec.NewCtx(0, 0))
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // Worker is a per-thread handle. Workers are not safe for concurrent use
@@ -377,99 +530,257 @@ func (s *Store) Compact() (int, error) {
 // across a crash by the "same" logical thread (the paper's deferred
 // allocation recovery keys off thread identity).
 type Worker struct {
-	s   *Store
-	ctx *exec.Ctx
+	s *Store
+	// ctxs holds one execution context per shard. Keeping them separate
+	// (rather than routing every shard through one context) keeps each
+	// shard's traversal state worker-AND-shard-private: the hint cache
+	// only ever holds pointers into one shard's address space, the
+	// simulated line cache covers one shard's working set, and the
+	// deferred-persist group of a batch never straddles address spaces.
+	ctxs []*exec.Ctx
+	// its/merged are the reusable merged-scan cursor for sharded stores,
+	// built lazily on first Scan.
+	its    []*skiplist.Iterator
+	merged *skiplist.Merged
+	// runs are the reusable per-shard op buffers for ApplyBatch.
+	runs [][]skiplist.BatchOp
 }
 
 // NewWorker creates a worker pinned (round-robin) to a NUMA node.
 func (s *Store) NewWorker(threadID int) *Worker {
-	return &Worker{s: s, ctx: exec.NewCtx(threadID, s.topo.NodeOf(threadID))}
+	ctxs := make([]*exec.Ctx, len(s.shards))
+	for i := range ctxs {
+		ctxs[i] = exec.NewCtx(threadID, s.topo.NodeOf(threadID))
+	}
+	return &Worker{s: s, ctxs: ctxs}
 }
 
-// Ctx exposes the execution context (harness use).
-func (w *Worker) Ctx() *exec.Ctx { return w.ctx }
+// Ctx exposes the execution context (harness use); for a sharded store,
+// the context used against shard 0.
+func (w *Worker) Ctx() *exec.Ctx { return w.ctxs[0] }
+
+// at routes a key to (owning engine, this worker's context for it).
+func (w *Worker) at(key uint64) (*engine, *exec.Ctx) {
+	si := w.s.shardOf(key)
+	return w.s.shards[si], w.ctxs[si]
+}
 
 // Insert adds or updates a key, returning the previous value and whether
 // the key was present.
 func (w *Worker) Insert(key, value uint64) (old uint64, existed bool, err error) {
-	return w.s.list.Insert(w.ctx, key, value)
+	e, ctx := w.at(key)
+	return e.list.Insert(ctx, key, value)
 }
 
 // Get returns the value stored under key.
 func (w *Worker) Get(key uint64) (uint64, bool) {
-	return w.s.list.Get(w.ctx, key)
+	e, ctx := w.at(key)
+	return e.list.Get(ctx, key)
 }
 
 // Contains reports whether key is present.
 func (w *Worker) Contains(key uint64) bool {
-	return w.s.list.Contains(w.ctx, key)
+	e, ctx := w.at(key)
+	return e.list.Contains(ctx, key)
 }
 
 // Remove deletes key, returning the removed value and whether it was
 // present.
 func (w *Worker) Remove(key uint64) (uint64, bool, error) {
-	return w.s.list.Remove(w.ctx, key)
+	e, ctx := w.at(key)
+	return e.list.Remove(ctx, key)
 }
 
 // Scan visits all live pairs with keys in [lo, hi] in ascending order
-// until fn returns false.
+// until fn returns false. On a sharded store the per-shard bottom levels
+// are merged on the fly, so the callback still sees one globally
+// ascending key sequence.
 func (w *Worker) Scan(lo, hi uint64, fn func(key, value uint64) bool) error {
-	return w.s.list.Scan(w.ctx, lo, hi, fn)
+	if len(w.s.shards) == 1 {
+		return w.s.shards[0].list.Scan(w.ctxs[0], lo, hi, fn)
+	}
+	if lo < KeyMin {
+		lo = KeyMin
+	}
+	if hi > KeyMax {
+		hi = KeyMax
+	}
+	if lo > hi {
+		return nil
+	}
+	m := w.mergedCursor()
+	for ok := m.Seek(lo); ok && m.Key() <= hi; ok = m.Next() {
+		if !fn(m.Key(), m.Value()) {
+			return nil
+		}
+	}
+	return nil
 }
 
-// Count returns the number of live keys (quiesced walk).
-func (w *Worker) Count() int { return w.s.list.Count(w.ctx) }
+// mergedCursor returns the worker's reusable cross-shard merge cursor.
+func (w *Worker) mergedCursor() *skiplist.Merged {
+	if w.merged == nil {
+		w.its = make([]*skiplist.Iterator, len(w.s.shards))
+		for i, e := range w.s.shards {
+			w.its[i] = e.list.NewIterator(w.ctxs[i])
+		}
+		w.merged = skiplist.NewMerged(w.its)
+	}
+	return w.merged
+}
 
-// Iterator returns a forward cursor over live pairs in ascending key
-// order. Like the worker itself, it must not be shared between
-// goroutines.
-func (w *Worker) Iterator() *skiplist.Iterator { return w.s.list.NewIterator(w.ctx) }
+// Count returns the number of live keys across all shards (quiesced
+// walk).
+func (w *Worker) Count() int {
+	total := 0
+	for i, e := range w.s.shards {
+		total += e.list.Count(w.ctxs[i])
+	}
+	return total
+}
 
-// CheckInvariants validates structural invariants (quiesced).
-func (w *Worker) CheckInvariants() error { return w.s.list.CheckInvariants(w.ctx) }
+// Iterator is a forward cursor over live pairs in ascending key order:
+// Seek positions it on the first pair with key >= the argument, Next
+// advances, Key/Value read the current pair while Valid. Like the worker
+// that created it, an Iterator must not be shared between goroutines.
+type Iterator interface {
+	Seek(key uint64) bool
+	Next() bool
+	Valid() bool
+	Key() uint64
+	Value() uint64
+}
 
-// Save writes every pool's durable image into dir (one file per pool).
+// Iterator returns a fresh cursor over the whole store — a single-shard
+// list cursor, or a merge over every shard's bottom level, which yields
+// keys in globally ascending order across shard boundaries.
+func (w *Worker) Iterator() Iterator {
+	if len(w.s.shards) == 1 {
+		return w.s.shards[0].list.NewIterator(w.ctxs[0])
+	}
+	its := make([]*skiplist.Iterator, len(w.s.shards))
+	for i, e := range w.s.shards {
+		its[i] = e.list.NewIterator(w.ctxs[i])
+	}
+	return skiplist.NewMerged(its)
+}
+
+// CheckInvariants validates structural invariants of every shard
+// (quiesced), plus the routing invariant that every key lives in the
+// shard that owns it.
+func (w *Worker) CheckInvariants() error {
+	for i, e := range w.s.shards {
+		if err := e.list.CheckInvariants(w.ctxs[i]); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if len(w.s.shards) > 1 {
+			var stray error
+			e.list.Scan(w.ctxs[i], KeyMin, KeyMax, func(k, v uint64) bool {
+				if w.s.shardOf(k) != i {
+					stray = fmt.Errorf("shard %d holds key %d owned by shard %d", i, k, w.s.shardOf(k))
+					return false
+				}
+				return true
+			})
+			if stray != nil {
+				return stray
+			}
+		}
+	}
+	return nil
+}
+
+// Save writes every pool's durable image into dir (one file per pool,
+// shard-qualified names for sharded stores).
 func (s *Store) Save(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	for _, p := range s.pools {
-		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("pool%d.upsl", p.ID())))
-		if err != nil {
-			return err
-		}
-		if _, err := p.WriteTo(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
+	for si, e := range s.shards {
+		for _, p := range e.pools {
+			f, err := os.Create(filepath.Join(dir, poolFileName(len(s.shards), si, p.ID())))
+			if err != nil {
+				return err
+			}
+			if _, err := p.WriteTo(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
 		}
 	}
 	return saveMeta(dir, s.opts)
 }
 
+// poolFileName keeps the historical "pool%d.upsl" names for unsharded
+// stores (readable by and from older revisions) and qualifies by shard
+// otherwise.
+func poolFileName(shards, shard int, poolID uint16) string {
+	if shards == 1 {
+		return fmt.Sprintf("pool%d.upsl", poolID)
+	}
+	return fmt.Sprintf("s%d_pool%d.upsl", shard, poolID)
+}
+
 // Load re-creates a store from images written by Save; this is a restart
-// across processes, so the epoch advances.
+// across processes, so every shard's epoch advances.
 func Load(dir string) (*Store, error) {
 	opts, err := loadMeta(dir)
 	if err != nil {
 		return nil, err
 	}
+	st := &Store{opts: opts, topo: numa.Topology{Nodes: opts.NUMANodes}}
+	for si := 0; si < opts.Shards; si++ {
+		pools, err := loadShardPools(dir, opts, st.topo, si)
+		if err != nil {
+			return nil, err
+		}
+		var pas []*alloc.PoolAllocator
+		for _, p := range pools {
+			pa, err := alloc.Attach(p)
+			if err != nil {
+				return nil, err
+			}
+			pas = append(pas, pa)
+		}
+		e, err := assembleEngine(opts, pools, pas, true)
+		if err != nil {
+			return nil, err
+		}
+		list, err := skiplist.Open(e.alloc)
+		if err != nil {
+			return nil, err
+		}
+		list.SetRecoveryBudget(opts.RecoveryBudget)
+		list.SetHintCache(!opts.DisableHintCache)
+		e.list = list
+		st.shards = append(st.shards, e)
+	}
+	return st, nil
+}
+
+// loadShardPools reads one shard's pool images back with the same
+// placement newShardPools would assign.
+func loadShardPools(dir string, opts Options, topo numa.Topology, shard int) ([]*pmem.Pool, error) {
 	nPools := 1
-	if opts.Placement == PerNode {
+	if opts.Shards == 1 && opts.Placement == PerNode {
 		nPools = opts.NUMANodes
 	}
 	var pools []*pmem.Pool
 	for id := 0; id < nPools; id++ {
-		f, err := os.Open(filepath.Join(dir, fmt.Sprintf("pool%d.upsl", id)))
+		f, err := os.Open(filepath.Join(dir, poolFileName(opts.Shards, shard, uint16(id))))
 		if err != nil {
 			return nil, err
 		}
 		home, stripe := -1, 0
-		if opts.Placement == PerNode {
+		switch {
+		case opts.Shards > 1 && opts.Placement == PerNode:
+			home = topo.ShardNode(shard)
+		case opts.Placement == PerNode:
 			home = id
-		} else if opts.Placement == Striped {
+		case opts.Placement == Striped:
 			stripe = opts.NUMANodes
 		}
 		p, err := pmem.ReadPool(f, home, stripe, opts.Cost)
@@ -479,27 +790,12 @@ func Load(dir string) (*Store, error) {
 		}
 		pools = append(pools, p)
 	}
-	var pas []*alloc.PoolAllocator
-	for _, p := range pools {
-		pa, err := alloc.Attach(p)
-		if err != nil {
-			return nil, err
-		}
-		pas = append(pas, pa)
-	}
-	st, err := assemble(opts, pools, pas, true)
-	if err != nil {
-		return nil, err
-	}
-	list, err := skiplist.Open(st.alloc)
-	if err != nil {
-		return nil, err
-	}
-	st.list = list
-	return st, nil
+	return pools, nil
 }
 
-// saveMeta/loadMeta persist Options in a tiny sidecar file.
+// saveMeta/loadMeta persist Options in a tiny sidecar file. Unsharded
+// stores write the historical v1 line; sharded stores append the shard
+// count as a v2 field.
 func saveMeta(dir string, o Options) error {
 	f, err := os.Create(filepath.Join(dir, "meta.upsl"))
 	if err != nil {
@@ -510,9 +806,15 @@ func saveMeta(dir string, o Options) error {
 	if o.SortedNodes {
 		sorted = 1
 	}
-	_, err = fmt.Fprintf(f, "v1 %d %d %d %d %d %d %d %d %d %d\n",
+	if o.Shards == 1 {
+		_, err = fmt.Fprintf(f, "v1 %d %d %d %d %d %d %d %d %d %d\n",
+			o.MaxHeight, o.KeysPerNode, sorted, o.NUMANodes, int(o.Placement),
+			o.PoolWords, o.ChunkWords, o.MaxChunks, o.NumArenas, o.NumThreads)
+		return err
+	}
+	_, err = fmt.Fprintf(f, "v2 %d %d %d %d %d %d %d %d %d %d %d\n",
 		o.MaxHeight, o.KeysPerNode, sorted, o.NUMANodes, int(o.Placement),
-		o.PoolWords, o.ChunkWords, o.MaxChunks, o.NumArenas, o.NumThreads)
+		o.PoolWords, o.ChunkWords, o.MaxChunks, o.NumArenas, o.NumThreads, o.Shards)
 	return err
 }
 
@@ -530,7 +832,17 @@ func loadMeta(dir string) (Options, error) {
 	if err != nil && err != io.EOF {
 		return Options{}, err
 	}
-	if ver != "v1" {
+	switch ver {
+	case "v1":
+		o.Shards = 1
+	case "v2":
+		if _, err := fmt.Fscan(f, &o.Shards); err != nil {
+			return Options{}, fmt.Errorf("upskiplist: truncated v2 meta: %w", err)
+		}
+		if o.Shards < 1 {
+			return Options{}, fmt.Errorf("upskiplist: bad shard count %d in meta", o.Shards)
+		}
+	default:
 		return Options{}, fmt.Errorf("upskiplist: unknown meta version %q", ver)
 	}
 	o.SortedNodes = sorted == 1
