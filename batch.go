@@ -45,10 +45,16 @@ func (w *Worker) ApplyBatch(ops []Op) []OpResult {
 // under one traversal context in ascending key order, with per-operation
 // commit persists (value publication, key-slot claims) deferred and
 // drained by a single trailing flush-and-fence per shard — a batch of B
-// operations on one shard pays one fence rather than B. Operations on
-// the same key are applied in submission order, so results are identical
-// to applying the batch sequentially; results for different keys never
-// depend on each other.
+// operations on one shard pays one fence rather than B. An empty batch
+// is a complete no-op (no routing, no flush, no fence).
+//
+// Ordering contract: duplicate keys within one batch are applied
+// deterministically in submission order — last-writer-wins for the final
+// state, every operation observing exactly the effects of earlier
+// same-key operations in the batch (so results are identical to applying
+// the batch sequentially); results for different keys never depend on
+// each other. Same-key routing is stable because a key always maps to
+// one shard and each shard applies its run under a stable sort.
 //
 // Durability is group-commit: no operation of the batch is guaranteed
 // durable until ApplyBatchInto returns. A crash mid-batch may lose any
@@ -58,6 +64,10 @@ func (w *Worker) ApplyBatchInto(ops []Op, res []OpResult) []OpResult {
 	if len(res) != len(ops) {
 		panic("upskiplist: ApplyBatchInto result buffer length mismatch")
 	}
+	if len(ops) == 0 {
+		return res
+	}
+	w.ops += uint64(len(ops))
 	ns := len(w.s.shards)
 	if w.runs == nil {
 		w.runs = make([][]skiplist.BatchOp, ns)

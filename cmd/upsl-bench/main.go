@@ -19,6 +19,9 @@
 //	table5.4  recovery time for all structures
 //	extE      workload E scan throughput vs keys per node
 //	shards    keyspace-sharding sweep + group-commit batches (BENCH_shards.json)
+//	server    network service layer: pipelined TCP clients, depth sweep
+//	          (BENCH_server.json; excluded from "all" — drives loopback TCP;
+//	          -server-addr drives an external upsl-server instead)
 //
 // Absolute numbers will differ from the paper (its substrate was a
 // 4-socket Optane machine; ours is a simulator) — the comparisons,
@@ -53,6 +56,7 @@ type benchConfig struct {
 	trials     int
 	shards     []int
 	benchJSON  string
+	serverAddr string
 	cost       *pmem.CostModel
 }
 
@@ -70,10 +74,18 @@ func main() {
 		descSmall  = flag.Int("desc-small", 10000, "BzTree descriptor pool, small (paper: 100K)")
 		trials     = flag.Int("trials", 3, "recovery trials (paper: 3)")
 		shardsCSV  = flag.String("shards", "1,2,4,8", "shard counts for the sharding sweep")
-		benchJSON  = flag.String("bench-json", "BENCH_shards.json", "machine-readable output for the shards experiment")
+		benchJSON  = flag.String("bench-json", "", "machine-readable output path (default BENCH_shards.json / BENCH_server.json by experiment)")
+		serverAddr = flag.String("server-addr", "", "server experiment: drive an already running upsl-server at this address instead of an in-process one")
 		noCost     = flag.Bool("no-cost", false, "disable the PMEM access-cost model")
 	)
 	flag.Parse()
+	if *benchJSON == "" {
+		if *exp == "server" {
+			*benchJSON = "BENCH_server.json"
+		} else {
+			*benchJSON = "BENCH_shards.json"
+		}
+	}
 
 	cfg := benchConfig{
 		preload:    *preload,
@@ -86,6 +98,7 @@ func main() {
 		descSmall:  *descSmall,
 		trials:     *trials,
 		benchJSON:  *benchJSON,
+		serverAddr: *serverAddr,
 	}
 	if !*noCost {
 		cfg.cost = pmem.DefaultCostModel()
@@ -116,7 +129,10 @@ func main() {
 		"table5.4": runTable54,
 		"extE":     runExtE,
 		"shards":   runShards,
+		"server":   runServerExp,
 	}
+	// "server" is deliberately not in the "all" order: it opens loopback
+	// TCP sockets, which the pure in-process reproduction runs avoid.
 	order := []string{"table5.1", "fig5.1", "fig5.2", "fig5.3", "fig5.4", "fig5.5", "fig5.6", "table5.4", "extE", "shards"}
 	if *exp == "all" {
 		for _, name := range order {

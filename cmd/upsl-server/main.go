@@ -1,0 +1,121 @@
+// Command upsl-server serves an upskiplist store over TCP with the wire
+// protocol (internal/wire): pipelined GET/PUT/DEL/SCAN/BATCH requests,
+// group-committed through per-shard batchers (internal/server).
+//
+// Usage:
+//
+//	upsl-server -addr 127.0.0.1:7845 -dir /var/lib/upsl -shards 4
+//
+// If -dir holds a previously saved store it is recovered via Load
+// (epoch advance, lazy repairs); otherwise a fresh store is created
+// and, on graceful shutdown (SIGINT/SIGTERM), durably saved there.
+// With no -dir the store is purely in-memory and nothing persists
+// across runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"upskiplist"
+	"upskiplist/internal/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:7845", "listen address")
+		dir           = flag.String("dir", "", "store directory: Load on start if present, Save on graceful shutdown")
+		shards        = flag.Int("shards", 4, "keyspace shards for a newly created store")
+		poolMB        = flag.Int("pool-mb", 64, "per-shard pool size in MiB for a newly created store")
+		maxConns      = flag.Int("max-conns", 64, "connection limit (also bounded by the store's thread budget)")
+		pipeline      = flag.Int("pipeline", 64, "per-connection pipeline depth limit")
+		batchMax      = flag.Int("batch-max", 64, "max ops per batcher group commit")
+		batchDelay    = flag.Duration("batch-delay", 0, "max wait for a batcher drain to fill (0 = greedy)")
+		statsInterval = flag.Duration("stats-interval", 10*time.Second, "periodic stats log interval (0 disables)")
+	)
+	flag.Parse()
+
+	st, created, err := openStore(*dir, *shards, *poolMB)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *dir != "" {
+		if created {
+			logf("created fresh store (shards=%d) — will save to %s on shutdown", st.NumShards(), *dir)
+		} else {
+			logf("recovered store from %s (shards=%d, epoch=%d)", *dir, st.NumShards(), st.Epoch())
+		}
+	}
+
+	s, err := server.New(server.Config{
+		Store:         st,
+		MaxConns:      *maxConns,
+		MaxPipeline:   *pipeline,
+		MaxBatch:      *batchMax,
+		MaxDelay:      *batchDelay,
+		Dir:           *dir,
+		StatsInterval: *statsInterval,
+		Logf:          logf,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	s.Serve(ln)
+	logf("serving on %s (shards=%d, max-conns=%d, pipeline=%d, batch-max=%d)",
+		ln.Addr(), st.NumShards(), *maxConns, *pipeline, *batchMax)
+
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigC
+	logf("received %v: draining and shutting down", sig)
+	if err := s.Shutdown(); err != nil {
+		fatalf("shutdown: %v", err)
+	}
+	if *dir != "" {
+		logf("store saved to %s", *dir)
+	}
+	logf("bye")
+}
+
+// openStore loads dir if it holds a saved store, otherwise creates a
+// fresh one sized by the flags.
+func openStore(dir string, shards, poolMB int) (*upskiplist.Store, bool, error) {
+	if dir != "" {
+		if _, err := os.Stat(filepath.Join(dir, "meta.upsl")); err == nil {
+			st, err := upskiplist.Load(dir)
+			if err != nil {
+				return nil, false, fmt.Errorf("loading store from %s: %w", dir, err)
+			}
+			return st, false, nil
+		}
+	}
+	o := upskiplist.DefaultOptions()
+	o.Shards = shards
+	o.PoolWords = uint64(poolMB) << 17 // MiB -> 8-byte words
+	o.ChunkWords = 1 << 14
+	o.MaxChunks = o.PoolWords/o.ChunkWords + 16
+	st, err := upskiplist.Create(o)
+	if err != nil {
+		return nil, false, fmt.Errorf("creating store: %w", err)
+	}
+	return st, true, nil
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, time.Now().Format("15:04:05.000")+" "+format+"\n", args...)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "upsl-server: "+format+"\n", args...)
+	os.Exit(1)
+}

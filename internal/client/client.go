@@ -1,0 +1,265 @@
+// Package client is the Go client for upsl-server's wire protocol.
+//
+// A Client owns one TCP connection and is safe for concurrent use: many
+// goroutines may issue requests, and the client pipelines them — every
+// request goes out immediately with a unique ID, and a reader goroutine
+// matches responses (which may arrive in any order) back to their
+// callers. The synchronous helpers (Get, Put, ...) block their caller
+// but not the connection; Go issues a request asynchronously for
+// callers that manage their own pipeline depth.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"upskiplist/internal/wire"
+)
+
+// ErrClosed is returned for calls issued after Close, and is the
+// completion error of calls in flight when the connection dies without
+// a more specific cause.
+var ErrClosed = errors.New("client: connection closed")
+
+// Call is one in-flight request. When the response (or a connection
+// error) arrives, the call is sent on Done.
+type Call struct {
+	Req  wire.Request  // as issued
+	Resp wire.Response // valid when Err == nil
+	Err  error         // transport error; Resp.Err() holds protocol errors
+	Done chan *Call
+}
+
+// Client is a pipelined connection to an upsl-server.
+type Client struct {
+	nc     net.Conn
+	outbox chan []byte
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]*Call
+	err     error // sticky close/transport cause
+	closed  bool
+
+	quit       chan struct{} // closed by fail; stops the writer, unblocks senders
+	writerDone chan struct{}
+	readerDone chan struct{}
+}
+
+// Dial connects to an upsl-server at addr.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection. The client owns nc and
+// closes it on Close or transport error.
+func NewClient(nc net.Conn) *Client {
+	c := &Client{
+		nc:         nc,
+		outbox:     make(chan []byte, 256),
+		pending:    make(map[uint64]*Call),
+		quit:       make(chan struct{}),
+		writerDone: make(chan struct{}),
+		readerDone: make(chan struct{}),
+	}
+	go c.writeLoop()
+	go c.readLoop()
+	return c
+}
+
+// Go issues req asynchronously. The returned Call is delivered on done
+// (buffered, or nil to allocate one of capacity 1) when the response or
+// a connection error arrives. req is copied; the caller may reuse it.
+func (c *Client) Go(req *wire.Request, done chan *Call) *Call {
+	if done == nil {
+		done = make(chan *Call, 1)
+	}
+	call := &Call{Req: *req, Done: done}
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		call.Err = err
+		call.done()
+		return call
+	}
+	c.nextID++
+	call.Req.ID = c.nextID
+	payload, err := wire.AppendRequest(make([]byte, 0, 32), &call.Req)
+	if err != nil {
+		c.mu.Unlock()
+		call.Err = err
+		call.done()
+		return call
+	}
+	c.pending[call.Req.ID] = call
+	c.mu.Unlock()
+	select {
+	case c.outbox <- payload:
+	case <-c.quit:
+		// fail owns completion: the call was registered in pending
+		// before fail took the map, so fail delivers the error.
+	}
+	return call
+}
+
+// done delivers the completed call. Done channels must have capacity
+// for every call issued against them, or completion blocks the
+// connection's reader.
+func (call *Call) done() { call.Done <- call }
+
+// call issues req and waits for its response.
+func (c *Client) call(req *wire.Request) (*wire.Response, error) {
+	cl := <-c.Go(req, nil).Done
+	if cl.Err != nil {
+		return nil, cl.Err
+	}
+	if err := cl.Resp.Err(); err != nil {
+		return nil, err
+	}
+	return &cl.Resp, nil
+}
+
+// Get reads key, reporting its value and whether it exists.
+func (c *Client) Get(key uint64) (uint64, bool, error) {
+	r, err := c.call(&wire.Request{Op: wire.OpGet, Key: key})
+	if err != nil {
+		return 0, false, err
+	}
+	return r.Value, r.Found, nil
+}
+
+// Put upserts key=val, reporting the previous value and whether the key
+// existed.
+func (c *Client) Put(key, val uint64) (uint64, bool, error) {
+	r, err := c.call(&wire.Request{Op: wire.OpPut, Key: key, Val: val})
+	if err != nil {
+		return 0, false, err
+	}
+	return r.Value, r.Found, nil
+}
+
+// Del removes key, reporting the removed value and whether the key was
+// present.
+func (c *Client) Del(key uint64) (uint64, bool, error) {
+	r, err := c.call(&wire.Request{Op: wire.OpDel, Key: key})
+	if err != nil {
+		return 0, false, err
+	}
+	return r.Value, r.Found, nil
+}
+
+// Scan returns up to limit pairs with keys in [lo, hi] (inclusive, like
+// the engine's Scan), ascending.
+// limit <= 0 requests the server maximum (wire.MaxScanLimit).
+func (c *Client) Scan(lo, hi uint64, limit int) ([]wire.Pair, error) {
+	if limit < 0 || limit > wire.MaxScanLimit {
+		limit = wire.MaxScanLimit
+	}
+	r, err := c.call(&wire.Request{Op: wire.OpScan, Lo: lo, Hi: hi, Limit: uint32(limit)})
+	if err != nil {
+		return nil, err
+	}
+	return append([]wire.Pair(nil), r.Pairs...), nil
+}
+
+// Batch applies ops as one server-side group commit and returns per-op
+// results in submission order. Duplicate keys follow the engine's
+// contract: applied in submission order, last-writer-wins.
+func (c *Client) Batch(ops []wire.BatchOp) ([]wire.OpResult, error) {
+	r, err := c.call(&wire.Request{Op: wire.OpBatch, Batch: ops})
+	if err != nil {
+		return nil, err
+	}
+	return append([]wire.OpResult(nil), r.Results...), nil
+}
+
+// Close shuts the connection down and fails all in-flight calls with
+// ErrClosed. Safe to call more than once.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	<-c.writerDone
+	<-c.readerDone
+	return nil
+}
+
+// fail marks the client closed with cause, closes the socket and
+// completes every pending call with the cause.
+func (c *Client) fail(cause error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = cause
+	calls := c.pending
+	c.pending = nil
+	close(c.quit)
+	c.mu.Unlock()
+	c.nc.Close()
+	for _, call := range calls {
+		call.Err = cause
+		call.done()
+	}
+}
+
+func (c *Client) writeLoop() {
+	defer close(c.writerDone)
+	bw := newBufWriter(c.nc)
+	for {
+		select {
+		case payload := <-c.outbox:
+			err := wire.WriteFrame(bw, payload)
+			if err == nil && len(c.outbox) == 0 {
+				err = bw.Flush()
+			}
+			if err != nil {
+				c.fail(fmt.Errorf("client: write: %w", err))
+				return
+			}
+		case <-c.quit:
+			return
+		}
+	}
+}
+
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	br := newBufReader(c.nc)
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrame(br, buf)
+		if err != nil {
+			c.fail(fmt.Errorf("client: read: %w", err))
+			return
+		}
+		buf = payload[:0]
+		var resp wire.Response
+		if err := wire.DecodeResponse(payload, &resp); err != nil {
+			c.fail(fmt.Errorf("client: decode: %w", err))
+			return
+		}
+		c.mu.Lock()
+		call := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if call == nil {
+			// Request ID 0 is a connection-level rejection (busy /
+			// shutdown) sent before any request was read.
+			if resp.ID == 0 && resp.Status != wire.StatusOK {
+				c.fail(resp.Err())
+				return
+			}
+			continue // response to an abandoned call
+		}
+		call.Resp = resp
+		call.done()
+	}
+}

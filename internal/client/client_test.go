@@ -1,0 +1,167 @@
+package client
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"upskiplist"
+	"upskiplist/internal/server"
+	"upskiplist/internal/wire"
+)
+
+// startServer brings up a loopback server over a small fresh store.
+func startServer(t *testing.T) string {
+	t.Helper()
+	o := upskiplist.DefaultOptions()
+	o.Shards = 2
+	o.PoolWords = 1 << 19
+	o.ChunkWords = 1 << 12
+	o.MaxChunks = 256
+	st, err := upskiplist.Create(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{Store: st, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Serve(ln)
+	t.Cleanup(func() { s.Shutdown() })
+	return ln.Addr().String()
+}
+
+func TestClientCloseFailsPending(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Put(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, _, err := c.Get(1); err != ErrClosed {
+		t.Fatalf("Get after Close = %v, want ErrClosed", err)
+	}
+	// Close again is a no-op.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientSharedDoneChannel(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// One done channel collecting a whole window of pipelined requests,
+	// completions in arbitrary order matched by ID.
+	const n = 100
+	done := make(chan *Call, n)
+	for i := 1; i <= n; i++ {
+		c.Go(&wire.Request{Op: wire.OpPut, Key: uint64(i), Val: uint64(i) * 3}, done)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		call := <-done
+		if call.Err != nil {
+			t.Fatal(call.Err)
+		}
+		if err := call.Resp.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if call.Resp.ID != call.Req.ID {
+			t.Fatalf("response ID %d for request ID %d", call.Resp.ID, call.Req.ID)
+		}
+		if seen[call.Req.ID] {
+			t.Fatalf("request %d completed twice", call.Req.ID)
+		}
+		seen[call.Req.ID] = true
+	}
+	for i := 1; i <= n; i++ {
+		v, found, err := c.Get(uint64(i))
+		if err != nil || !found || v != uint64(i)*3 {
+			t.Fatalf("Get(%d) = (%d, %v, %v), want (%d, true, nil)", i, v, found, err, i*3)
+		}
+	}
+}
+
+func TestClientServerShutdownFailsCleanly(t *testing.T) {
+	o := upskiplist.DefaultOptions()
+	o.PoolWords = 1 << 19
+	o.ChunkWords = 1 << 12
+	o.MaxChunks = 256
+	st, err := upskiplist.Create(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{Store: st, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Serve(ln)
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Put(5, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	// The connection is gone; calls fail with a transport error rather
+	// than hanging.
+	if _, _, err := c.Get(5); err == nil {
+		t.Fatal("Get succeeded after server shutdown")
+	}
+}
+
+func TestLoadgenClosedLoop(t *testing.T) {
+	addr := startServer(t)
+	clients := make([]*Client, 2)
+	for i := range clients {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	const total = 1000
+	var completions atomic.Int64
+	res := Run(LoadConfig{
+		Clients: clients,
+		Depth:   8,
+		Total:   total,
+		Next: func(conn, i int) Op {
+			k := uint64(1 + conn*total + i)
+			return Op{Kind: wire.OpPut, Key: k, Val: k + 7}
+		},
+		OnResult: func(conn int, call *Call) { completions.Add(1) },
+	})
+	if res.Ops != total || res.Errs != 0 {
+		t.Fatalf("Run = %d ok / %d errs, want %d / 0", res.Ops, res.Errs, total)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("implausible latencies: p50=%v p99=%v", res.P50, res.P99)
+	}
+	if res.OpsPerSec() <= 0 {
+		t.Fatalf("ops/sec = %f", res.OpsPerSec())
+	}
+	if completions.Load() != total {
+		t.Fatalf("OnResult saw %d completions, want %d", completions.Load(), total)
+	}
+}

@@ -1,0 +1,149 @@
+package client
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"time"
+
+	"upskiplist/internal/wire"
+)
+
+func newBufReader(r io.Reader) *bufio.Reader { return bufio.NewReaderSize(r, 64<<10) }
+
+func newBufWriter(w io.Writer) *bufio.Writer { return bufio.NewWriterSize(w, 64<<10) }
+
+// Op is one generated operation of a load-generator stream.
+type Op struct {
+	Kind wire.Opcode // OpGet, OpPut or OpDel
+	Key  uint64
+	Val  uint64
+}
+
+// LoadConfig drives Run: a closed-loop workload over a set of pipelined
+// connections.
+type LoadConfig struct {
+	// Clients are the connections to drive, one driver goroutine each.
+	Clients []*Client
+	// Depth is the pipeline depth per connection: how many requests a
+	// driver keeps outstanding (1 = strict request/response).
+	Depth int
+	// Total is the op count across all connections, split evenly.
+	Total int
+	// Next produces the i'th operation of connection conn's stream. It
+	// is called from that connection's driver goroutine only.
+	Next func(conn, i int) Op
+	// OnResult, when non-nil, observes every completion from the
+	// connection's driver goroutine, in completion order. Transport
+	// errors arrive as call.Err; protocol errors as call.Resp.Err().
+	OnResult func(conn int, call *Call)
+}
+
+// LoadResult summarizes a Run.
+type LoadResult struct {
+	Ops      int           // operations completed OK
+	Errs     int           // operations completed with an error
+	Elapsed  time.Duration // wall clock of the whole run
+	P50, P99 time.Duration // per-op latency (issue to completion)
+}
+
+// OpsPerSec is the completed-OK throughput of the run.
+func (r LoadResult) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// Run drives cfg.Total operations closed-loop: each connection keeps
+// cfg.Depth requests in flight and issues the next as each completes.
+// It returns when every stream is drained. A connection whose transport
+// dies stops early (its remaining ops count as errors).
+func Run(cfg LoadConfig) LoadResult {
+	nconn := len(cfg.Clients)
+	if nconn == 0 || cfg.Total <= 0 {
+		return LoadResult{}
+	}
+	depth := cfg.Depth
+	if depth < 1 {
+		depth = 1
+	}
+	type connResult struct {
+		ok, errs  int
+		latencies []time.Duration
+	}
+	results := make([]connResult, nconn)
+	done := make(chan int, nconn)
+
+	per := cfg.Total / nconn
+	extra := cfg.Total % nconn
+	start := time.Now()
+	for ci := range cfg.Clients {
+		total := per
+		if ci < extra {
+			total++
+		}
+		go func(ci, total int) {
+			defer func() { done <- ci }()
+			r := &results[ci]
+			r.latencies = make([]time.Duration, 0, total)
+			c := cfg.Clients[ci]
+			ch := make(chan *Call, depth)
+			issued, completed := 0, 0
+			starts := make(map[*Call]time.Time, depth)
+			issue := func() {
+				op := cfg.Next(ci, issued)
+				req := wire.Request{Op: op.Kind, Key: op.Key, Val: op.Val}
+				call := c.Go(&req, ch)
+				starts[call] = time.Now()
+				issued++
+			}
+			for issued < total && issued < depth {
+				issue()
+			}
+			for completed < issued {
+				call := <-ch
+				completed++
+				if t0, ok := starts[call]; ok {
+					r.latencies = append(r.latencies, time.Since(t0))
+					delete(starts, call)
+				}
+				failed := call.Err != nil || call.Resp.Err() != nil
+				if failed {
+					r.errs++
+				} else {
+					r.ok++
+				}
+				if cfg.OnResult != nil {
+					cfg.OnResult(ci, call)
+				}
+				if call.Err != nil {
+					// Transport dead: stop issuing; in-flight calls
+					// still complete (with errors) via fail.
+					total = issued
+					continue
+				}
+				if issued < total {
+					issue()
+				}
+			}
+			r.errs += total - completed // unreachable in practice; belt and braces
+		}(ci, total)
+	}
+	for range cfg.Clients {
+		<-done
+	}
+	out := LoadResult{Elapsed: time.Since(start)}
+	var all []time.Duration
+	for i := range results {
+		out.Ops += results[i].ok
+		out.Errs += results[i].errs
+		all = append(all, results[i].latencies...)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		out.P50 = all[len(all)/2]
+		out.P99 = all[len(all)*99/100]
+	}
+	return out
+}

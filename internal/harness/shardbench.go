@@ -24,6 +24,11 @@ type BenchRecord struct {
 	Threads    int     `json:"threads"`
 	Shards     int     `json:"shards"`
 	Batch      int     `json:"batch"`
+	// Conns/Depth describe network-service runs (the server experiment):
+	// client connections and per-connection pipeline depth. Zero for
+	// in-process experiments.
+	Conns int `json:"conns,omitempty"`
+	Depth int `json:"depth,omitempty"`
 	Ops        int     `json:"ops"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
 	P50Micros  float64 `json:"p50_micros"`
@@ -178,7 +183,11 @@ func FencesPerOp(before, after uint64, n int) float64 {
 
 // String renders a record as one human-readable line (bench stdout).
 func (r BenchRecord) String() string {
-	return fmt.Sprintf("%-10s %-14s %-2s thr=%-3d shards=%-2d batch=%-3d %12.0f ops/s  p50=%7.2fus p99=%8.2fus fences/op=%.3f",
+	s := fmt.Sprintf("%-10s %-14s %-2s thr=%-3d shards=%-2d batch=%-3d %12.0f ops/s  p50=%7.2fus p99=%8.2fus fences/op=%.3f",
 		r.Experiment, r.Index, r.Workload, r.Threads, r.Shards, r.Batch,
 		r.OpsPerSec, r.P50Micros, r.P99Micros, r.FencesPerOp)
+	if r.Depth > 0 {
+		s += fmt.Sprintf(" conns=%d depth=%d", r.Conns, r.Depth)
+	}
+	return s
 }

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"upskiplist"
+	"upskiplist/internal/wire"
+)
+
+// request is one single-key operation (GET/PUT/DEL) funneled from a
+// connection into a shard batcher. SCAN and client BATCH frames never
+// become requests — they execute on the connection's own worker.
+type request struct {
+	c    *conn
+	id   uint64
+	kind wire.Opcode
+	key  uint64
+	val  uint64
+}
+
+// batcher owns one keyspace shard: a dedicated engine worker plus a
+// queue of in-flight requests from every connection. Its loop drains
+// whatever is queued (up to MaxBatch ops, waiting at most MaxDelay for
+// the batch to fill) into a single Worker.ApplyBatch — one group commit,
+// one trailing persistence fence for the whole drain — and fans the
+// results back to the waiting connections. This is the server-side
+// realization of the engine's group commit: concurrent clients share
+// fences without coordinating with each other.
+type batcher struct {
+	srv   *Server
+	shard int
+	w     *upskiplist.Worker
+	ch    chan request
+
+	// Reusable drain buffers (one goroutine, no sharing).
+	reqs []request
+	ops  []upskiplist.Op
+	res  []upskiplist.OpResult
+
+	// Published counters (read by Server.Snapshot from other
+	// goroutines, hence atomics).
+	drains       atomic.Uint64 // ApplyBatch calls
+	drainedOps   atomic.Uint64 // ops across all drains
+	hintSeeded   atomic.Uint64
+	hintMissed   atomic.Uint64
+	hintFallback atomic.Uint64
+}
+
+func newBatcher(srv *Server, shard int) *batcher {
+	return &batcher{
+		srv:   srv,
+		shard: shard,
+		w:     srv.st.NewWorker(shard),
+		ch:    make(chan request, 4*srv.cfg.MaxBatch),
+	}
+}
+
+// run is the batcher goroutine. It exits when the server closes ch
+// (after every connection reader has stopped submitting). A graceful
+// drain applies and answers everything left in the queue; a kill drops
+// queued requests unapplied — exactly the exposure of a process dying
+// with requests it never acknowledged.
+func (b *batcher) run() {
+	for {
+		first, ok := <-b.ch
+		if !ok {
+			return
+		}
+		b.reqs = append(b.reqs[:0], first)
+		closed := b.gather()
+		if b.srv.killed() {
+			b.dropAll()
+		} else {
+			b.apply()
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+// gather collects queued requests after the first until the batch is
+// full, the queue is momentarily empty (MaxDelay 0), or MaxDelay has
+// passed since the first request. Reports whether ch was closed.
+func (b *batcher) gather() (closed bool) {
+	max := b.srv.cfg.MaxBatch
+	var timerC <-chan time.Time
+	if d := b.srv.cfg.MaxDelay; d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timerC = t.C
+	}
+	for len(b.reqs) < max {
+		if timerC == nil {
+			select {
+			case r, ok := <-b.ch:
+				if !ok {
+					return true
+				}
+				b.reqs = append(b.reqs, r)
+			default:
+				return false
+			}
+		} else {
+			select {
+			case r, ok := <-b.ch:
+				if !ok {
+					return true
+				}
+				b.reqs = append(b.reqs, r)
+			case <-timerC:
+				return false
+			}
+		}
+	}
+	return false
+}
+
+// apply group-commits the gathered run and fans responses out.
+func (b *batcher) apply() {
+	b.ops = b.ops[:0]
+	for _, r := range b.reqs {
+		kind := upskiplist.OpInsert
+		switch r.kind {
+		case wire.OpGet:
+			kind = upskiplist.OpGet
+		case wire.OpDel:
+			kind = upskiplist.OpRemove
+		}
+		b.ops = append(b.ops, upskiplist.Op{Kind: kind, Key: r.key, Value: r.val})
+	}
+	if cap(b.res) < len(b.ops) {
+		b.res = make([]upskiplist.OpResult, len(b.ops))
+	}
+	res := b.w.ApplyBatchInto(b.ops, b.res[:len(b.ops)])
+
+	b.drains.Add(1)
+	b.drainedOps.Add(uint64(len(b.ops)))
+	ws := b.w.Stats()
+	b.hintSeeded.Store(ws.HintSeeded)
+	b.hintMissed.Store(ws.HintMissed)
+	b.hintFallback.Store(ws.HintFallback)
+
+	if b.srv.killed() {
+		// Applied (and durable — ApplyBatch fenced) but never
+		// acknowledged: the client must treat these as unknown.
+		b.dropAll()
+		return
+	}
+	for i, r := range b.reqs {
+		resp := wire.Response{Op: r.kind, ID: r.id, Found: res[i].Found, Value: res[i].Value}
+		if res[i].Err != nil {
+			resp.Status = wire.StatusErr
+			resp.Msg = res[i].Err.Error()
+		}
+		r.c.respond(&resp)
+	}
+	b.reqs = b.reqs[:0]
+}
+
+// dropAll abandons the gathered requests without answering them.
+func (b *batcher) dropAll() {
+	for _, r := range b.reqs {
+		r.c.pending.Done()
+	}
+	b.reqs = b.reqs[:0]
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"net"
+	"sort"
+	"testing"
+
+	"upskiplist"
+	"upskiplist/internal/client"
+	"upskiplist/internal/wire"
+	"upskiplist/internal/ycsb"
+)
+
+// serverPerfOptions is the store for the pipelining acceptance test: 4
+// keyspace shards (4 batchers), no access-cost model — the quantity
+// under test is protocol/batching overhead, not simulated media latency.
+func serverPerfOptions() upskiplist.Options {
+	o := upskiplist.DefaultOptions()
+	o.Shards = 4
+	o.PoolWords = 1 << 21
+	o.ChunkWords = 1 << 13
+	o.MaxChunks = 512
+	return o
+}
+
+// runServerYCSBA starts a fresh server, preloads n keys, replays a
+// YCSB-A stream (50/50 read/update, Zipfian) from 4 connections at the
+// given pipeline depth, and returns (ops/sec, fences/op) for the
+// measured run.
+func runServerYCSBA(t *testing.T, depth, n, totalOps int) (float64, float64) {
+	t.Helper()
+	const conns = 4
+	st, err := upskiplist.Create(serverPerfOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := st.NewWorker(st.NumShards())
+	for k := uint64(1); k <= uint64(n); k++ {
+		if _, _, err := w0.Insert(k, k*7+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(Config{Store: st, MaxBatch: 64, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Serve(ln)
+	defer s.Shutdown()
+
+	clients := make([]*client.Client, conns)
+	for i := range clients {
+		c, err := client.Dial(ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	run := ycsb.NewRun(ycsb.WorkloadA, uint64(n))
+	streams := make([][]ycsb.Op, conns)
+	for i := range streams {
+		streams[i] = run.NewStream(int64(i) + 1).Fill(nil, (totalOps+conns-1)/conns)
+	}
+	fences0 := st.Stats().Fences()
+	res := client.Run(client.LoadConfig{
+		Clients: clients,
+		Depth:   depth,
+		Total:   totalOps,
+		Next: func(conn, i int) client.Op {
+			op := streams[conn][i]
+			if op.Type == ycsb.Read {
+				return client.Op{Kind: wire.OpGet, Key: op.Key}
+			}
+			return client.Op{Kind: wire.OpPut, Key: op.Key, Val: op.Value | 1}
+		},
+	})
+	if res.Errs != 0 || res.Ops != totalOps {
+		t.Fatalf("load run completed %d ok / %d errs, want %d / 0", res.Ops, res.Errs, totalOps)
+	}
+	fencesPerOp := float64(st.Stats().Fences()-fences0) / float64(totalOps)
+	return res.OpsPerSec(), fencesPerOp
+}
+
+// TestServerPipeliningThroughput is the service-layer acceptance check:
+// on a YCSB-A workload over loopback, 4 connections pipelining 16 deep
+// must beat the same 4 connections at depth 1 by >= 2x, and the shard
+// batchers must amortize persistence fences to <= 0.25 fences/op. Depth
+// 1 pays a full client-server round trip per operation and hands the
+// batchers mostly singleton drains; depth 16 keeps 64 requests in
+// flight, so drains carry multi-op runs (fewer fences) and the RTT is
+// shared by a window of requests.
+func TestServerPipeliningThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf measurement; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("perf measurement; race-detector instrumentation distorts the protocol-overhead ratio")
+	}
+	const preload = 20000
+	const ops = 20000
+
+	// Warmup pair (unrecorded), then median of three back-to-back
+	// ratios, mirroring TestShardScalingYCSBA's noise discipline.
+	runServerYCSBA(t, 1, preload, ops)
+	runServerYCSBA(t, 16, preload, ops)
+	var ratios []float64
+	var deepFences float64
+	for i := 0; i < 3; i++ {
+		base, baseF := runServerYCSBA(t, 1, preload, ops)
+		deep, deepF := runServerYCSBA(t, 16, preload, ops)
+		ratios = append(ratios, deep/base)
+		deepFences = deepF
+		t.Logf("pair %d: depth1 %.0f ops/s (%.3f fences/op), depth16 %.0f ops/s (%.3f fences/op), ratio %.2fx",
+			i, base, baseF, deep, deepF, deep/base)
+	}
+	sort.Float64s(ratios)
+	ratio := ratios[1]
+	t.Logf("YCSB-A @4 conns: median depth16/depth1 ratio %.2fx", ratio)
+	if ratio < 2.0 {
+		t.Fatalf("depth-16 pipelining is only %.2fx depth-1 (want >= 2x)", ratio)
+	}
+	if deepFences > 0.25 {
+		t.Fatalf("depth-16 run paid %.3f fences/op (want <= 0.25): batcher is not amortizing group commits", deepFences)
+	}
+}

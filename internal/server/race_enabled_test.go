@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions are skipped under its ~15x instrumentation overhead.
+const raceEnabled = true

@@ -1,0 +1,516 @@
+// Package server is the network service layer over an upskiplist.Store:
+// a pipelined TCP front end whose write path funnels concurrently
+// in-flight client requests into per-shard group commits.
+//
+// Architecture (see DESIGN.md "Network service layer"):
+//
+//	conn readers ──> per-shard batcher goroutines ──> Worker.ApplyBatch
+//	     │                                                  │
+//	     │  (SCAN / BATCH run inline on the conn's worker)  │
+//	     └──────────────<── response fan-out <──────────────┘
+//
+// Each accepted connection gets a reader goroutine (decodes frames,
+// enforces per-connection pipeline depth) and a writer goroutine
+// (serializes responses, coalescing flushes). Single-key GET/PUT/DEL
+// requests are routed by Store.ShardOf to that shard's batcher, which
+// drains whatever is in flight into one ApplyBatch — one persistence
+// fence amortized over every rider. SCAN and client-side BATCH frames
+// execute directly on the connection's own engine worker (a client
+// batch already is a group commit).
+//
+// Request IDs make the protocol pipelined: many requests may be in
+// flight per connection and responses may arrive in any order. The
+// server guarantees nothing about cross-request ordering — two
+// pipelined requests may execute in either order or concurrently; a
+// client that needs happens-before must wait for the first response.
+//
+// Durability: a response is only sent after the operation's group
+// commit returned, so every acknowledged write is durable. Requests
+// cut off by a crash (killed server) were either never applied or
+// applied-but-unacknowledged; TestServerCrashRestart pins this down.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"upskiplist"
+	"upskiplist/internal/wire"
+)
+
+// Config parameterizes a Server. The zero value of every field gets a
+// sensible default at New.
+type Config struct {
+	// Store is the engine the server fronts. Required. The server owns
+	// worker thread IDs 0..Shards-1 (batchers) and a slice above them
+	// (connections); nothing else may run workers against the store
+	// while the server is serving.
+	Store *upskiplist.Store
+
+	// MaxConns bounds concurrently served connections (default 64). It
+	// is additionally clamped to the store's NumThreads budget minus
+	// the batcher workers, since every connection owns an engine worker
+	// with a distinct thread ID. Excess connections are rejected with
+	// StatusBusy.
+	MaxConns int
+
+	// MaxPipeline is the per-connection cap on decoded-but-unanswered
+	// requests (default 64). When a client pipelines deeper, the server
+	// simply stops reading that connection's socket until responses
+	// drain — TCP backpressure, no queue growth.
+	MaxPipeline int
+
+	// MaxBatch caps the ops per batcher drain (default 64, clamped to
+	// wire.MaxBatchOps).
+	MaxBatch int
+
+	// MaxDelay is how long a batcher waits for its drain to fill once
+	// the first request arrived. 0 (default) drains greedily: take
+	// what's queued now, never stall a lone request for riders that may
+	// not come.
+	MaxDelay time.Duration
+
+	// Dir, when non-empty, is where a graceful Shutdown writes a
+	// durable Save of the store.
+	Dir string
+
+	// StatsInterval enables the periodic one-line engine/server stats
+	// log (0 disables).
+	StatsInterval time.Duration
+
+	// Logf sinks log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) setDefaults() error {
+	if c.Store == nil {
+		return errors.New("server: Config.Store is required")
+	}
+	nshards := c.Store.NumShards()
+	nthreads := c.Store.Options().NumThreads
+	if c.MaxConns <= 0 {
+		c.MaxConns = 64
+	}
+	if avail := nthreads - nshards; c.MaxConns > avail {
+		if avail <= 0 {
+			return fmt.Errorf("server: store has %d thread slots but %d shards — no room for connections",
+				nthreads, nshards)
+		}
+		c.MaxConns = avail
+	}
+	if c.MaxPipeline <= 0 {
+		c.MaxPipeline = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxBatch > wire.MaxBatchOps {
+		c.MaxBatch = wire.MaxBatchOps
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return nil
+}
+
+// Server states.
+const (
+	stateRunning int32 = iota
+	stateDraining
+	stateKilled
+	stateStopped
+)
+
+// Server serves the wire protocol over a Store.
+type Server struct {
+	cfg Config
+	st  *upskiplist.Store
+
+	ln       net.Listener
+	batchers []*batcher
+	state    atomic.Int32
+
+	// threadIDs is the free list of engine worker thread IDs available
+	// to connections; its capacity is the connection limit.
+	threadIDs chan int
+
+	mu    sync.Mutex
+	conns map[*conn]struct{}
+
+	acceptWG  sync.WaitGroup // accept loop
+	readerWG  sync.WaitGroup // connection readers (batcher submitters)
+	connWG    sync.WaitGroup // writers + closers
+	batcherWG sync.WaitGroup
+
+	stats     serverCounters
+	statsQuit chan struct{}
+}
+
+// serverCounters are the server-side request counters (engine counters
+// live in Store.Stats).
+type serverCounters struct {
+	accepted atomic.Uint64
+	rejected atomic.Uint64
+	gets     atomic.Uint64
+	puts     atomic.Uint64
+	dels     atomic.Uint64
+	scans    atomic.Uint64
+	batches  atomic.Uint64 // client BATCH frames
+	batchOps atomic.Uint64 // ops inside client BATCH frames
+	malf     atomic.Uint64 // malformed frames
+}
+
+// New builds a Server over cfg.Store. Call Serve to start accepting.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, st: cfg.Store, conns: make(map[*conn]struct{})}
+	nshards := s.st.NumShards()
+	s.threadIDs = make(chan int, cfg.MaxConns)
+	for i := 0; i < cfg.MaxConns; i++ {
+		s.threadIDs <- nshards + i
+	}
+	for i := 0; i < nshards; i++ {
+		b := newBatcher(s, i)
+		s.batchers = append(s.batchers, b)
+		s.batcherWG.Add(1)
+		go func() { defer s.batcherWG.Done(); b.run() }()
+	}
+	if cfg.StatsInterval > 0 {
+		s.statsQuit = make(chan struct{})
+		go s.statsLoop()
+	}
+	return s, nil
+}
+
+// Serve starts accepting connections on ln. It returns immediately; the
+// accept loop runs until Shutdown or Kill.
+func (s *Server) Serve(ln net.Listener) {
+	s.ln = ln
+	s.acceptWG.Add(1)
+	go s.acceptLoop()
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Store exposes the underlying store (tests, stats).
+func (s *Server) Store() *upskiplist.Store { return s.st }
+
+func (s *Server) running() bool { return s.state.Load() == stateRunning }
+func (s *Server) killed() bool  { return s.state.Load() == stateKilled }
+
+func (s *Server) acceptLoop() {
+	defer s.acceptWG.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown/Kill
+		}
+		if !s.running() {
+			rejectConn(nc, wire.StatusShutdown, "server is shutting down")
+			continue
+		}
+		select {
+		case id := <-s.threadIDs:
+			s.stats.accepted.Add(1)
+			s.startConn(nc, id)
+		default:
+			s.stats.rejected.Add(1)
+			rejectConn(nc, wire.StatusBusy, "connection limit reached")
+		}
+	}
+}
+
+// rejectConn answers a connection the server will not serve with a
+// single error frame (request ID 0) and closes it.
+func rejectConn(nc net.Conn, status wire.Status, msg string) {
+	resp := wire.Response{Status: status, Msg: msg}
+	payload := wire.AppendResponse(nil, &resp)
+	nc.SetWriteDeadline(time.Now().Add(time.Second))
+	wire.WriteFrame(nc, payload)
+	nc.Close()
+}
+
+// Shutdown gracefully stops the server: stop accepting, stop reading
+// new requests, apply and answer everything already in flight, quiesce
+// the batchers, then (if Config.Dir is set) write a durable Save. The
+// store is quiesced when Shutdown returns.
+func (s *Server) Shutdown() error {
+	if !s.state.CompareAndSwap(stateRunning, stateDraining) {
+		return errors.New("server: not running")
+	}
+	s.stop(false)
+	if s.cfg.Dir != "" {
+		if err := s.st.Save(s.cfg.Dir); err != nil {
+			return fmt.Errorf("server: durable save: %w", err)
+		}
+	}
+	return nil
+}
+
+// Kill stops the server abruptly, simulating a process crash: sockets
+// close mid-conversation, queued requests are dropped unapplied and
+// unanswered, and nothing is saved. The only work that completes is the
+// ApplyBatch each batcher was already inside (its clients are never
+// acknowledged). The store is quiesced when Kill returns, which is what
+// lets a test follow with Store.SimulateCrash + Reopen.
+func (s *Server) Kill() {
+	if !s.state.CompareAndSwap(stateRunning, stateKilled) {
+		return
+	}
+	s.stop(true)
+}
+
+// stop runs the shared teardown. Order matters: readers must be gone
+// before batcher channels close (they are the senders), and batchers
+// must be gone before connection outboxes close (they are the
+// responders).
+func (s *Server) stop(kill bool) {
+	if s.statsQuit != nil {
+		close(s.statsQuit)
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		if kill {
+			c.nc.Close()
+		} else {
+			// Unblock the reader; in-flight requests still complete and
+			// their responses still go out. The write deadline bounds the
+			// drain against a client that stopped reading its socket.
+			c.nc.SetReadDeadline(time.Now())
+			c.nc.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		}
+	}
+	s.mu.Unlock()
+	s.acceptWG.Wait()
+	s.readerWG.Wait()
+	for _, b := range s.batchers {
+		close(b.ch)
+	}
+	s.batcherWG.Wait()
+	s.connWG.Wait()
+	s.state.Store(stateStopped)
+	if !kill {
+		s.logStats("final")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Connections.
+
+// conn is one served connection.
+type conn struct {
+	srv      *Server
+	nc       net.Conn
+	threadID int
+	w        *upskiplist.Worker
+
+	// tokens bounds decoded-but-unanswered requests (pipeline depth):
+	// the reader acquires before dispatching, the writer releases after
+	// the response hits the socket.
+	tokens chan struct{}
+	// outbox carries encoded response frames to the writer. Capacity
+	// MaxPipeline makes responder sends non-blocking in steady state
+	// (there can never be more unanswered requests than tokens).
+	outbox chan []byte
+	// pending counts dispatched requests whose response has not yet
+	// been enqueued; the closer waits for it before closing outbox.
+	pending    sync.WaitGroup
+	readerDone chan struct{}
+
+	// Reader-private scratch.
+	frameBuf []byte
+	req      wire.Request
+	batchOps []upskiplist.Op
+	batchRes []upskiplist.OpResult
+	scanBuf  []wire.Pair
+}
+
+func (s *Server) startConn(nc net.Conn, threadID int) {
+	c := &conn{
+		srv:        s,
+		nc:         nc,
+		threadID:   threadID,
+		w:          s.st.NewWorker(threadID),
+		tokens:     make(chan struct{}, s.cfg.MaxPipeline),
+		outbox:     make(chan []byte, s.cfg.MaxPipeline),
+		readerDone: make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+
+	s.readerWG.Add(1)
+	s.connWG.Add(2)
+	go c.readLoop()
+	go c.writeLoop()
+	go c.closeLoop()
+}
+
+// respond encodes resp, hands the frame to the writer and retires the
+// request. Called by batchers and by the reader (inline ops).
+func (c *conn) respond(resp *wire.Response) {
+	payload := wire.AppendResponse(make([]byte, 0, 64), resp)
+	c.outbox <- payload
+	c.pending.Done()
+}
+
+// readLoop decodes request frames and dispatches them until EOF, a
+// malformed frame, or server stop.
+func (c *conn) readLoop() {
+	defer func() {
+		c.srv.readerWG.Done()
+		close(c.readerDone)
+	}()
+	br := newBufReader(c.nc)
+	for {
+		payload, err := wire.ReadFrame(br, c.frameBuf)
+		if err != nil {
+			if err == wire.ErrFrameTooLarge {
+				c.srv.stats.malf.Add(1)
+			}
+			return
+		}
+		c.frameBuf = payload[:0]
+		if err := wire.DecodeRequest(payload, &c.req); err != nil {
+			c.srv.stats.malf.Add(1)
+			c.tokens <- struct{}{}
+			c.pending.Add(1)
+			c.respond(&wire.Response{
+				Op: c.req.Op, Status: wire.StatusMalformed, ID: c.req.ID, Msg: err.Error(),
+			})
+			return
+		}
+		c.tokens <- struct{}{} // pipeline-depth backpressure
+		c.pending.Add(1)
+		c.dispatch()
+	}
+}
+
+// dispatch routes the decoded request: singles to the owning shard's
+// batcher, SCAN/BATCH inline on this connection's worker.
+func (c *conn) dispatch() {
+	q := &c.req
+	switch q.Op {
+	case wire.OpGet, wire.OpPut, wire.OpDel:
+		switch q.Op {
+		case wire.OpGet:
+			c.srv.stats.gets.Add(1)
+		case wire.OpPut:
+			c.srv.stats.puts.Add(1)
+		default:
+			c.srv.stats.dels.Add(1)
+		}
+		b := c.srv.batchers[c.srv.st.ShardOf(q.Key)]
+		b.ch <- request{c: c, id: q.ID, kind: q.Op, key: q.Key, val: q.Val}
+	case wire.OpScan:
+		c.srv.stats.scans.Add(1)
+		c.runScan(q)
+	case wire.OpBatch:
+		c.srv.stats.batches.Add(1)
+		c.srv.stats.batchOps.Add(uint64(len(q.Batch)))
+		c.runBatch(q)
+	}
+}
+
+// runScan executes a SCAN on the connection's worker and responds.
+func (c *conn) runScan(q *wire.Request) {
+	limit := int(q.Limit)
+	if limit <= 0 || limit > wire.MaxScanLimit {
+		limit = wire.MaxScanLimit
+	}
+	c.scanBuf = c.scanBuf[:0]
+	c.w.Scan(q.Lo, q.Hi, func(k, v uint64) bool {
+		c.scanBuf = append(c.scanBuf, wire.Pair{Key: k, Value: v})
+		return len(c.scanBuf) < limit
+	})
+	c.respond(&wire.Response{Op: wire.OpScan, ID: q.ID, Pairs: c.scanBuf})
+}
+
+// runBatch executes a client BATCH frame as one engine group commit on
+// the connection's worker. The whole frame is applied by a single
+// Worker.ApplyBatch call — it already carries its own per-shard group
+// commit, so re-queueing it through the shard batchers would only add
+// latency without saving fences.
+func (c *conn) runBatch(q *wire.Request) {
+	c.batchOps = c.batchOps[:0]
+	for _, op := range q.Batch {
+		kind := upskiplist.OpInsert
+		switch op.Kind {
+		case wire.OpGet:
+			kind = upskiplist.OpGet
+		case wire.OpDel:
+			kind = upskiplist.OpRemove
+		}
+		c.batchOps = append(c.batchOps, upskiplist.Op{Kind: kind, Key: op.Key, Value: op.Value})
+	}
+	if cap(c.batchRes) < len(c.batchOps) {
+		c.batchRes = make([]upskiplist.OpResult, len(c.batchOps))
+	}
+	res := c.w.ApplyBatchInto(c.batchOps, c.batchRes[:len(c.batchOps)])
+	resp := wire.Response{Op: wire.OpBatch, ID: q.ID, Results: make([]wire.OpResult, len(res))}
+	for i, r := range res {
+		if r.Err != nil {
+			c.respond(&wire.Response{
+				Op: wire.OpBatch, Status: wire.StatusErr, ID: q.ID,
+				Msg: fmt.Sprintf("op %d: %v", i, r.Err),
+			})
+			return
+		}
+		resp.Results[i] = wire.OpResult{Found: r.Found, Value: r.Value}
+	}
+	c.respond(&resp)
+}
+
+// writeLoop serializes response frames, flushing when the outbox goes
+// momentarily empty so pipelined responses coalesce into few writes.
+func (c *conn) writeLoop() {
+	defer c.srv.connWG.Done()
+	bw := newBufWriter(c.nc)
+	var werr error
+	for frame := range c.outbox {
+		if werr == nil {
+			werr = wire.WriteFrame(bw, frame)
+		}
+		select {
+		case <-c.tokens:
+		default:
+		}
+		if werr == nil && len(c.outbox) == 0 {
+			werr = bw.Flush()
+		}
+	}
+	if werr == nil {
+		bw.Flush()
+	}
+	c.nc.Close()
+}
+
+// closeLoop retires the connection: once the reader is done and every
+// dispatched request has been answered (or dropped), the outbox closes,
+// the writer drains out, and the worker thread ID returns to the pool.
+func (c *conn) closeLoop() {
+	defer c.srv.connWG.Done()
+	<-c.readerDone
+	c.pending.Wait()
+	close(c.outbox)
+	c.srv.mu.Lock()
+	delete(c.srv.conns, c)
+	c.srv.mu.Unlock()
+	c.srv.threadIDs <- c.threadID
+}

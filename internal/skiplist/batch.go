@@ -52,17 +52,35 @@ type BatchOp struct {
 
 // ApplyBatch applies ops as one group-committed run. The slice is
 // stable-sorted by key in place: operations on the same key keep their
-// submission order (so a Get after an Insert of the same key sees the
-// inserted value), while operations on different keys are applied in
+// submission order, while operations on different keys are applied in
 // ascending key order — which both feeds the worker's hint cache a
 // near-sequential key sequence and keeps the run inside one region of
 // the list at a time. Results land in each element; the caller uses Tag
 // to map them back to submission order.
 //
+// Ordering contract for duplicate keys: a batch may contain any number
+// of operations on the same key, and their effects and results are
+// exactly those of applying the batch one operation at a time in
+// submission order. In particular writes are last-writer-wins — the
+// key's final value is that of the last BatchInsert/BatchRemove on it
+// in submission order — a BatchGet observes every earlier same-key
+// write in the batch and no later one, and each BatchInsert/BatchRemove
+// reports the previous value left by its same-key predecessor. The
+// stable sort is what makes this deterministic: it never reorders
+// same-key operations, and operations on different keys commute.
+//
+// An empty batch is a no-op: no traversal, no flush, no fence. Callers
+// that cut request streams into runs (e.g. a server batcher draining a
+// queue) can call unconditionally without paying a persistence round
+// for an empty cut.
+//
 // The context must not be shared with concurrent operations (the usual
 // one-worker-per-goroutine rule); other workers may run concurrently
 // against the same list.
 func (s *SkipList) ApplyBatch(ctx *exec.Ctx, ops []BatchOp) {
+	if len(ops) == 0 {
+		return
+	}
 	sort.SliceStable(ops, func(i, j int) bool { return ops[i].Key < ops[j].Key })
 	ctx.Deferred = true
 	for i := range ops {

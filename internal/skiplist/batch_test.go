@@ -72,6 +72,91 @@ func TestApplyBatchMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestApplyBatchEmptyIsFree verifies the empty-batch fast path: no
+// flushes, no fences, no state disturbance.
+func TestApplyBatchEmptyIsFree(t *testing.T) {
+	e := newEnv(t, Config{MaxHeight: 8, KeysPerNode: 4})
+	ctx := exec.NewCtx(0, 0)
+	if _, _, err := e.sl.Insert(ctx, 5, 50); err != nil {
+		t.Fatal(err)
+	}
+	before := e.pool.Stats().Snapshot()
+	e.sl.ApplyBatch(ctx, nil)
+	e.sl.ApplyBatch(ctx, []BatchOp{})
+	after := e.pool.Stats().Snapshot()
+	if after.Fences != before.Fences || after.Flushes != before.Flushes {
+		t.Fatalf("empty batch persisted something: fences %d->%d, flushes %d->%d",
+			before.Fences, after.Fences, before.Flushes, after.Flushes)
+	}
+	if ctx.Deferred {
+		t.Fatal("Deferred set after empty batch")
+	}
+	if v, ok := e.sl.Get(ctx, 5); !ok || v != 50 {
+		t.Fatalf("Get(5) = (%d,%v) after empty batches", v, ok)
+	}
+}
+
+// TestApplyBatchDuplicateKeys pins the duplicate-key ordering contract:
+// same-key operations behave exactly as sequential application in
+// submission order — last-writer-wins for the final state, each op
+// observing its same-key predecessor's effect.
+func TestApplyBatchDuplicateKeys(t *testing.T) {
+	e := newEnv(t, Config{MaxHeight: 8, KeysPerNode: 4})
+	ctx := exec.NewCtx(0, 0)
+	ops := []BatchOp{
+		{Kind: BatchInsert, Key: 7, Value: 1, Tag: 0},  // fresh insert
+		{Kind: BatchGet, Key: 7, Tag: 1},               // sees 1
+		{Kind: BatchInsert, Key: 7, Value: 2, Tag: 2},  // update, old 1
+		{Kind: BatchRemove, Key: 7, Tag: 3},            // removes 2
+		{Kind: BatchGet, Key: 7, Tag: 4},               // gone
+		{Kind: BatchInsert, Key: 7, Value: 3, Tag: 5},  // re-insert
+		{Kind: BatchInsert, Key: 9, Value: 90, Tag: 6}, // unrelated key
+	}
+	e.sl.ApplyBatch(ctx, ops)
+	res := make([]BatchOp, len(ops))
+	for i := range ops {
+		res[ops[i].Tag] = ops[i]
+	}
+	check := func(tag int, old uint64, found bool) {
+		t.Helper()
+		if res[tag].Err != nil {
+			t.Fatalf("tag %d: err %v", tag, res[tag].Err)
+		}
+		if res[tag].Old != old || res[tag].Found != found {
+			t.Fatalf("tag %d: got (%d,%v), want (%d,%v)", tag, res[tag].Old, res[tag].Found, old, found)
+		}
+	}
+	check(0, 0, false)
+	check(1, 1, true)
+	check(2, 1, true)
+	check(3, 2, true)
+	check(4, 0, false)
+	check(5, 0, false)
+	check(6, 0, false)
+	if v, ok := e.sl.Get(ctx, 7); !ok || v != 3 {
+		t.Fatalf("final Get(7) = (%d,%v), want (3,true) — last writer must win", v, ok)
+	}
+	// Determinism: replaying the same duplicate-heavy batch shape on a
+	// twin list yields identical results and final state.
+	e2 := newEnv(t, Config{MaxHeight: 8, KeysPerNode: 4})
+	ctx2 := exec.NewCtx(0, 0)
+	ops2 := []BatchOp{
+		{Kind: BatchInsert, Key: 7, Value: 1, Tag: 0},
+		{Kind: BatchGet, Key: 7, Tag: 1},
+		{Kind: BatchInsert, Key: 7, Value: 2, Tag: 2},
+		{Kind: BatchRemove, Key: 7, Tag: 3},
+		{Kind: BatchGet, Key: 7, Tag: 4},
+		{Kind: BatchInsert, Key: 7, Value: 3, Tag: 5},
+		{Kind: BatchInsert, Key: 9, Value: 90, Tag: 6},
+	}
+	e2.sl.ApplyBatch(ctx2, ops2)
+	for i := range ops {
+		if ops[i] != ops2[i] {
+			t.Fatalf("duplicate-key batch not deterministic at %d: %+v vs %+v", i, ops[i], ops2[i])
+		}
+	}
+}
+
 // TestApplyBatchLeavesCtxClean verifies a batch leaves no deferred state
 // behind: Deferred is off and the group is drained, so a following
 // single operation commits with its own immediate fence.

@@ -1,0 +1,454 @@
+// Package wire defines the length-prefixed binary protocol spoken
+// between upsl-server and its clients.
+//
+// Every message is a frame: a 4-byte big-endian payload length followed
+// by that many payload bytes. Requests and responses share the framing;
+// direction decides which decoder applies. Payloads are fixed-layout
+// big-endian fields — no varints, no reflection — so encode/decode are
+// allocation-light and a frame can be sized exactly in advance.
+//
+// Request payload:
+//
+//	opcode  uint8
+//	id      uint64   client-chosen request ID, echoed in the response
+//	...     per-opcode fields (see below)
+//
+// Response payload:
+//
+//	opcode  uint8    echo of the request opcode
+//	status  uint8    OK or an error code
+//	id      uint64   echo of the request ID
+//	...     per-opcode fields (status OK), or a UTF-8 message
+//	        (uint16 length + bytes) otherwise
+//
+// Request IDs exist for pipelining: a client may have many requests in
+// flight on one connection, and the server may interleave responses of
+// different requests (responses to one request are never split). IDs are
+// opaque to the server; clients typically assign them from a counter.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Opcode selects the operation of a request frame.
+type Opcode uint8
+
+// Protocol opcodes.
+const (
+	OpGet   Opcode = 1 // key -> (found, value)
+	OpPut   Opcode = 2 // key, value -> (existed, old value)
+	OpDel   Opcode = 3 // key -> (found, old value)
+	OpScan  Opcode = 4 // [lo, hi] inclusive, limit -> pairs
+	OpBatch Opcode = 5 // ops -> per-op results, group-committed
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpDel:
+		return "DEL"
+	case OpScan:
+		return "SCAN"
+	case OpBatch:
+		return "BATCH"
+	default:
+		return fmt.Sprintf("opcode(%d)", uint8(o))
+	}
+}
+
+// Status is the result code of a response frame.
+type Status uint8
+
+// Response status codes.
+const (
+	StatusOK        Status = 0
+	StatusErr       Status = 1 // operation error (e.g. key out of range)
+	StatusBusy      Status = 2 // connection limit reached; retry later
+	StatusShutdown  Status = 3 // server is draining; no new requests
+	StatusMalformed Status = 4 // request frame could not be decoded
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusErr:
+		return "ERR"
+	case StatusBusy:
+		return "BUSY"
+	case StatusShutdown:
+		return "SHUTDOWN"
+	case StatusMalformed:
+		return "MALFORMED"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// MaxFrame bounds the payload of a single frame (requests and
+// responses). It caps BATCH sizes and SCAN results; the server rejects
+// longer request frames without reading them, so a garbage length prefix
+// cannot make it allocate unboundedly.
+const MaxFrame = 1 << 20
+
+// MaxBatchOps is the largest op count a BATCH request may carry
+// (17 bytes per op keeps the frame comfortably under MaxFrame).
+const MaxBatchOps = 4096
+
+// MaxScanLimit is the largest pair count a SCAN may request (16 bytes
+// per pair in the response).
+const MaxScanLimit = 4096
+
+// Wire format errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrMalformed     = errors.New("wire: malformed payload")
+)
+
+// BatchOp is one operation inside a BATCH request. Kind must be OpGet,
+// OpPut or OpDel; Value is ignored for gets and deletes.
+type BatchOp struct {
+	Kind  Opcode
+	Key   uint64
+	Value uint64
+}
+
+// Pair is one key/value result of a SCAN.
+type Pair struct {
+	Key   uint64
+	Value uint64
+}
+
+// OpResult is one per-op result inside a BATCH response: for a PUT,
+// (existed, old value); for a GET, (found, value); for a DEL,
+// (found, removed value).
+type OpResult struct {
+	Found bool
+	Value uint64
+}
+
+// Request is a decoded request frame. Exactly the fields implied by Op
+// are meaningful.
+type Request struct {
+	Op  Opcode
+	ID  uint64
+	Key uint64 // GET/PUT/DEL
+	Val uint64 // PUT
+
+	Lo, Hi uint64 // SCAN
+	Limit  uint32 // SCAN
+
+	Batch []BatchOp // BATCH
+}
+
+// Response is a decoded response frame.
+type Response struct {
+	Op     Opcode
+	Status Status
+	ID     uint64
+
+	Found bool   // GET/PUT/DEL: found / previously existed
+	Value uint64 // GET value, PUT old value, DEL removed value
+
+	Pairs   []Pair     // SCAN
+	Results []OpResult // BATCH
+
+	Msg string // non-OK statuses
+}
+
+// Err converts a non-OK response into an error (nil for StatusOK).
+func (r *Response) Err() error {
+	if r.Status == StatusOK {
+		return nil
+	}
+	if r.Msg != "" {
+		return fmt.Errorf("wire: %s: %s", r.Status, r.Msg)
+	}
+	return fmt.Errorf("wire: %s", r.Status)
+}
+
+// ---------------------------------------------------------------------
+// Framing.
+
+// ReadFrame reads one length-prefixed frame from r into buf (grown as
+// needed) and returns the payload slice, which aliases buf's backing
+// array and is valid until the next call with the same buffer.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteFrame writes payload as one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// AppendFrame appends the frame (length prefix + payload) that
+// WriteFrame would emit to dst — for callers that coalesce several
+// frames into one write.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// ---------------------------------------------------------------------
+// Request encoding.
+
+// AppendRequest appends q's payload (no length prefix) to dst.
+func AppendRequest(dst []byte, q *Request) ([]byte, error) {
+	dst = append(dst, byte(q.Op))
+	dst = binary.BigEndian.AppendUint64(dst, q.ID)
+	switch q.Op {
+	case OpGet, OpDel:
+		dst = binary.BigEndian.AppendUint64(dst, q.Key)
+	case OpPut:
+		dst = binary.BigEndian.AppendUint64(dst, q.Key)
+		dst = binary.BigEndian.AppendUint64(dst, q.Val)
+	case OpScan:
+		dst = binary.BigEndian.AppendUint64(dst, q.Lo)
+		dst = binary.BigEndian.AppendUint64(dst, q.Hi)
+		dst = binary.BigEndian.AppendUint32(dst, q.Limit)
+	case OpBatch:
+		if len(q.Batch) > MaxBatchOps {
+			return nil, fmt.Errorf("wire: batch of %d ops exceeds MaxBatchOps (%d)", len(q.Batch), MaxBatchOps)
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(q.Batch)))
+		for _, op := range q.Batch {
+			switch op.Kind {
+			case OpGet, OpPut, OpDel:
+			default:
+				return nil, fmt.Errorf("wire: batch op kind %s not batchable", op.Kind)
+			}
+			dst = append(dst, byte(op.Kind))
+			dst = binary.BigEndian.AppendUint64(dst, op.Key)
+			dst = binary.BigEndian.AppendUint64(dst, op.Value)
+		}
+	default:
+		return nil, fmt.Errorf("wire: unknown opcode %s", q.Op)
+	}
+	return dst, nil
+}
+
+// DecodeRequest parses a request payload into q, reusing q.Batch's
+// capacity. The returned request aliases nothing in p.
+func DecodeRequest(p []byte, q *Request) error {
+	d := decoder{buf: p}
+	op := Opcode(d.u8())
+	id := d.u64()
+	*q = Request{Op: op, ID: id, Batch: q.Batch[:0]}
+	switch op {
+	case OpGet, OpDel:
+		q.Key = d.u64()
+	case OpPut:
+		q.Key = d.u64()
+		q.Val = d.u64()
+	case OpScan:
+		q.Lo = d.u64()
+		q.Hi = d.u64()
+		q.Limit = d.u32()
+		if q.Limit > MaxScanLimit {
+			return fmt.Errorf("wire: scan limit %d exceeds MaxScanLimit (%d)", q.Limit, MaxScanLimit)
+		}
+	case OpBatch:
+		n := d.u32()
+		if n > MaxBatchOps {
+			return fmt.Errorf("wire: batch of %d ops exceeds MaxBatchOps (%d)", n, MaxBatchOps)
+		}
+		for i := uint32(0); i < n; i++ {
+			kind := Opcode(d.u8())
+			switch kind {
+			case OpGet, OpPut, OpDel:
+			default:
+				if d.err == nil {
+					return fmt.Errorf("wire: batch op kind %d not batchable", uint8(kind))
+				}
+			}
+			q.Batch = append(q.Batch, BatchOp{Kind: kind, Key: d.u64(), Value: d.u64()})
+		}
+	default:
+		return fmt.Errorf("wire: unknown opcode %d", uint8(op))
+	}
+	return d.finish()
+}
+
+// ---------------------------------------------------------------------
+// Response encoding.
+
+// AppendResponse appends r's payload (no length prefix) to dst.
+func AppendResponse(dst []byte, r *Response) []byte {
+	dst = append(dst, byte(r.Op), byte(r.Status))
+	dst = binary.BigEndian.AppendUint64(dst, r.ID)
+	if r.Status != StatusOK {
+		msg := r.Msg
+		if len(msg) > 1<<12 {
+			msg = msg[:1<<12]
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(msg)))
+		return append(dst, msg...)
+	}
+	switch r.Op {
+	case OpGet, OpPut, OpDel:
+		dst = append(dst, b2u8(r.Found))
+		dst = binary.BigEndian.AppendUint64(dst, r.Value)
+	case OpScan:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Pairs)))
+		for _, pr := range r.Pairs {
+			dst = binary.BigEndian.AppendUint64(dst, pr.Key)
+			dst = binary.BigEndian.AppendUint64(dst, pr.Value)
+		}
+	case OpBatch:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Results)))
+		for _, res := range r.Results {
+			dst = append(dst, b2u8(res.Found))
+			dst = binary.BigEndian.AppendUint64(dst, res.Value)
+		}
+	}
+	return dst
+}
+
+// DecodeResponse parses a response payload into r, reusing r.Pairs and
+// r.Results capacity. The returned response aliases nothing in p.
+func DecodeResponse(p []byte, r *Response) error {
+	d := decoder{buf: p}
+	op := Opcode(d.u8())
+	status := Status(d.u8())
+	id := d.u64()
+	*r = Response{Op: op, Status: status, ID: id, Pairs: r.Pairs[:0], Results: r.Results[:0]}
+	if status != StatusOK {
+		n := d.u16()
+		msg := d.bytes(int(n))
+		if d.err == nil {
+			r.Msg = string(msg)
+		}
+		return d.finish()
+	}
+	switch op {
+	case OpGet, OpPut, OpDel:
+		r.Found = d.u8() != 0
+		r.Value = d.u64()
+	case OpScan:
+		n := d.u32()
+		if n > MaxScanLimit {
+			return fmt.Errorf("wire: scan response of %d pairs exceeds MaxScanLimit (%d)", n, MaxScanLimit)
+		}
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			r.Pairs = append(r.Pairs, Pair{Key: d.u64(), Value: d.u64()})
+		}
+	case OpBatch:
+		n := d.u32()
+		if n > MaxBatchOps {
+			return fmt.Errorf("wire: batch response of %d results exceeds MaxBatchOps (%d)", n, MaxBatchOps)
+		}
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			r.Results = append(r.Results, OpResult{Found: d.u8() != 0, Value: d.u64()})
+		}
+	default:
+		return fmt.Errorf("wire: unknown opcode %d", uint8(op))
+	}
+	return d.finish()
+}
+
+func b2u8(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// decoder is a cursor over a payload that remembers the first error and
+// checks for trailing garbage at the end.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.err = ErrMalformed
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) bytes(n int) []byte { return d.take(n) }
+
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("wire: %d trailing bytes after payload", len(d.buf)-d.off)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func roundTripRequest(t *testing.T, q Request) Request {
+	t.Helper()
+	payload, err := AppendRequest(nil, &q)
+	if err != nil {
+		t.Fatalf("encode %v: %v", q.Op, err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Request
+	if err := DecodeRequest(got, &out); err != nil {
+		t.Fatalf("decode %v: %v", q.Op, err)
+	}
+	return out
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Op: OpGet, ID: 1, Key: 42},
+		{Op: OpPut, ID: 2, Key: 42, Val: 1000},
+		{Op: OpDel, ID: 1 << 60, Key: 7},
+		{Op: OpScan, ID: 9, Lo: 10, Hi: 50, Limit: 100},
+		{Op: OpBatch, ID: 77, Batch: []BatchOp{
+			{Kind: OpPut, Key: 1, Value: 10},
+			{Kind: OpGet, Key: 1},
+			{Kind: OpDel, Key: 2},
+		}},
+		{Op: OpBatch, ID: 78, Batch: []BatchOp{}},
+	}
+	for _, q := range cases {
+		got := roundTripRequest(t, q)
+		if q.Batch == nil {
+			q.Batch = []BatchOp{}
+		}
+		if got.Batch == nil {
+			got.Batch = []BatchOp{}
+		}
+		if !reflect.DeepEqual(q, got) {
+			t.Fatalf("%v: round trip mismatch:\n sent %+v\n got  %+v", q.Op, q, got)
+		}
+	}
+}
+
+func roundTripResponse(t *testing.T, r Response) Response {
+	t.Helper()
+	payload := AppendResponse(nil, &r)
+	var out Response
+	if err := DecodeResponse(payload, &out); err != nil {
+		t.Fatalf("decode %v: %v", r.Op, err)
+	}
+	return out
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{Op: OpGet, ID: 1, Found: true, Value: 99},
+		{Op: OpGet, ID: 2, Found: false},
+		{Op: OpPut, ID: 3, Found: true, Value: 5},
+		{Op: OpDel, ID: 4, Found: false},
+		{Op: OpScan, ID: 5, Pairs: []Pair{{1, 10}, {2, 20}}},
+		{Op: OpScan, ID: 6, Pairs: []Pair{}},
+		{Op: OpBatch, ID: 7, Results: []OpResult{{true, 1}, {false, 0}}},
+		{Op: OpPut, ID: 8, Status: StatusErr, Msg: "key out of range"},
+		{Op: OpGet, ID: 9, Status: StatusShutdown},
+	}
+	for _, r := range cases {
+		got := roundTripResponse(t, r)
+		if r.Pairs == nil {
+			r.Pairs = []Pair{}
+		}
+		if got.Pairs == nil {
+			got.Pairs = []Pair{}
+		}
+		if r.Results == nil {
+			r.Results = []OpResult{}
+		}
+		if got.Results == nil {
+			got.Results = []OpResult{}
+		}
+		if !reflect.DeepEqual(r, got) {
+			t.Fatalf("%v: round trip mismatch:\n sent %+v\n got  %+v", r.Op, r, got)
+		}
+	}
+}
+
+func TestDecodeRequestReusesBatch(t *testing.T) {
+	q := Request{Op: OpBatch, ID: 1, Batch: []BatchOp{{Kind: OpPut, Key: 1, Value: 2}}}
+	payload, err := AppendRequest(nil, &q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode into a request whose Batch already has capacity; the slice
+	// must be reused, not appended after stale entries.
+	out := Request{Batch: make([]BatchOp, 3, 8)}
+	if err := DecodeRequest(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Batch) != 1 || out.Batch[0] != q.Batch[0] {
+		t.Fatalf("got batch %+v", out.Batch)
+	}
+}
+
+func TestMalformedRequests(t *testing.T) {
+	good, err := AppendRequest(nil, &Request{Op: OpPut, ID: 1, Key: 2, Val: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Request
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad opcode":   {0xEE, 0, 0, 0, 0, 0, 0, 0, 1},
+		"truncated":    good[:len(good)-3],
+		"trailing":     append(append([]byte{}, good...), 0xFF),
+		"batch count":  {byte(OpBatch), 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF},
+		"batch kind":   {byte(OpBatch), 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1, byte(OpScan), 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2},
+		"scan limit":   {byte(OpScan), 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 9, 0xFF, 0xFF, 0xFF, 0xFF},
+		"short header": {byte(OpGet), 1, 2},
+	}
+	for name, payload := range cases {
+		if err := DecodeRequest(payload, &q); err == nil {
+			t.Errorf("%s: decode accepted malformed payload", name)
+		}
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	// A length prefix beyond MaxFrame must be rejected before any
+	// payload allocation.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf, nil); err != ErrFrameTooLarge {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); err != ErrFrameTooLarge {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+	// Truncated frame body.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 8, 1, 2, 3})
+	if _, err := ReadFrame(&buf, nil); err != io.ErrUnexpectedEOF {
+		t.Fatalf("got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestAppendFrameMatchesWriteFrame(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got := AppendFrame(nil, payload)
+	if !bytes.Equal(buf.Bytes(), got) {
+		t.Fatalf("AppendFrame %x != WriteFrame %x", got, buf.Bytes())
+	}
+}

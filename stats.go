@@ -1,0 +1,90 @@
+package upskiplist
+
+import "upskiplist/internal/pmem"
+
+// StoreStats is a point-in-time snapshot of a store's engine counters,
+// aggregated over every pool of every shard. It is the groundwork for an
+// observability layer: a server samples it periodically and logs (or
+// exports) the deltas.
+type StoreStats struct {
+	// Shards is the keyspace shard count (1 for an unsharded store).
+	Shards int
+	// Mem aggregates the pmem counters of every pool: loads, stores,
+	// CASes, flushes (persisted cache lines), fences, remote-NUMA
+	// accesses and line-cache misses.
+	Mem pmem.StatsSnapshot
+}
+
+// PersistedLines returns the cumulative count of cache-line flushes —
+// the number of 64-byte lines pushed to the persistence domain.
+func (s StoreStats) PersistedLines() uint64 { return s.Mem.Flushes }
+
+// Fences returns the cumulative persistence-fence count, the
+// group-commit amortization metric (fences / operations).
+func (s StoreStats) Fences() uint64 { return s.Mem.Fences }
+
+// Stats aggregates the pmem counters of every shard's pools. It may be
+// called concurrently with workers (the counters are atomics); the
+// snapshot is per-counter consistent, not cross-counter consistent.
+func (s *Store) Stats() StoreStats {
+	out := StoreStats{Shards: len(s.shards)}
+	for _, e := range s.shards {
+		for _, p := range e.pools {
+			snap := p.Stats().Snapshot()
+			out.Mem.Loads += snap.Loads
+			out.Mem.Stores += snap.Stores
+			out.Mem.CASes += snap.CASes
+			out.Mem.Flushes += snap.Flushes
+			out.Mem.Fences += snap.Fences
+			out.Mem.RemoteOps += snap.RemoteOps
+			out.Mem.Misses += snap.Misses
+		}
+	}
+	return out
+}
+
+// ShardOf returns the index of the shard owning key (always 0 for an
+// unsharded store). A network front end uses this to funnel requests
+// into per-shard batchers so each drain group-commits within one shard.
+func (s *Store) ShardOf(key uint64) int { return s.shardOf(key) }
+
+// WorkerStats is a snapshot of one worker's private counters. Like the
+// worker itself it is single-goroutine state: only the owning goroutine
+// may call Stats, and cross-thread publication (e.g. a server batcher
+// exporting its worker's counters) must copy the snapshot through its
+// own synchronization.
+type WorkerStats struct {
+	// Ops counts engine operations issued through this worker: each
+	// point op and each batched op counts once; a Scan counts once
+	// regardless of how many pairs it visits.
+	Ops uint64
+	// HintSeeded / HintMissed / HintFallback are the volatile
+	// predecessor-hint-cache counters summed across the worker's
+	// per-shard contexts: traversals seeded from a validated hint,
+	// lookups with no usable entry, and seeded traversals that restarted
+	// from the head after the hint proved stale.
+	HintSeeded   uint64
+	HintMissed   uint64
+	HintFallback uint64
+}
+
+// HintHitRate returns the fraction of hint-cache lookups that seeded a
+// traversal (0 when the cache saw no lookups, e.g. when disabled).
+func (ws WorkerStats) HintHitRate() float64 {
+	total := ws.HintSeeded + ws.HintMissed
+	if total == 0 {
+		return 0
+	}
+	return float64(ws.HintSeeded) / float64(total)
+}
+
+// Stats snapshots the worker's counters. Owner-goroutine only.
+func (w *Worker) Stats() WorkerStats {
+	ws := WorkerStats{Ops: w.ops}
+	for _, ctx := range w.ctxs {
+		ws.HintSeeded += ctx.Hints.Seeded
+		ws.HintMissed += ctx.Hints.Missed
+		ws.HintFallback += ctx.Hints.Fallback
+	}
+	return ws
+}

@@ -544,6 +544,9 @@ type Worker struct {
 	merged *skiplist.Merged
 	// runs are the reusable per-shard op buffers for ApplyBatch.
 	runs [][]skiplist.BatchOp
+	// ops counts engine operations issued through this worker (see
+	// WorkerStats); owner-goroutine only, like everything else here.
+	ops uint64
 }
 
 // NewWorker creates a worker pinned (round-robin) to a NUMA node.
@@ -569,18 +572,21 @@ func (w *Worker) at(key uint64) (*engine, *exec.Ctx) {
 // the key was present.
 func (w *Worker) Insert(key, value uint64) (old uint64, existed bool, err error) {
 	e, ctx := w.at(key)
+	w.ops++
 	return e.list.Insert(ctx, key, value)
 }
 
 // Get returns the value stored under key.
 func (w *Worker) Get(key uint64) (uint64, bool) {
 	e, ctx := w.at(key)
+	w.ops++
 	return e.list.Get(ctx, key)
 }
 
 // Contains reports whether key is present.
 func (w *Worker) Contains(key uint64) bool {
 	e, ctx := w.at(key)
+	w.ops++
 	return e.list.Contains(ctx, key)
 }
 
@@ -588,6 +594,7 @@ func (w *Worker) Contains(key uint64) bool {
 // present.
 func (w *Worker) Remove(key uint64) (uint64, bool, error) {
 	e, ctx := w.at(key)
+	w.ops++
 	return e.list.Remove(ctx, key)
 }
 
@@ -596,6 +603,7 @@ func (w *Worker) Remove(key uint64) (uint64, bool, error) {
 // are merged on the fly, so the callback still sees one globally
 // ascending key sequence.
 func (w *Worker) Scan(lo, hi uint64, fn func(key, value uint64) bool) error {
+	w.ops++
 	if len(w.s.shards) == 1 {
 		return w.s.shards[0].list.Scan(w.ctxs[0], lo, hi, fn)
 	}
