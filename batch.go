@@ -1,6 +1,9 @@
 package upskiplist
 
-import "upskiplist/internal/skiplist"
+import (
+	"upskiplist/internal/metrics"
+	"upskiplist/internal/skiplist"
+)
 
 // OpKind selects what one batched Op does.
 type OpKind uint8
@@ -68,6 +71,11 @@ func (w *Worker) ApplyBatchInto(ops []Op, res []OpResult) []OpResult {
 		return res
 	}
 	w.ops += uint64(len(ops))
+	m := w.s.met.Load()
+	var start int64
+	if m != nil {
+		start = metrics.Now()
+	}
 	ns := len(w.s.shards)
 	if w.runs == nil {
 		w.runs = make([][]skiplist.BatchOp, ns)
@@ -92,10 +100,17 @@ func (w *Worker) ApplyBatchInto(ops []Op, res []OpResult) []OpResult {
 		if len(run) == 0 {
 			continue
 		}
+		if m != nil {
+			m.shardOps[si].Add(uint64(len(run)))
+		}
 		w.s.shards[si].list.ApplyBatch(w.ctxs[si], run)
 		for j := range run {
 			res[run[j].Tag] = OpResult{Value: run[j].Old, Found: run[j].Found, Err: run[j].Err}
 		}
+	}
+	if m != nil {
+		m.batchLat.Since(start)
+		m.batchOps.Add(uint64(len(ops)))
 	}
 	return res
 }

@@ -92,7 +92,7 @@ func runServerExp(c benchConfig) {
 		run := ycsb.NewRun(ycsb.WorkloadA, c.preload)
 		streams := make([][]ycsb.Op, conns)
 		for i := range streams {
-			streams[i] = run.NewStream(int64(i) + 1).Fill(nil, (totalOps+conns-1)/conns)
+			streams[i] = run.NewStream(int64(i)+1).Fill(nil, (totalOps+conns-1)/conns)
 		}
 		var fences0 uint64
 		if st != nil {
@@ -118,7 +118,7 @@ func runServerExp(c benchConfig) {
 		// acknowledgment check (acked writes must be visible).
 		verifier := clients[0]
 		for k := uint64(1); k <= 100 && k <= c.preload; k++ {
-			v, found, err := verifier.Get(k)
+			v, found, err := verifier.GetNoCtx(k)
 			if err != nil {
 				fatalf("verify Get(%d): %v", k, err)
 			}
@@ -141,8 +141,14 @@ func runServerExp(c benchConfig) {
 			Threads: conns, Shards: shards, Batch: 64, Conns: conns, Depth: depth,
 			Ops: res.Ops, OpsPerSec: res.OpsPerSec(),
 			P50Micros:   float64(res.P50.Microseconds()),
+			P95Micros:   float64(res.P95.Microseconds()),
 			P99Micros:   float64(res.P99.Microseconds()),
+			P999Micros:  float64(res.P999.Microseconds()),
+			OpLatency:   make(map[string]harness.LatencySummary, len(res.ByOp)),
 			FencesPerOp: fencesPerOp,
+		}
+		for op, h := range res.ByOp {
+			rec.OpLatency[op.String()] = harness.Summarize(h)
 		}
 		fmt.Println(rec)
 		records = append(records, rec)

@@ -11,19 +11,30 @@
 // and, on graceful shutdown (SIGINT/SIGTERM), durably saved there.
 // With no -dir the store is purely in-memory and nothing persists
 // across runs.
+//
+// A sidecar HTTP listener (-metrics-addr, default 127.0.0.1:7846)
+// serves /metrics (Prometheus text: per-op-kind engine latency
+// histograms, batcher queue-wait/apply/drain-size, request counters)
+// and /healthz (503 until the store is loaded and the server accepts;
+// /healthz?probe=live answers liveness instead). Empty -metrics-addr
+// disables the sidecar.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"upskiplist"
+	"upskiplist/internal/metrics"
 	"upskiplist/internal/server"
 )
 
@@ -38,13 +49,30 @@ func main() {
 		batchMax      = flag.Int("batch-max", 64, "max ops per batcher group commit")
 		batchDelay    = flag.Duration("batch-delay", 0, "max wait for a batcher drain to fill (0 = greedy)")
 		statsInterval = flag.Duration("stats-interval", 10*time.Second, "periodic stats log interval (0 disables)")
+		metricsAddr   = flag.String("metrics-addr", "127.0.0.1:7846", "sidecar HTTP address for /metrics and /healthz (empty disables)")
 	)
 	flag.Parse()
+
+	// The observability sidecar comes up before the store loads so a
+	// long recovery is visible: /metrics scrapes work immediately and
+	// /healthz answers 503 until the store is loaded and serving.
+	reg := metrics.NewRegistry()
+	var srv atomic.Pointer[server.Server] // set once serving
+	if *metricsAddr != "" {
+		mln, err := startSidecar(*metricsAddr, reg,
+			func() bool { s := srv.Load(); return s != nil && s.Ready() },
+			func() bool { s := srv.Load(); return s == nil || s.Live() })
+		if err != nil {
+			fatalf("metrics listener: %v", err)
+		}
+		logf("metrics on http://%s/metrics, health on http://%s/healthz", mln.Addr(), mln.Addr())
+	}
 
 	st, created, err := openStore(*dir, *shards, *poolMB)
 	if err != nil {
 		fatalf("%v", err)
 	}
+	st.EnableMetrics(reg)
 	if *dir != "" {
 		if created {
 			logf("created fresh store (shards=%d) — will save to %s on shutdown", st.NumShards(), *dir)
@@ -61,6 +89,7 @@ func main() {
 		MaxDelay:      *batchDelay,
 		Dir:           *dir,
 		StatsInterval: *statsInterval,
+		Metrics:       reg,
 		Logf:          logf,
 	})
 	if err != nil {
@@ -71,6 +100,7 @@ func main() {
 		fatalf("listen: %v", err)
 	}
 	s.Serve(ln)
+	srv.Store(s) // /healthz flips to ready: store loaded, accept loop up
 	logf("serving on %s (shards=%d, max-conns=%d, pipeline=%d, batch-max=%d)",
 		ln.Addr(), st.NumShards(), *maxConns, *pipeline, *batchMax)
 
@@ -85,6 +115,33 @@ func main() {
 		logf("store saved to %s", *dir)
 	}
 	logf("bye")
+}
+
+// startSidecar serves /metrics and /healthz on addr. The health
+// endpoint defaults to the readiness probe (store loaded, accept loop
+// up); ?probe=live asks only whether the serving machinery is healthy,
+// so an orchestrator keeps a draining server alive but routes no new
+// traffic to it.
+func startSidecar(addr string, reg *metrics.Registry, ready, live func() bool) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		ok, probe := ready(), "ready"
+		if r.URL.Query().Get("probe") == "live" {
+			ok, probe = live(), "live"
+		}
+		if !ok {
+			http.Error(w, "not "+probe, http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, probe+"\n")
+	})
+	go http.Serve(ln, mux)
+	return ln, nil
 }
 
 // openStore loads dir if it holds a saved store, otherwise creates a

@@ -7,14 +7,27 @@
 // callers. The synchronous helpers (Get, Put, ...) block their caller
 // but not the connection; Go issues a request asynchronously for
 // callers that manage their own pipeline depth.
+//
+// Every synchronous helper takes a context. Cancellation and deadlines
+// release the waiting caller and abandon the call — the request may
+// still execute on the server (there is no wire-level cancel), but its
+// response is dropped when it arrives. Callers without a deadline pass
+// context.Background() or use the *NoCtx convenience wrappers.
+//
+// Protocol-level failures surface as the wire package's sentinel errors
+// (wire.ErrBusy, wire.ErrShutdown, wire.ErrMalformed, wire.ErrTooLarge)
+// wrapped with the server's message, so callers branch with errors.Is.
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
+	"upskiplist/internal/metrics"
 	"upskiplist/internal/wire"
 )
 
@@ -30,12 +43,24 @@ type Call struct {
 	Resp wire.Response // valid when Err == nil
 	Err  error         // transport error; Resp.Err() holds protocol errors
 	Done chan *Call
+
+	start int64 // metrics.Now() at issue; 0 when metrics are off
+}
+
+// clientMetrics holds the client's registered instruments, published
+// through an atomic pointer so the uninstrumented path pays one load.
+type clientMetrics struct {
+	// rtt is request round-trip latency by op kind, indexed by opcode
+	// (upsl_client_rtt_seconds{op=...}).
+	rtt [wire.OpBatch + 1]*metrics.Histogram
 }
 
 // Client is a pipelined connection to an upsl-server.
 type Client struct {
 	nc     net.Conn
 	outbox chan []byte
+
+	met atomic.Pointer[clientMetrics]
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -73,6 +98,20 @@ func NewClient(nc net.Conn) *Client {
 	return c
 }
 
+// EnableMetrics registers the client's instruments with reg — request
+// round-trip latency by op kind — and starts recording. Round trips
+// cover issue to response match, so they include server queueing and
+// any pipelining delay ahead of the request.
+func (c *Client) EnableMetrics(reg *metrics.Registry) {
+	m := &clientMetrics{}
+	for _, op := range []wire.Opcode{wire.OpGet, wire.OpPut, wire.OpDel, wire.OpScan, wire.OpBatch} {
+		m.rtt[op] = reg.Histogram("upsl_client_rtt_seconds",
+			"client request round-trip latency by op kind",
+			metrics.Labels{"op": op.String()})
+	}
+	c.met.Store(m)
+}
+
 // Go issues req asynchronously. The returned Call is delivered on done
 // (buffered, or nil to allocate one of capacity 1) when the response or
 // a connection error arrives. req is copied; the caller may reuse it.
@@ -81,6 +120,9 @@ func (c *Client) Go(req *wire.Request, done chan *Call) *Call {
 		done = make(chan *Call, 1)
 	}
 	call := &Call{Req: *req, Done: done}
+	if c.met.Load() != nil {
+		call.start = metrics.Now()
+	}
 	c.mu.Lock()
 	if c.closed {
 		err := c.err
@@ -114,21 +156,41 @@ func (c *Client) Go(req *wire.Request, done chan *Call) *Call {
 // connection's reader.
 func (call *Call) done() { call.Done <- call }
 
-// call issues req and waits for its response.
-func (c *Client) call(req *wire.Request) (*wire.Response, error) {
-	cl := <-c.Go(req, nil).Done
-	if cl.Err != nil {
-		return nil, cl.Err
+// call issues req and waits for its response, the context's
+// cancellation, or its deadline — whichever comes first. A cancelled
+// call is abandoned: the caller gets ctx.Err() immediately, and the
+// response (the request may well still execute server-side) is dropped
+// by the read loop when it arrives.
+func (c *Client) call(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	call := c.Go(req, nil)
+	select {
+	case cl := <-call.Done:
+		if cl.Err != nil {
+			return nil, cl.Err
+		}
+		if err := cl.Resp.Err(); err != nil {
+			return nil, err
+		}
+		return &cl.Resp, nil
+	case <-ctx.Done():
+		c.abandon(call)
+		return nil, ctx.Err()
 	}
-	if err := cl.Resp.Err(); err != nil {
-		return nil, err
+}
+
+// abandon forgets an in-flight call so its response, if one ever
+// arrives, is discarded instead of delivered.
+func (c *Client) abandon(call *Call) {
+	c.mu.Lock()
+	if c.pending != nil {
+		delete(c.pending, call.Req.ID)
 	}
-	return &cl.Resp, nil
+	c.mu.Unlock()
 }
 
 // Get reads key, reporting its value and whether it exists.
-func (c *Client) Get(key uint64) (uint64, bool, error) {
-	r, err := c.call(&wire.Request{Op: wire.OpGet, Key: key})
+func (c *Client) Get(ctx context.Context, key uint64) (uint64, bool, error) {
+	r, err := c.call(ctx, &wire.Request{Op: wire.OpGet, Key: key})
 	if err != nil {
 		return 0, false, err
 	}
@@ -137,8 +199,8 @@ func (c *Client) Get(key uint64) (uint64, bool, error) {
 
 // Put upserts key=val, reporting the previous value and whether the key
 // existed.
-func (c *Client) Put(key, val uint64) (uint64, bool, error) {
-	r, err := c.call(&wire.Request{Op: wire.OpPut, Key: key, Val: val})
+func (c *Client) Put(ctx context.Context, key, val uint64) (uint64, bool, error) {
+	r, err := c.call(ctx, &wire.Request{Op: wire.OpPut, Key: key, Val: val})
 	if err != nil {
 		return 0, false, err
 	}
@@ -147,8 +209,8 @@ func (c *Client) Put(key, val uint64) (uint64, bool, error) {
 
 // Del removes key, reporting the removed value and whether the key was
 // present.
-func (c *Client) Del(key uint64) (uint64, bool, error) {
-	r, err := c.call(&wire.Request{Op: wire.OpDel, Key: key})
+func (c *Client) Del(ctx context.Context, key uint64) (uint64, bool, error) {
+	r, err := c.call(ctx, &wire.Request{Op: wire.OpDel, Key: key})
 	if err != nil {
 		return 0, false, err
 	}
@@ -158,11 +220,11 @@ func (c *Client) Del(key uint64) (uint64, bool, error) {
 // Scan returns up to limit pairs with keys in [lo, hi] (inclusive, like
 // the engine's Scan), ascending.
 // limit <= 0 requests the server maximum (wire.MaxScanLimit).
-func (c *Client) Scan(lo, hi uint64, limit int) ([]wire.Pair, error) {
+func (c *Client) Scan(ctx context.Context, lo, hi uint64, limit int) ([]wire.Pair, error) {
 	if limit < 0 || limit > wire.MaxScanLimit {
 		limit = wire.MaxScanLimit
 	}
-	r, err := c.call(&wire.Request{Op: wire.OpScan, Lo: lo, Hi: hi, Limit: uint32(limit)})
+	r, err := c.call(ctx, &wire.Request{Op: wire.OpScan, Lo: lo, Hi: hi, Limit: uint32(limit)})
 	if err != nil {
 		return nil, err
 	}
@@ -172,12 +234,41 @@ func (c *Client) Scan(lo, hi uint64, limit int) ([]wire.Pair, error) {
 // Batch applies ops as one server-side group commit and returns per-op
 // results in submission order. Duplicate keys follow the engine's
 // contract: applied in submission order, last-writer-wins.
-func (c *Client) Batch(ops []wire.BatchOp) ([]wire.OpResult, error) {
-	r, err := c.call(&wire.Request{Op: wire.OpBatch, Batch: ops})
+func (c *Client) Batch(ctx context.Context, ops []wire.BatchOp) ([]wire.OpResult, error) {
+	r, err := c.call(ctx, &wire.Request{Op: wire.OpBatch, Batch: ops})
 	if err != nil {
 		return nil, err
 	}
 	return append([]wire.OpResult(nil), r.Results...), nil
+}
+
+// The *NoCtx wrappers are the context-free convenience surface for
+// callers with no cancellation to propagate (tools, tests): each is
+// exactly its namesake with context.Background().
+
+// GetNoCtx is Get with context.Background().
+func (c *Client) GetNoCtx(key uint64) (uint64, bool, error) {
+	return c.Get(context.Background(), key)
+}
+
+// PutNoCtx is Put with context.Background().
+func (c *Client) PutNoCtx(key, val uint64) (uint64, bool, error) {
+	return c.Put(context.Background(), key, val)
+}
+
+// DelNoCtx is Del with context.Background().
+func (c *Client) DelNoCtx(key uint64) (uint64, bool, error) {
+	return c.Del(context.Background(), key)
+}
+
+// ScanNoCtx is Scan with context.Background().
+func (c *Client) ScanNoCtx(lo, hi uint64, limit int) ([]wire.Pair, error) {
+	return c.Scan(context.Background(), lo, hi, limit)
+}
+
+// BatchNoCtx is Batch with context.Background().
+func (c *Client) BatchNoCtx(ops []wire.BatchOp) ([]wire.OpResult, error) {
+	return c.Batch(context.Background(), ops)
 }
 
 // Close shuts the connection down and fails all in-flight calls with
@@ -258,6 +349,11 @@ func (c *Client) readLoop() {
 				return
 			}
 			continue // response to an abandoned call
+		}
+		if call.start != 0 {
+			if m := c.met.Load(); m != nil && resp.Op <= wire.OpBatch && m.rtt[resp.Op] != nil {
+				m.rtt[resp.Op].Since(call.start)
+			}
 		}
 		call.Resp = resp
 		call.done()

@@ -1,11 +1,16 @@
 package client
 
 import (
+	"context"
+	"errors"
 	"net"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"upskiplist"
+	"upskiplist/internal/metrics"
 	"upskiplist/internal/server"
 	"upskiplist/internal/wire"
 )
@@ -41,11 +46,11 @@ func TestClientCloseFailsPending(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.Put(1, 10); err != nil {
+	if _, _, err := c.PutNoCtx(1, 10); err != nil {
 		t.Fatal(err)
 	}
 	c.Close()
-	if _, _, err := c.Get(1); err != ErrClosed {
+	if _, _, err := c.GetNoCtx(1); err != ErrClosed {
 		t.Fatalf("Get after Close = %v, want ErrClosed", err)
 	}
 	// Close again is a no-op.
@@ -86,7 +91,7 @@ func TestClientSharedDoneChannel(t *testing.T) {
 		seen[call.Req.ID] = true
 	}
 	for i := 1; i <= n; i++ {
-		v, found, err := c.Get(uint64(i))
+		v, found, err := c.GetNoCtx(uint64(i))
 		if err != nil || !found || v != uint64(i)*3 {
 			t.Fatalf("Get(%d) = (%d, %v, %v), want (%d, true, nil)", i, v, found, err, i*3)
 		}
@@ -116,7 +121,7 @@ func TestClientServerShutdownFailsCleanly(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, _, err := c.Put(5, 50); err != nil {
+	if _, _, err := c.PutNoCtx(5, 50); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Shutdown(); err != nil {
@@ -124,7 +129,7 @@ func TestClientServerShutdownFailsCleanly(t *testing.T) {
 	}
 	// The connection is gone; calls fail with a transport error rather
 	// than hanging.
-	if _, _, err := c.Get(5); err == nil {
+	if _, _, err := c.GetNoCtx(5); err == nil {
 		t.Fatal("Get succeeded after server shutdown")
 	}
 }
@@ -163,5 +168,163 @@ func TestLoadgenClosedLoop(t *testing.T) {
 	}
 	if completions.Load() != total {
 		t.Fatalf("OnResult saw %d completions, want %d", completions.Load(), total)
+	}
+}
+
+// TestClientContextStalledServer is the cancellation acceptance test: a
+// "server" that accepts the connection and then reads nothing must not
+// hang a caller with a deadline — every sync method returns
+// context.DeadlineExceeded when its context expires.
+func TestClientContextStalledServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stall := make(chan struct{})
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer nc.Close()
+			<-stall // hold the conn open, never respond
+		}
+	}()
+	defer close(stall)
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	calls := []struct {
+		name string
+		do   func(ctx context.Context) error
+	}{
+		{"Get", func(ctx context.Context) error { _, _, err := c.Get(ctx, 1); return err }},
+		{"Put", func(ctx context.Context) error { _, _, err := c.Put(ctx, 1, 2); return err }},
+		{"Del", func(ctx context.Context) error { _, _, err := c.Del(ctx, 1); return err }},
+		{"Scan", func(ctx context.Context) error { _, err := c.Scan(ctx, 1, 9, 4); return err }},
+		{"Batch", func(ctx context.Context) error {
+			_, err := c.Batch(ctx, []wire.BatchOp{{Kind: wire.OpPut, Key: 1, Value: 2}})
+			return err
+		}},
+	}
+	for _, tc := range calls {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		start := time.Now()
+		err := tc.do(ctx)
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s against stalled server = %v, want DeadlineExceeded", tc.name, err)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Errorf("%s took %v to time out", tc.name, d)
+		}
+	}
+
+	// Explicit cancellation releases a waiting caller too.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { _, _, err := c.Get(ctx, 1); done <- err }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled Get = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("cancelled Get did not return")
+	}
+
+	// The connection survives abandonment: pending map no longer holds
+	// the abandoned calls.
+	c.mu.Lock()
+	n := len(c.pending)
+	c.mu.Unlock()
+	if n != 0 {
+		t.Errorf("%d abandoned calls still pending", n)
+	}
+}
+
+// TestClientTypedErrors checks the sentinel-error surface end to end:
+// a conn-limited server answers BUSY, and the client error matches
+// wire.ErrBusy via errors.Is.
+func TestClientTypedErrors(t *testing.T) {
+	o := upskiplist.DefaultOptions()
+	o.PoolWords = 1 << 19
+	o.ChunkWords = 1 << 12
+	o.MaxChunks = 256
+	st, err := upskiplist.Create(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{Store: st, MaxConns: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Serve(ln)
+	defer s.Shutdown()
+
+	c1, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, _, err := c1.PutNoCtx(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, _, err := c2.GetNoCtx(1); !errors.Is(err, wire.ErrBusy) {
+		t.Fatalf("conn-limited Get = %v, want wire.ErrBusy", err)
+	}
+	// Out-of-range keys are operation errors, not sentinel statuses.
+	if _, _, err := c1.PutNoCtx(0, 1); err == nil || errors.Is(err, wire.ErrBusy) ||
+		errors.Is(err, wire.ErrMalformed) {
+		t.Fatalf("out-of-range Put = %v, want a plain operation error", err)
+	}
+}
+
+// TestClientRTTMetrics checks that EnableMetrics records round trips by
+// op kind.
+func TestClientRTTMetrics(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	reg := metrics.NewRegistry()
+	c.EnableMetrics(reg)
+	for i := uint64(1); i <= 10; i++ {
+		if _, _, err := c.PutNoCtx(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c.GetNoCtx(3); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`upsl_client_rtt_seconds_count{op="PUT"} 10`,
+		`upsl_client_rtt_seconds_count{op="GET"} 1`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, sb.String())
+		}
 	}
 }

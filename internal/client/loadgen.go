@@ -3,9 +3,9 @@ package client
 import (
 	"bufio"
 	"io"
-	"sort"
 	"time"
 
+	"upskiplist/internal/hist"
 	"upskiplist/internal/wire"
 )
 
@@ -39,12 +39,26 @@ type LoadConfig struct {
 	OnResult func(conn int, call *Call)
 }
 
-// LoadResult summarizes a Run.
+// LoadResult summarizes a Run. Latencies are issue-to-completion round
+// trips recorded in shared lock-free histograms (~1/32 relative
+// resolution), overall and per op kind.
 type LoadResult struct {
-	Ops      int           // operations completed OK
-	Errs     int           // operations completed with an error
-	Elapsed  time.Duration // wall clock of the whole run
-	P50, P99 time.Duration // per-op latency (issue to completion)
+	Ops     int           // operations completed OK
+	Errs    int           // operations completed with an error
+	Elapsed time.Duration // wall clock of the whole run
+
+	P50, P95, P99, P999 time.Duration // overall per-op latency quantiles
+
+	// Latency is the overall round-trip histogram; ByOp holds one
+	// histogram per issued op kind (nil for kinds never issued). Read
+	// them for quantiles beyond the precomputed ones.
+	Latency *hist.Histogram
+	ByOp    map[wire.Opcode]*hist.Histogram
+}
+
+// quantile reads a duration quantile off a histogram.
+func quantile(h *hist.Histogram, q float64) time.Duration {
+	return time.Duration(h.Quantile(q))
 }
 
 // OpsPerSec is the completed-OK throughput of the run.
@@ -69,11 +83,19 @@ func Run(cfg LoadConfig) LoadResult {
 		depth = 1
 	}
 	type connResult struct {
-		ok, errs  int
-		latencies []time.Duration
+		ok, errs int
 	}
 	results := make([]connResult, nconn)
 	done := make(chan int, nconn)
+
+	// Latency sinks are shared across driver goroutines: hist.Record is
+	// a couple of atomic adds, so drivers record directly instead of
+	// accumulating per-conn slices to be sorted afterwards.
+	overall := &hist.Histogram{}
+	byOp := make([]*hist.Histogram, wire.OpBatch+1)
+	for _, k := range []wire.Opcode{wire.OpGet, wire.OpPut, wire.OpDel, wire.OpScan, wire.OpBatch} {
+		byOp[k] = &hist.Histogram{}
+	}
 
 	per := cfg.Total / nconn
 	extra := cfg.Total % nconn
@@ -86,16 +108,15 @@ func Run(cfg LoadConfig) LoadResult {
 		go func(ci, total int) {
 			defer func() { done <- ci }()
 			r := &results[ci]
-			r.latencies = make([]time.Duration, 0, total)
 			c := cfg.Clients[ci]
 			ch := make(chan *Call, depth)
 			issued, completed := 0, 0
-			starts := make(map[*Call]time.Time, depth)
+			starts := make(map[*Call]int64, depth)
 			issue := func() {
 				op := cfg.Next(ci, issued)
 				req := wire.Request{Op: op.Kind, Key: op.Key, Val: op.Val}
 				call := c.Go(&req, ch)
-				starts[call] = time.Now()
+				starts[call] = hist.Now()
 				issued++
 			}
 			for issued < total && issued < depth {
@@ -105,7 +126,11 @@ func Run(cfg LoadConfig) LoadResult {
 				call := <-ch
 				completed++
 				if t0, ok := starts[call]; ok {
-					r.latencies = append(r.latencies, time.Since(t0))
+					ns := hist.Now() - t0
+					overall.Record(ns)
+					if k := call.Req.Op; int(k) < len(byOp) && byOp[k] != nil {
+						byOp[k].Record(ns)
+					}
 					delete(starts, call)
 				}
 				failed := call.Err != nil || call.Resp.Err() != nil
@@ -133,17 +158,22 @@ func Run(cfg LoadConfig) LoadResult {
 	for range cfg.Clients {
 		<-done
 	}
-	out := LoadResult{Elapsed: time.Since(start)}
-	var all []time.Duration
+	out := LoadResult{Elapsed: time.Since(start), Latency: overall}
 	for i := range results {
 		out.Ops += results[i].ok
 		out.Errs += results[i].errs
-		all = append(all, results[i].latencies...)
 	}
-	if len(all) > 0 {
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		out.P50 = all[len(all)/2]
-		out.P99 = all[len(all)*99/100]
+	if overall.Count() > 0 {
+		out.P50 = quantile(overall, 0.50)
+		out.P95 = quantile(overall, 0.95)
+		out.P99 = quantile(overall, 0.99)
+		out.P999 = quantile(overall, 0.999)
+	}
+	out.ByOp = make(map[wire.Opcode]*hist.Histogram)
+	for k, h := range byOp {
+		if h != nil && h.Count() > 0 {
+			out.ByOp[wire.Opcode(k)] = h
+		}
 	}
 	return out
 }

@@ -18,22 +18,56 @@ import (
 // microseconds; FencesPerOp is the simulated persistence-fence count
 // divided by operations executed, the group-commit amortization metric.
 type BenchRecord struct {
-	Experiment string  `json:"experiment"`
-	Index      string  `json:"index"`
-	Workload   string  `json:"workload"`
-	Threads    int     `json:"threads"`
-	Shards     int     `json:"shards"`
-	Batch      int     `json:"batch"`
+	Experiment string `json:"experiment"`
+	Index      string `json:"index"`
+	Workload   string `json:"workload"`
+	Threads    int    `json:"threads"`
+	Shards     int    `json:"shards"`
+	Batch      int    `json:"batch"`
 	// Conns/Depth describe network-service runs (the server experiment):
 	// client connections and per-connection pipeline depth. Zero for
 	// in-process experiments.
-	Conns int `json:"conns,omitempty"`
-	Depth int `json:"depth,omitempty"`
-	Ops        int     `json:"ops"`
-	OpsPerSec  float64 `json:"ops_per_sec"`
+	Conns     int     `json:"conns,omitempty"`
+	Depth     int     `json:"depth,omitempty"`
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Micros float64 `json:"p50_micros"`
+	P99Micros float64 `json:"p99_micros"`
+	// P95/P99.9 extend the latency tail picture; zero (omitted) for
+	// experiments that only report the classic p50/p99 pair.
+	P95Micros  float64 `json:"p95_micros,omitempty"`
+	P999Micros float64 `json:"p999_micros,omitempty"`
+	// OpLatency breaks the run's latency down by operation kind (map key
+	// is the wire opcode name, e.g. "GET"). Present for network-service
+	// runs, where read and write round trips diverge.
+	OpLatency   map[string]LatencySummary `json:"op_latency,omitempty"`
+	FencesPerOp float64                   `json:"fences_per_op"`
+}
+
+// LatencySummary is the percentile fingerprint of one latency
+// histogram, in microseconds.
+type LatencySummary struct {
+	Count      uint64  `json:"count"`
 	P50Micros  float64 `json:"p50_micros"`
+	P95Micros  float64 `json:"p95_micros"`
 	P99Micros  float64 `json:"p99_micros"`
-	FencesPerOp float64 `json:"fences_per_op"`
+	P999Micros float64 `json:"p999_micros"`
+}
+
+// Summarize reduces a latency histogram (nanosecond samples) to its
+// percentile summary.
+func Summarize(h *hist.Histogram) LatencySummary {
+	if h == nil || h.Count() == 0 {
+		return LatencySummary{}
+	}
+	us := func(q float64) float64 { return float64(h.Quantile(q)) / 1e3 }
+	return LatencySummary{
+		Count:      h.Count(),
+		P50Micros:  us(0.50),
+		P95Micros:  us(0.95),
+		P99Micros:  us(0.99),
+		P999Micros: us(0.999),
+	}
 }
 
 // WriteBenchJSON writes records as an indented JSON array (one file, one
@@ -70,7 +104,7 @@ type MeasuredResult struct {
 func RunMeasured(idx Index, run *ycsb.Run, threads, opsPerThread, batchSize int) (MeasuredResult, error) {
 	streams := make([][]ycsb.Op, threads)
 	for t := 0; t < threads; t++ {
-		streams[t] = run.NewStream(int64(t) + 1).Fill(nil, opsPerThread)
+		streams[t] = run.NewStream(int64(t)+1).Fill(nil, opsPerThread)
 	}
 	handles := make([]Handle, threads)
 	for t := 0; t < threads; t++ {

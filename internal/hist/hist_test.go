@@ -164,6 +164,137 @@ func TestConcurrentRecord(t *testing.T) {
 	}
 }
 
+func TestCountLE(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	if got := h.CountLE(0); got != 0 {
+		t.Fatalf("CountLE(0) = %d, want 0", got)
+	}
+	if got := h.CountLE(1 << 40); got != 1000 {
+		t.Fatalf("CountLE(huge) = %d, want 1000", got)
+	}
+	// At bucket resolution the cumulative count can only overshoot, and
+	// by at most one bucket's width (relative error 1/32).
+	for _, v := range []uint64{10, 100, 500, 999} {
+		got := h.CountLE(v)
+		if got < v {
+			t.Fatalf("CountLE(%d) = %d, want >= %d", v, got, v)
+		}
+		if limit := v + v/16 + 1; got > limit {
+			t.Fatalf("CountLE(%d) = %d overshoots bucket resolution (limit %d)", v, got, limit)
+		}
+	}
+	// Monotone in v.
+	prev := uint64(0)
+	for v := uint64(0); v < 2000; v += 37 {
+		if c := h.CountLE(v); c < prev {
+			t.Fatalf("CountLE not monotone at %d: %d < %d", v, c, prev)
+		} else {
+			prev = c
+		}
+	}
+}
+
+func TestSum(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{5, 10, 985} {
+		h.Record(v)
+	}
+	if h.Sum() != 1000 {
+		t.Fatalf("Sum = %d, want 1000", h.Sum())
+	}
+}
+
+// TestConcurrentQuantileAccuracy records a known exponential
+// distribution from many goroutines at once and checks the standard
+// percentiles against the exact values: concurrency must not lose or
+// corrupt samples (Record's per-bucket atomics are independent).
+func TestConcurrentQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 20000
+	samples := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 100))
+			samples[w] = make([]int64, 0, per)
+			for i := 0; i < per; i++ {
+				v := int64(rng.ExpFloat64() * 10000)
+				samples[w] = append(samples[w], v)
+				h.Record(v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var all []int64
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		exact := Exact(all, q)
+		if exact == 0 {
+			continue
+		}
+		got := h.Quantile(q)
+		ratio := float64(got) / float64(exact)
+		if ratio < 0.90 || ratio > 1.10 {
+			t.Fatalf("q=%v: got %d, exact %d (ratio %.3f)", q, got, exact, ratio)
+		}
+	}
+}
+
+// TestConcurrentRecordVsSnapshot hammers every read-side accessor while
+// recorders run; under -race this proves snapshots never need to stop
+// the world. Read-side invariants (monotone counts, quantiles within
+// recorded range) must hold on every interleaving.
+func TestConcurrentRecordVsSnapshot(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Record(int64(rng.Intn(1 << 20)))
+			}
+		}(int64(w))
+	}
+	var into Histogram
+	prevCount := uint64(0)
+	for i := 0; i < 2000; i++ {
+		c := h.Count()
+		if c < prevCount {
+			t.Errorf("Count went backwards: %d -> %d", prevCount, c)
+			break
+		}
+		prevCount = c
+		if q := h.Quantile(0.99); q > 1<<21 {
+			t.Errorf("p99 = %d outside recorded range", q)
+			break
+		}
+		h.CountLE(1 << 19)
+		h.Mean()
+		h.Max()
+		into.Merge(&h)
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestSummaryFormat(t *testing.T) {
 	var h Histogram
 	h.Record(1500)

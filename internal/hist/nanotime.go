@@ -1,0 +1,15 @@
+package hist
+
+import _ "unsafe" // for go:linkname
+
+// nanotime is the runtime's monotonic clock. One vdso read where
+// time.Now pays two (wall + monotonic), which matters when a timestamp
+// pair brackets a sub-microsecond operation on a hot path.
+//
+//go:linkname nanotime runtime.nanotime
+func nanotime() int64
+
+// Now returns an opaque monotonic timestamp in nanoseconds. Only
+// differences between two Now values are meaningful; pair it with
+// Histogram.RecordSinceNano.
+func Now() int64 { return nanotime() }

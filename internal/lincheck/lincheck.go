@@ -226,32 +226,21 @@ func checkKey(key uint64, ops []Op, crashes []int64) *Violation {
 		}
 	}
 
-	// Build the value chain with backtracking over pending placements.
-	chain, ok := buildChain(byObs, mustPlace, mayPlace)
-	if !ok {
-		return &Violation{key, "no consistent value chain exists", append([]Op(nil), writes...)}
-	}
-
-	// Every completed write must be on the chain.
-	onChain := map[uint64]bool{Absent: true}
-	for _, w := range chain {
-		onChain[w.Value] = true
-	}
+	// Every read must observe a produced value (or Absent). Every
+	// candidate chain carries the same value set — all completed writes
+	// plus every must-place pending write — so this is chain-independent.
+	producible := map[uint64]bool{Absent: true}
 	for _, w := range writes {
-		if !w.Pending() && !containsOp(chain, w.ID) {
-			return &Violation{key, fmt.Sprintf("completed write of %d has no place in the chain", w.Value), []Op{w}}
+		if !w.Pending() || observedVals[w.Value] {
+			producible[w.Value] = true
 		}
 	}
-	// Every read must observe a chain value (or Absent).
 	for _, r := range reads {
-		if !r.Pending() && !onChain[r.Observed] {
+		if !r.Pending() && !producible[r.Observed] {
 			return &Violation{key, fmt.Sprintf("read observed %d, which no effective write produced", r.Observed), []Op{r}}
 		}
 	}
 
-	// Timing feasibility: interleave reads into their chain segments and
-	// greedily assign strictly increasing linearization points within
-	// [Start, deadline].
 	readsBySegment := map[uint64][]Op{} // value whose segment the read sits in
 	for _, r := range reads {
 		if r.Pending() {
@@ -259,49 +248,60 @@ func checkKey(key uint64, ops []Op, crashes []int64) *Violation {
 		}
 		readsBySegment[r.Observed] = append(readsBySegment[r.Observed], r)
 	}
-	var seq []Op
-	appendReads := func(v uint64) {
-		rs := readsBySegment[v]
+	for _, rs := range readsBySegment {
 		sort.Slice(rs, func(a, b int) bool { return rs[a].Start < rs[b].Start })
-		seq = append(seq, rs...)
 	}
-	appendReads(Absent)
-	for _, w := range chain {
-		seq = append(seq, w)
-		appendReads(w.Value)
-	}
-	t := int64(-1 << 62)
-	for _, op := range seq {
-		if op.Start > t {
-			t = op.Start
-		} else {
-			t++
-		}
-		if t > deadline(op, crashes) {
-			return &Violation{key,
-				fmt.Sprintf("no linearization point for op %d (kind %d, value %d): needs t=%d > deadline %d",
-					op.ID, op.Kind, op.Value, t, deadline(op, crashes)),
-				seq}
-		}
-	}
-	return nil
-}
 
-func containsOp(chain []Op, id int) bool {
-	for _, w := range chain {
-		if w.ID == id {
-			return true
+	// Timing feasibility: interleave reads into their chain segments and
+	// greedily assign strictly increasing linearization points within
+	// [Start, deadline]. Several chains can satisfy the observation
+	// constraints when pending writes leave the order open, and they
+	// differ in timing, so enumerate chains until one also admits
+	// linearization points.
+	var timingV *Violation
+	ok := buildChain(byObs, mustPlace, mayPlace, func(chain []Op) bool {
+		seq := make([]Op, 0, len(chain)+len(reads))
+		seq = append(seq, readsBySegment[Absent]...)
+		for _, w := range chain {
+			seq = append(seq, w)
+			seq = append(seq, readsBySegment[w.Value]...)
 		}
+		t := int64(-1 << 62)
+		for _, op := range seq {
+			if op.Start > t {
+				t = op.Start
+			} else {
+				t++
+			}
+			if t > deadline(op, crashes) {
+				if timingV == nil {
+					timingV = &Violation{key,
+						fmt.Sprintf("no linearization point for op %d (kind %d, value %d): needs t=%d > deadline %d",
+							op.ID, op.Kind, op.Value, t, deadline(op, crashes)),
+						seq}
+				}
+				return false
+			}
+		}
+		return true
+	})
+	if ok {
+		return nil
 	}
-	return false
+	if timingV != nil {
+		return timingV
+	}
+	return &Violation{key, "no consistent value chain exists", append([]Op(nil), writes...)}
 }
 
 // buildChain searches for an ordering of effective writes starting from
 // Absent such that every completed write observes its predecessor's
 // value and every must-place pending write is included. Pending writes
 // (whose observed value is unknown) may be spliced anywhere their value
-// keeps the chain connected.
-func buildChain(byObs map[uint64][]Op, mustPlace, mayPlace map[uint64]Op) ([]Op, bool) {
+// keeps the chain connected. Each complete chain is offered to accept;
+// the search backtracks past rejected chains and reports whether any
+// chain was accepted.
+func buildChain(byObs map[uint64][]Op, mustPlace, mayPlace map[uint64]Op, accept func([]Op) bool) bool {
 	total := len(mustPlace)
 	for _, ws := range byObs {
 		total += len(ws)
@@ -347,12 +347,9 @@ func buildChain(byObs map[uint64][]Op, mustPlace, mayPlace map[uint64]Op) ([]Op,
 					}
 				}
 			}
-			return true
+			return accept(chain)
 		}
 		return false
 	}
-	if dfs(Absent, 0) {
-		return chain, true
-	}
-	return nil, false
+	return dfs(Absent, 0)
 }

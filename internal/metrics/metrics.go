@@ -1,0 +1,215 @@
+// Package metrics is a small lock-free metrics registry: named counter,
+// gauge and histogram families with constant labels, exposed in
+// Prometheus text format over HTTP.
+//
+// Recording is wait-free — counters and gauges are single atomics, and
+// histograms are internal/hist log-linear histograms (per-bucket
+// atomics, no locks) — so instruments can sit on engine hot paths. The
+// registry lock is taken only at registration and scrape time, never
+// while recording.
+//
+// Registration is idempotent: asking for an instrument that already
+// exists (same name, same labels) returns the existing one, so
+// independent components can share a registry without coordinating.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"upskiplist/internal/hist"
+)
+
+// Labels are the constant labels of one instrument, e.g.
+// Labels{"op": "get"}. Label order in the exposition is alphabetical,
+// so two Labels with the same contents name the same series.
+type Labels map[string]string
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram records latency samples in nanoseconds into a lock-free
+// log-linear histogram and exposes them as a Prometheus histogram in
+// seconds. Size-flavored histograms (SizeHistogram) record and expose
+// raw values instead.
+type Histogram struct {
+	h hist.Histogram
+
+	// Exposition shape; zero values mean the latency defaults
+	// (LatencyBuckets, recorded ns exposed as seconds).
+	buckets []float64
+	scale   float64 // recorded units per exposed unit; 0 -> 1e9
+}
+
+// Observe records one sample (nanoseconds; negative clamps to 0).
+func (h *Histogram) Observe(ns int64) { h.h.Record(ns) }
+
+// Now returns an opaque monotonic timestamp for Since — one clock read
+// where time.Now costs two, which matters when the timestamp pair
+// brackets a sub-microsecond operation.
+func Now() int64 { return hist.Now() }
+
+// Since records the elapsed time from start (a Now timestamp) until now.
+func (h *Histogram) Since(start int64) { h.h.RecordSinceNano(start) }
+
+// Hist exposes the underlying histogram for direct quantile reads and
+// for components that record through a *hist.Histogram.
+func (h *Histogram) Hist() *hist.Histogram { return &h.h }
+
+// instrument is one registered series.
+type instrument struct {
+	labels string // rendered {k="v",...}, "" when unlabeled
+	key    string // canonical dedup key
+	ctr    *Counter
+	gauge  *Gauge
+	gfn    func() float64
+	hst    *Histogram
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name string
+	help string
+	typ  string // "counter", "gauge", "histogram"
+	ins  []*instrument
+}
+
+// Registry holds named metric families. The zero value is not usable;
+// create one with NewRegistry.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family          // registration order, for stable exposition
+	byN  map[string]*family // name -> family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byN: make(map[string]*family)}
+}
+
+// renderLabels returns the canonical `{k="v",...}` form (alphabetical),
+// or "" for no labels.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, labels[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// lookup finds or creates the (family, instrument) pair for
+// (name, labels), verifying the family's type. New instruments are
+// created by mk.
+func (r *Registry) lookup(name, help, typ string, labels Labels, mk func() *instrument) *instrument {
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byN[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.byN[name] = f
+		r.fams = append(r.fams, f)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	for _, in := range f.ins {
+		if in.key == ls {
+			return in
+		}
+	}
+	in := mk()
+	in.labels = ls
+	in.key = ls
+	f.ins = append(f.ins, in)
+	return in
+}
+
+// Counter returns the counter named name with the given constant
+// labels, registering it on first use.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	in := r.lookup(name, help, "counter", labels, func() *instrument {
+		return &instrument{ctr: &Counter{}}
+	})
+	return in.ctr
+}
+
+// Gauge returns the gauge named name with the given constant labels,
+// registering it on first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	in := r.lookup(name, help, "gauge", labels, func() *instrument {
+		return &instrument{gauge: &Gauge{}}
+	})
+	return in.gauge
+}
+
+// GaugeFunc registers a gauge whose value is sampled by fn at scrape
+// time — for values another component already tracks (pool counters,
+// connection counts). Re-registering the same series replaces fn.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	in := r.lookup(name, help, "gauge", labels, func() *instrument {
+		return &instrument{}
+	})
+	in.gfn = fn
+}
+
+// Histogram returns the latency histogram named name with the given
+// constant labels, registering it on first use.
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	in := r.lookup(name, help, "histogram", labels, func() *instrument {
+		return &instrument{hst: &Histogram{}}
+	})
+	return in.hst
+}
+
+// SizeHistogram returns a histogram for dimensionless sizes (batch
+// sizes, drain sizes): samples are recorded with Observe as raw values
+// and exposed against the given bucket upper bounds instead of the
+// latency defaults.
+func (r *Registry) SizeHistogram(name, help string, labels Labels, buckets []float64) *Histogram {
+	in := r.lookup(name, help, "histogram", labels, func() *instrument {
+		return &instrument{hst: &Histogram{buckets: buckets, scale: 1}}
+	})
+	return in.hst
+}

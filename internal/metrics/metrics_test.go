@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "total ops", Labels{"op": "get"})
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Load())
+	}
+	g := r.Gauge("conns", "open connections", nil)
+	g.Set(3)
+	g.Add(-1)
+	if g.Load() != 2 {
+		t.Fatalf("gauge = %d, want 2", g.Load())
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", Labels{"op": "get"})
+	b := r.Counter("x_total", "", Labels{"op": "get"})
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	c := r.Counter("x_total", "", Labels{"op": "put"})
+	if a == c {
+		t.Fatal("different labels returned the same counter")
+	}
+	h1 := r.Histogram("lat_seconds", "", nil)
+	h2 := r.Histogram("lat_seconds", "", nil)
+	if h1 != h2 {
+		t.Fatal("same histogram series returned distinct instances")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering dual as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("dual", "", nil)
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("upsl_ops_total", "ops by kind", Labels{"op": "get"}).Add(7)
+	r.Counter("upsl_ops_total", "ops by kind", Labels{"op": "put"}).Add(3)
+	r.GaugeFunc("upsl_conns", "open conns", nil, func() float64 { return 2 })
+	h := r.Histogram("upsl_lat_seconds", "latency", Labels{"op": "get"})
+	h.Observe(int64(50 * time.Microsecond)) // 5e-5s bucket
+	h.Observe(int64(2 * time.Millisecond))  // 2.5e-3s bucket
+	h.Since(Now())                          // ~0
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+
+	for _, want := range []string{
+		"# TYPE upsl_ops_total counter",
+		`upsl_ops_total{op="get"} 7`,
+		`upsl_ops_total{op="put"} 3`,
+		"# TYPE upsl_conns gauge",
+		"upsl_conns 2",
+		"# TYPE upsl_lat_seconds histogram",
+		`upsl_lat_seconds_bucket{op="get",le="+Inf"} 3`,
+		`upsl_lat_seconds_count{op="get"} 3`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	// Cumulative buckets: the 5e-5 bound holds the 50µs sample (plus the
+	// ~0 one), the 2.5e-3 bound additionally holds the 2ms sample.
+	if !strings.Contains(body, `upsl_lat_seconds_bucket{op="get",le="5e-05"} 2`) {
+		t.Fatalf("5e-05 bucket wrong:\n%s", body)
+	}
+	if !strings.Contains(body, `upsl_lat_seconds_bucket{op="get",le="0.0025"} 3`) {
+		t.Fatalf("0.0025 bucket wrong:\n%s", body)
+	}
+}
+
+func TestBucketsMonotone(t *testing.T) {
+	for i := 1; i < len(LatencyBuckets); i++ {
+		if LatencyBuckets[i] <= LatencyBuckets[i-1] {
+			t.Fatalf("LatencyBuckets not ascending at %d", i)
+		}
+	}
+}
+
+// TestConcurrentRecordVsScrape exercises recording from many goroutines
+// while scraping — the production shape (workers record, Prometheus
+// scrapes). Run under -race in CI.
+func TestConcurrentRecordVsScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "", nil)
+	h := r.Histogram("lat_seconds", "", nil)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(int64(i % 1e6))
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		// Late registration during traffic must also be safe.
+		r.Counter("ops_total", "", Labels{"op": "x"}).Inc()
+	}
+	close(stop)
+	wg.Wait()
+}

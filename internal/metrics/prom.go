@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// LatencyBuckets are the upper bounds (seconds) of the exported
+// histogram buckets: 1µs to 10s in a 1-2.5-5 ladder, wide enough for
+// in-memory point ops at the bottom and stalled recoveries at the top.
+// The underlying log-linear histogram has ~1/32 relative resolution, so
+// these coarse exposition bounds lose nothing that was measured.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+// WritePrometheus writes every registered metric in Prometheus text
+// exposition format (version 0.0.4). Safe to call concurrently with
+// recording; the scrape is per-counter consistent.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.typ)
+		for _, in := range f.ins {
+			switch {
+			case in.ctr != nil:
+				fmt.Fprintf(&sb, "%s%s %d\n", f.name, in.labels, in.ctr.Load())
+			case in.gfn != nil:
+				fmt.Fprintf(&sb, "%s%s %g\n", f.name, in.labels, in.gfn())
+			case in.gauge != nil:
+				fmt.Fprintf(&sb, "%s%s %d\n", f.name, in.labels, in.gauge.Load())
+			case in.hst != nil:
+				writeHistogram(&sb, f.name, in)
+			}
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// writeHistogram emits the cumulative `le` buckets, sum and count of
+// one histogram series. Latency histograms record nanoseconds and are
+// exposed in seconds, per Prometheus convention; size histograms expose
+// raw values against their own bounds.
+func writeHistogram(sb *strings.Builder, name string, in *instrument) {
+	h := in.hst.Hist()
+	buckets, scale := in.hst.buckets, in.hst.scale
+	if buckets == nil {
+		buckets = LatencyBuckets
+	}
+	if scale == 0 {
+		scale = 1e9
+	}
+	// Splice le="..." into the existing label set.
+	open := in.labels
+	if open == "" {
+		open = "{"
+	} else {
+		open = strings.TrimSuffix(open, "}") + ","
+	}
+	for _, le := range buckets {
+		n := h.CountLE(uint64(le * scale))
+		fmt.Fprintf(sb, "%s_bucket%sle=%q} %d\n", name, open, fmt.Sprintf("%g", le), n)
+	}
+	count := h.Count()
+	fmt.Fprintf(sb, "%s_bucket%sle=\"+Inf\"} %d\n", name, open, count)
+	fmt.Fprintf(sb, "%s_sum%s %g\n", name, in.labels, float64(h.Sum())/scale)
+	fmt.Fprintf(sb, "%s_count%s %d\n", name, in.labels, count)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -34,6 +34,8 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+
+	"upskiplist/internal/hist"
 )
 
 // LineWords is the number of 64-bit words in a simulated cache line
@@ -177,7 +179,10 @@ const (
 type Acc struct {
 	Node  int
 	shard uint32 // stats shard, assigned round-robin at creation
-	tags  [accSets][accWays]uint64
+	// fenceTick drives 1-in-fenceSample fence-wait observation (see
+	// SetFenceObserver). Owner-goroutine state like the rest of the Acc.
+	fenceTick uint32
+	tags      [accSets][accWays]uint64
 }
 
 // accSeq hands out stats shards.
@@ -243,6 +248,10 @@ type Pool struct {
 
 	// flushers tracks concurrent Persist callers for the contention model.
 	flushers atomic.Int64
+
+	// fenceObs, when set, receives the wall-clock duration of every
+	// Fence (see SetFenceObserver).
+	fenceObs atomic.Pointer[hist.Histogram]
 
 	tracking atomic.Bool
 	shards   [shardCount]shadowShard
@@ -563,9 +572,40 @@ func (b *Batch) Flush(acc *Acc) {
 // stats accounting; it exists so algorithm code reads like the paper's.
 func (p *Pool) Fence(acc *Acc) {
 	p.stats.cell(acc).Fences.Add(1)
+	if h := p.fenceObs.Load(); h != nil {
+		sample := acc == nil
+		if !sample {
+			acc.fenceTick++
+			sample = acc.fenceTick%fenceSample == 0
+		}
+		if sample {
+			start := hist.Now()
+			if p.cost != nil {
+				spin(p.cost.FencePenalty)
+			}
+			h.RecordSinceNano(start)
+			return
+		}
+	}
 	if p.cost != nil {
 		spin(p.cost.FencePenalty)
 	}
+}
+
+// fenceSample is the fence-wait observation rate: 1 in fenceSample
+// fences is timed. A fence costs a handful of nanoseconds while a clock
+// read costs tens, so timing every fence would distort the very path
+// being observed; sampling keeps the distribution (fences from one call
+// site are statistically alike) at ~1/16 of the measurement cost.
+const fenceSample = 16
+
+// SetFenceObserver installs a histogram that receives the wall-clock
+// duration of sampled Fences — 1 in fenceSample per accessor, every
+// fence for accessor-less (administrative) callers. Nil removes it. The
+// unsampled fence path pays one atomic pointer load and a local counter
+// increment. Safe to install or remove while workers are running.
+func (p *Pool) SetFenceObserver(h *hist.Histogram) {
+	p.fenceObs.Store(h)
 }
 
 // EnableTracking switches the pool into crash-tracking mode. It must be

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"upskiplist"
+	"upskiplist/internal/metrics"
 	"upskiplist/internal/wire"
 )
 
@@ -17,6 +18,7 @@ type request struct {
 	kind wire.Opcode
 	key  uint64
 	val  uint64
+	enq  int64 // metrics.Now() at enqueue; 0 when metrics are off
 }
 
 // batcher owns one keyspace shard: a dedicated engine worker plus a
@@ -38,10 +40,10 @@ type batcher struct {
 	ops  []upskiplist.Op
 	res  []upskiplist.OpResult
 
-	// Published counters (read by Server.Snapshot from other
-	// goroutines, hence atomics).
-	drains       atomic.Uint64 // ApplyBatch calls
-	drainedOps   atomic.Uint64 // ops across all drains
+	// Published hint-cache counters (read by Server.Snapshot from other
+	// goroutines, hence atomics; Store-not-Add because the worker's
+	// stats are already cumulative). Drain counters live in the shared
+	// registry-backed serverCounters.
 	hintSeeded   atomic.Uint64
 	hintMissed   atomic.Uint64
 	hintFallback atomic.Uint64
@@ -133,10 +135,24 @@ func (b *batcher) apply() {
 	if cap(b.res) < len(b.ops) {
 		b.res = make([]upskiplist.OpResult, len(b.ops))
 	}
+	m := b.srv.met
+	var start int64
+	if m != nil {
+		// One clock read covers both instruments: it ends every rider's
+		// queue wait and starts the apply timer.
+		start = metrics.Now()
+		for _, r := range b.reqs {
+			m.queueWait.Observe(start - r.enq)
+		}
+		m.drainSize.Observe(int64(len(b.ops)))
+	}
 	res := b.w.ApplyBatchInto(b.ops, b.res[:len(b.ops)])
+	if m != nil {
+		m.applyTime.Since(start)
+	}
 
-	b.drains.Add(1)
-	b.drainedOps.Add(uint64(len(b.ops)))
+	b.srv.ctr.drains.Inc()
+	b.srv.ctr.drainedOps.Add(uint64(len(b.ops)))
 	ws := b.w.Stats()
 	b.hintSeeded.Store(ws.HintSeeded)
 	b.hintMissed.Store(ws.HintMissed)
@@ -151,7 +167,7 @@ func (b *batcher) apply() {
 	for i, r := range b.reqs {
 		resp := wire.Response{Op: r.kind, ID: r.id, Found: res[i].Found, Value: res[i].Value}
 		if res[i].Err != nil {
-			resp.Status = wire.StatusErr
+			resp.Status = wire.StatusOf(res[i].Err)
 			resp.Msg = res[i].Err.Error()
 		}
 		r.c.respond(&resp)

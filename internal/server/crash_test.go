@@ -226,10 +226,10 @@ func TestServerCrashRestart(t *testing.T) {
 	defer s2.Shutdown()
 	c := dialT(t, ln2.Addr().String())
 	k0 := logs[0].ackedSingles[0]
-	if v, found, err := c.Get(k0); err != nil || !found || v != val(k0) {
+	if v, found, err := c.GetNoCtx(k0); err != nil || !found || v != val(k0) {
 		t.Fatalf("restarted server Get(%d) = (%d, %v, %v), want (%d, true, nil)", k0, v, found, err, val(k0))
 	}
-	if _, _, err := c.Put(k0, 1); err != nil {
+	if _, _, err := c.PutNoCtx(k0, 1); err != nil {
 		t.Fatalf("restarted server rejects writes: %v", err)
 	}
 }

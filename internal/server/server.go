@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"upskiplist"
+	"upskiplist/internal/metrics"
 	"upskiplist/internal/wire"
 )
 
@@ -82,6 +83,13 @@ type Config struct {
 	// StatsInterval enables the periodic one-line engine/server stats
 	// log (0 disables).
 	StatsInterval time.Duration
+
+	// Metrics, when non-nil, is the registry the server registers its
+	// instruments with: request counters, a conns gauge, and the batcher
+	// latency histograms (queue wait, apply time, drain size). Leaving
+	// it nil keeps the counters (they feed Snapshot) but skips the
+	// per-request timestamping the histograms need.
+	Metrics *metrics.Registry
 
 	// Logf sinks log lines (default log.Printf).
 	Logf func(format string, args ...any)
@@ -131,9 +139,10 @@ type Server struct {
 	cfg Config
 	st  *upskiplist.Store
 
-	ln       net.Listener
-	batchers []*batcher
-	state    atomic.Int32
+	ln        net.Listener
+	batchers  []*batcher
+	state     atomic.Int32
+	accepting atomic.Bool // accept loop running (health/readiness)
 
 	// threadIDs is the free list of engine worker thread IDs available
 	// to connections; its capacity is the connection limit.
@@ -147,22 +156,72 @@ type Server struct {
 	connWG    sync.WaitGroup // writers + closers
 	batcherWG sync.WaitGroup
 
-	stats     serverCounters
+	reg       *metrics.Registry // cfg.Metrics, or a private registry
+	ctr       *serverCounters
+	met       *srvMetrics // nil unless cfg.Metrics was set
 	statsQuit chan struct{}
 }
 
-// serverCounters are the server-side request counters (engine counters
-// live in Store.Stats).
+// serverCounters are the server-side request counters. They are
+// registry-backed so the periodic stats log, Server.Snapshot and the
+// /metrics exposition all read the same cells; when Config.Metrics is
+// nil they live in a private registry and only feed Snapshot.
 type serverCounters struct {
-	accepted atomic.Uint64
-	rejected atomic.Uint64
-	gets     atomic.Uint64
-	puts     atomic.Uint64
-	dels     atomic.Uint64
-	scans    atomic.Uint64
-	batches  atomic.Uint64 // client BATCH frames
-	batchOps atomic.Uint64 // ops inside client BATCH frames
-	malf     atomic.Uint64 // malformed frames
+	accepted   *metrics.Counter
+	rejected   *metrics.Counter
+	gets       *metrics.Counter
+	puts       *metrics.Counter
+	dels       *metrics.Counter
+	scans      *metrics.Counter
+	batches    *metrics.Counter // client BATCH frames
+	batchOps   *metrics.Counter // ops inside client BATCH frames
+	malf       *metrics.Counter // malformed frames
+	drains     *metrics.Counter // batcher ApplyBatch calls
+	drainedOps *metrics.Counter // single-key requests across all drains
+}
+
+func newServerCounters(reg *metrics.Registry) *serverCounters {
+	req := func(op string) *metrics.Counter {
+		return reg.Counter("upsl_server_requests_total",
+			"requests served by opcode", metrics.Labels{"op": op})
+	}
+	return &serverCounters{
+		accepted:   reg.Counter("upsl_server_conns_accepted_total", "connections accepted and served", nil),
+		rejected:   reg.Counter("upsl_server_conns_rejected_total", "connections refused with BUSY", nil),
+		gets:       req("GET"),
+		puts:       req("PUT"),
+		dels:       req("DEL"),
+		scans:      req("SCAN"),
+		batches:    req("BATCH"),
+		batchOps:   reg.Counter("upsl_server_batch_ops_total", "operations inside client BATCH frames", nil),
+		malf:       reg.Counter("upsl_server_malformed_total", "malformed request frames", nil),
+		drains:     reg.Counter("upsl_server_drains_total", "batcher group commits (ApplyBatch calls)", nil),
+		drainedOps: reg.Counter("upsl_server_drained_ops_total", "single-key requests carried by batcher drains", nil),
+	}
+}
+
+// DrainSizeBuckets are the exposition bounds of the drain-size
+// histogram, covering MaxBatch up to the wire-protocol ceiling.
+var DrainSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// srvMetrics are the batcher latency instruments — only allocated when
+// Config.Metrics is set, because queue-wait needs a clock read per
+// enqueued request.
+type srvMetrics struct {
+	queueWait *metrics.Histogram // request enqueue -> drain start
+	applyTime *metrics.Histogram // Worker.ApplyBatch duration per drain
+	drainSize *metrics.Histogram // single-key requests per drain
+}
+
+func newSrvMetrics(reg *metrics.Registry) *srvMetrics {
+	return &srvMetrics{
+		queueWait: reg.Histogram("upsl_server_queue_wait_seconds",
+			"time a single-key request waits in its shard batcher queue", nil),
+		applyTime: reg.Histogram("upsl_server_apply_seconds",
+			"group-commit (ApplyBatch) duration per batcher drain", nil),
+		drainSize: reg.SizeHistogram("upsl_server_drain_size",
+			"single-key requests per batcher drain", nil, DrainSizeBuckets),
+	}
 }
 
 // New builds a Server over cfg.Store. Call Serve to start accepting.
@@ -171,6 +230,20 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{cfg: cfg, st: cfg.Store, conns: make(map[*conn]struct{})}
+	s.reg = cfg.Metrics
+	if s.reg == nil {
+		s.reg = metrics.NewRegistry()
+	}
+	s.ctr = newServerCounters(s.reg)
+	s.reg.GaugeFunc("upsl_server_conns", "currently served connections", nil, func() float64 {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		return float64(n)
+	})
+	if cfg.Metrics != nil {
+		s.met = newSrvMetrics(cfg.Metrics)
+	}
 	nshards := s.st.NumShards()
 	s.threadIDs = make(chan int, cfg.MaxConns)
 	for i := 0; i < cfg.MaxConns; i++ {
@@ -193,8 +266,29 @@ func New(cfg Config) (*Server, error) {
 // accept loop runs until Shutdown or Kill.
 func (s *Server) Serve(ln net.Listener) {
 	s.ln = ln
+	s.accepting.Store(true)
 	s.acceptWG.Add(1)
 	go s.acceptLoop()
+}
+
+// Ready reports whether the server is accepting and serving requests —
+// the server's contribution to a readiness probe (the process may gate
+// readiness on more, e.g. recovery having completed before Serve).
+func (s *Server) Ready() bool { return s.running() && s.accepting.Load() }
+
+// Live reports whether the serving machinery is healthy: the accept
+// loop is running, or the server is deliberately winding down (a
+// draining server is still live, just not ready). False once stopped
+// or if the accept loop died while the server believed itself running.
+func (s *Server) Live() bool {
+	switch s.state.Load() {
+	case stateRunning:
+		return s.accepting.Load()
+	case stateStopped:
+		return false
+	default: // draining / killed: shutting down on purpose
+		return true
+	}
 }
 
 // Addr returns the listener address (nil before Serve).
@@ -212,7 +306,10 @@ func (s *Server) running() bool { return s.state.Load() == stateRunning }
 func (s *Server) killed() bool  { return s.state.Load() == stateKilled }
 
 func (s *Server) acceptLoop() {
-	defer s.acceptWG.Done()
+	defer func() {
+		s.accepting.Store(false)
+		s.acceptWG.Done()
+	}()
 	for {
 		nc, err := s.ln.Accept()
 		if err != nil {
@@ -224,10 +321,10 @@ func (s *Server) acceptLoop() {
 		}
 		select {
 		case id := <-s.threadIDs:
-			s.stats.accepted.Add(1)
+			s.ctr.accepted.Inc()
 			s.startConn(nc, id)
 		default:
-			s.stats.rejected.Add(1)
+			s.ctr.rejected.Inc()
 			rejectConn(nc, wire.StatusBusy, "connection limit reached")
 		}
 	}
@@ -381,18 +478,27 @@ func (c *conn) readLoop() {
 	for {
 		payload, err := wire.ReadFrame(br, c.frameBuf)
 		if err != nil {
-			if err == wire.ErrFrameTooLarge {
-				c.srv.stats.malf.Add(1)
+			if errors.Is(err, wire.ErrTooLarge) {
+				// Tell the client why before hanging up (ID 0: the
+				// request was never decoded).
+				c.srv.ctr.malf.Inc()
+				c.tokens <- struct{}{}
+				c.pending.Add(1)
+				c.respond(&wire.Response{Status: wire.StatusTooLarge, Msg: err.Error()})
 			}
 			return
 		}
 		c.frameBuf = payload[:0]
 		if err := wire.DecodeRequest(payload, &c.req); err != nil {
-			c.srv.stats.malf.Add(1)
+			// wire's decode errors wrap the sentinel that names the
+			// failure; StatusOf turns it back into the wire status
+			// (MALFORMED for corrupt frames, TOO_LARGE for frames that
+			// exceed protocol bounds).
+			c.srv.ctr.malf.Inc()
 			c.tokens <- struct{}{}
 			c.pending.Add(1)
 			c.respond(&wire.Response{
-				Op: c.req.Op, Status: wire.StatusMalformed, ID: c.req.ID, Msg: err.Error(),
+				Op: c.req.Op, Status: wire.StatusOf(err), ID: c.req.ID, Msg: err.Error(),
 			})
 			return
 		}
@@ -410,20 +516,23 @@ func (c *conn) dispatch() {
 	case wire.OpGet, wire.OpPut, wire.OpDel:
 		switch q.Op {
 		case wire.OpGet:
-			c.srv.stats.gets.Add(1)
+			c.srv.ctr.gets.Inc()
 		case wire.OpPut:
-			c.srv.stats.puts.Add(1)
+			c.srv.ctr.puts.Inc()
 		default:
-			c.srv.stats.dels.Add(1)
+			c.srv.ctr.dels.Inc()
 		}
-		b := c.srv.batchers[c.srv.st.ShardOf(q.Key)]
-		b.ch <- request{c: c, id: q.ID, kind: q.Op, key: q.Key, val: q.Val}
+		r := request{c: c, id: q.ID, kind: q.Op, key: q.Key, val: q.Val}
+		if c.srv.met != nil {
+			r.enq = metrics.Now() // queue-wait clock starts at enqueue
+		}
+		c.srv.batchers[c.srv.st.ShardOf(q.Key)].ch <- r
 	case wire.OpScan:
-		c.srv.stats.scans.Add(1)
+		c.srv.ctr.scans.Inc()
 		c.runScan(q)
 	case wire.OpBatch:
-		c.srv.stats.batches.Add(1)
-		c.srv.stats.batchOps.Add(uint64(len(q.Batch)))
+		c.srv.ctr.batches.Inc()
+		c.srv.ctr.batchOps.Add(uint64(len(q.Batch)))
 		c.runBatch(q)
 	}
 }
@@ -467,7 +576,7 @@ func (c *conn) runBatch(q *wire.Request) {
 	for i, r := range res {
 		if r.Err != nil {
 			c.respond(&wire.Response{
-				Op: wire.OpBatch, Status: wire.StatusErr, ID: q.ID,
+				Op: wire.OpBatch, Status: wire.StatusOf(r.Err), ID: q.ID,
 				Msg: fmt.Sprintf("op %d: %v", i, r.Err),
 			})
 			return

@@ -67,25 +67,25 @@ func TestServerBasicOps(t *testing.T) {
 	_, addr := newTestServer(t, Config{})
 	c := dialT(t, addr)
 
-	if _, found, err := c.Get(1); err != nil || found {
+	if _, found, err := c.GetNoCtx(1); err != nil || found {
 		t.Fatalf("Get(1) on empty store = (%v, %v), want (false, nil)", found, err)
 	}
-	if old, existed, err := c.Put(1, 100); err != nil || existed || old != 0 {
+	if old, existed, err := c.PutNoCtx(1, 100); err != nil || existed || old != 0 {
 		t.Fatalf("Put(1,100) = (%d, %v, %v), want (0, false, nil)", old, existed, err)
 	}
-	if old, existed, err := c.Put(1, 101); err != nil || !existed || old != 100 {
+	if old, existed, err := c.PutNoCtx(1, 101); err != nil || !existed || old != 100 {
 		t.Fatalf("Put(1,101) = (%d, %v, %v), want (100, true, nil)", old, existed, err)
 	}
-	if v, found, err := c.Get(1); err != nil || !found || v != 101 {
+	if v, found, err := c.GetNoCtx(1); err != nil || !found || v != 101 {
 		t.Fatalf("Get(1) = (%d, %v, %v), want (101, true, nil)", v, found, err)
 	}
-	if v, found, err := c.Del(1); err != nil || !found || v != 101 {
+	if v, found, err := c.DelNoCtx(1); err != nil || !found || v != 101 {
 		t.Fatalf("Del(1) = (%d, %v, %v), want (101, true, nil)", v, found, err)
 	}
-	if _, found, err := c.Get(1); err != nil || found {
+	if _, found, err := c.GetNoCtx(1); err != nil || found {
 		t.Fatalf("Get(1) after Del = found=%v err=%v, want (false, nil)", found, err)
 	}
-	if _, found, err := c.Del(1); err != nil || found {
+	if _, found, err := c.DelNoCtx(1); err != nil || found {
 		t.Fatalf("Del(1) of absent key = found=%v err=%v, want (false, nil)", found, err)
 	}
 }
@@ -95,11 +95,11 @@ func TestServerScan(t *testing.T) {
 	c := dialT(t, addr)
 
 	for k := uint64(10); k < 30; k++ {
-		if _, _, err := c.Put(k, k*2); err != nil {
+		if _, _, err := c.PutNoCtx(k, k*2); err != nil {
 			t.Fatal(err)
 		}
 	}
-	pairs, err := c.Scan(15, 24, 0)
+	pairs, err := c.ScanNoCtx(15, 24, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestServerScan(t *testing.T) {
 		}
 	}
 	// Limit truncates.
-	pairs, err = c.Scan(10, 30, 5)
+	pairs, err = c.ScanNoCtx(10, 30, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestServerBatch(t *testing.T) {
 
 	// Duplicate keys in one batch follow the engine's contract:
 	// submission order, last-writer-wins.
-	res, err := c.Batch([]wire.BatchOp{
+	res, err := c.BatchNoCtx([]wire.BatchOp{
 		{Kind: wire.OpPut, Key: 7, Value: 1},
 		{Kind: wire.OpGet, Key: 7},
 		{Kind: wire.OpPut, Key: 7, Value: 2},
@@ -155,7 +155,7 @@ func TestServerBatch(t *testing.T) {
 			t.Fatalf("batch result %d = %+v, want %+v", i, res[i], want[i])
 		}
 	}
-	if v, found, err := c.Get(7); err != nil || !found || v != 3 {
+	if v, found, err := c.GetNoCtx(7); err != nil || !found || v != 3 {
 		t.Fatalf("Get(7) after batch = (%d, %v, %v), want (3, true, nil)", v, found, err)
 	}
 }
@@ -199,7 +199,7 @@ func TestServerPipelinedConcurrentClients(t *testing.T) {
 
 	c := dialT(t, addr)
 	for k := uint64(1); k <= conns*perConn; k++ {
-		v, found, err := c.Get(k)
+		v, found, err := c.GetNoCtx(k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -219,7 +219,7 @@ func TestServerPipelinedConcurrentClients(t *testing.T) {
 func TestServerConnLimit(t *testing.T) {
 	_, addr := newTestServer(t, Config{MaxConns: 1})
 	c1 := dialT(t, addr)
-	if _, _, err := c1.Put(1, 1); err != nil {
+	if _, _, err := c1.PutNoCtx(1, 1); err != nil {
 		t.Fatal(err)
 	}
 	// Second connection must be rejected with BUSY. The rejection races
@@ -229,7 +229,7 @@ func TestServerConnLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	_, _, err = c2.Get(1)
+	_, _, err = c2.GetNoCtx(1)
 	if err == nil {
 		t.Fatal("second connection served beyond MaxConns=1")
 	}
@@ -243,7 +243,7 @@ func TestServerConnLimit(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if v, found, err := c3.Get(1); err == nil {
+		if v, found, err := c3.GetNoCtx(1); err == nil {
 			if !found || v != 1 {
 				t.Fatalf("Get(1) = (%d, %v), want (1, true)", v, found)
 			}
@@ -295,7 +295,7 @@ func TestServerGracefulShutdownSaves(t *testing.T) {
 	c := dialT(t, addr)
 	const n = 200
 	for k := uint64(1); k <= n; k++ {
-		if _, _, err := c.Put(k, k+1000); err != nil {
+		if _, _, err := c.PutNoCtx(k, k+1000); err != nil {
 			t.Fatal(err)
 		}
 	}

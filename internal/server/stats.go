@@ -4,95 +4,16 @@ import (
 	"bufio"
 	"io"
 	"time"
+
+	"upskiplist/internal/stats"
 )
 
-// Snapshot is a point-in-time view of the server's counters plus the
-// engine counters of the store it fronts. All fields are cumulative
-// since server start; rates come from differencing two snapshots.
-type Snapshot struct {
-	// Connections.
-	Conns    int    // currently served
-	Accepted uint64 // total accepted and served
-	Rejected uint64 // refused with StatusBusy (connection limit)
-
-	// Requests by opcode. BatchOps counts the operations inside client
-	// BATCH frames; Batches counts the frames.
-	Gets, Puts, Dels, Scans, Batches, BatchOps uint64
-	Malformed                                  uint64
-
-	// Batcher group-commit counters: Drains is the number of ApplyBatch
-	// calls the shard batchers issued, DrainedOps the single-key
-	// requests they carried.
-	Drains, DrainedOps uint64
-
-	// Predecessor-hint-cache counters summed over the batcher workers
-	// (connection workers' hints are private to their goroutines and
-	// not included).
-	HintSeeded, HintMissed, HintFallback uint64
-
-	// Engine persistence counters aggregated over every shard's pools.
-	Fences         uint64
-	PersistedLines uint64
-}
-
-// Ops returns the total engine operations the server issued: singles
-// through the batchers plus scans plus client-batch interior ops.
-func (s Snapshot) Ops() uint64 {
-	return s.Gets + s.Puts + s.Dels + s.Scans + s.BatchOps
-}
-
-// AvgDrain is the mean single-key requests per batcher group commit —
-// the fence amortization the batching layer achieved.
-func (s Snapshot) AvgDrain() float64 {
-	if s.Drains == 0 {
-		return 0
-	}
-	return float64(s.DrainedOps) / float64(s.Drains)
-}
-
-// FencesPerOp is the engine persistence fences divided by the server's
-// operations — the headline group-commit metric.
-func (s Snapshot) FencesPerOp() float64 {
-	ops := s.Ops()
-	if ops == 0 {
-		return 0
-	}
-	return float64(s.Fences) / float64(ops)
-}
-
-// HintHitRate is the fraction of batcher-worker hint-cache lookups that
-// seeded a traversal.
-func (s Snapshot) HintHitRate() float64 {
-	total := s.HintSeeded + s.HintMissed
-	if total == 0 {
-		return 0
-	}
-	return float64(s.HintSeeded) / float64(total)
-}
-
-// Sub returns s - prev field-wise (Conns stays absolute), for interval
-// deltas.
-func (s Snapshot) Sub(prev Snapshot) Snapshot {
-	return Snapshot{
-		Conns:          s.Conns,
-		Accepted:       s.Accepted - prev.Accepted,
-		Rejected:       s.Rejected - prev.Rejected,
-		Gets:           s.Gets - prev.Gets,
-		Puts:           s.Puts - prev.Puts,
-		Dels:           s.Dels - prev.Dels,
-		Scans:          s.Scans - prev.Scans,
-		Batches:        s.Batches - prev.Batches,
-		BatchOps:       s.BatchOps - prev.BatchOps,
-		Malformed:      s.Malformed - prev.Malformed,
-		Drains:         s.Drains - prev.Drains,
-		DrainedOps:     s.DrainedOps - prev.DrainedOps,
-		HintSeeded:     s.HintSeeded - prev.HintSeeded,
-		HintMissed:     s.HintMissed - prev.HintMissed,
-		HintFallback:   s.HintFallback - prev.HintFallback,
-		Fences:         s.Fences - prev.Fences,
-		PersistedLines: s.PersistedLines - prev.PersistedLines,
-	}
-}
+// Snapshot is the shared stats.Snapshot shape. The server fills every
+// section: its own connection and request counters, the batchers'
+// group-commit and hint-cache counters, and the engine's topology and
+// Mem sections merged in from Store.Stats. Ops is derived from the
+// request counters (singles + scans + client-batch interior ops).
+type Snapshot = stats.Snapshot
 
 // Snapshot samples the server and engine counters. Safe to call
 // concurrently with serving; the sample is per-counter consistent.
@@ -101,28 +22,26 @@ func (s *Server) Snapshot() Snapshot {
 	nconns := len(s.conns)
 	s.mu.Unlock()
 	snap := Snapshot{
-		Conns:     nconns,
-		Accepted:  s.stats.accepted.Load(),
-		Rejected:  s.stats.rejected.Load(),
-		Gets:      s.stats.gets.Load(),
-		Puts:      s.stats.puts.Load(),
-		Dels:      s.stats.dels.Load(),
-		Scans:     s.stats.scans.Load(),
-		Batches:   s.stats.batches.Load(),
-		BatchOps:  s.stats.batchOps.Load(),
-		Malformed: s.stats.malf.Load(),
+		Conns:      nconns,
+		Accepted:   s.ctr.accepted.Load(),
+		Rejected:   s.ctr.rejected.Load(),
+		Gets:       s.ctr.gets.Load(),
+		Puts:       s.ctr.puts.Load(),
+		Dels:       s.ctr.dels.Load(),
+		Scans:      s.ctr.scans.Load(),
+		Batches:    s.ctr.batches.Load(),
+		BatchOps:   s.ctr.batchOps.Load(),
+		Malformed:  s.ctr.malf.Load(),
+		Drains:     s.ctr.drains.Load(),
+		DrainedOps: s.ctr.drainedOps.Load(),
 	}
+	snap.Ops = snap.Gets + snap.Puts + snap.Dels + snap.Scans + snap.BatchOps
 	for _, b := range s.batchers {
-		snap.Drains += b.drains.Load()
-		snap.DrainedOps += b.drainedOps.Load()
 		snap.HintSeeded += b.hintSeeded.Load()
 		snap.HintMissed += b.hintMissed.Load()
 		snap.HintFallback += b.hintFallback.Load()
 	}
-	eng := s.st.Stats()
-	snap.Fences = eng.Fences()
-	snap.PersistedLines = eng.PersistedLines()
-	return snap
+	return snap.Merge(s.st.Stats()) // Shards and Mem come from the engine
 }
 
 // statsLoop logs one line per StatsInterval with the interval's deltas.
@@ -150,8 +69,8 @@ func (s *Server) logStats(label string) {
 func (s *Server) logSnapshot(label string, v Snapshot) {
 	s.cfg.Logf("upsl-server %s: conns=%d ops=%d (get=%d put=%d del=%d scan=%d batch=%d/%d) "+
 		"drains=%d avg_drain=%.1f fences/op=%.3f persisted_lines=%d hint_hit=%.2f rejected=%d malformed=%d",
-		label, v.Conns, v.Ops(), v.Gets, v.Puts, v.Dels, v.Scans, v.Batches, v.BatchOps,
-		v.Drains, v.AvgDrain(), v.FencesPerOp(), v.PersistedLines, v.HintHitRate(), v.Rejected, v.Malformed)
+		label, v.Conns, v.Ops, v.Gets, v.Puts, v.Dels, v.Scans, v.Batches, v.BatchOps,
+		v.Drains, v.AvgDrain(), v.FencesPerOp(), v.PersistedLines(), v.HintHitRate(), v.Rejected, v.Malformed)
 }
 
 // Buffered I/O: reads coalesce small frames; writes batch pipelined

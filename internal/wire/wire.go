@@ -73,6 +73,7 @@ const (
 	StatusBusy      Status = 2 // connection limit reached; retry later
 	StatusShutdown  Status = 3 // server is draining; no new requests
 	StatusMalformed Status = 4 // request frame could not be decoded
+	StatusTooLarge  Status = 5 // frame, batch or scan exceeds protocol bounds
 )
 
 func (s Status) String() string {
@@ -87,6 +88,8 @@ func (s Status) String() string {
 		return "SHUTDOWN"
 	case StatusMalformed:
 		return "MALFORMED"
+	case StatusTooLarge:
+		return "TOO_LARGE"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -106,11 +109,71 @@ const MaxBatchOps = 4096
 // per pair in the response).
 const MaxScanLimit = 4096
 
-// Wire format errors.
+// Sentinel errors. Clients match on these with errors.Is instead of
+// sniffing status codes or message strings: every non-OK response the
+// client surfaces, and every decode failure, wraps exactly one of them.
+// The server maps internal failures onto the matching status code
+// (Status.Err is the status→sentinel direction).
 var (
-	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
-	ErrMalformed     = errors.New("wire: malformed payload")
+	// ErrBusy: the server's connection limit is reached; retry later,
+	// ideally against another replica or after backoff.
+	ErrBusy = errors.New("wire: server busy")
+	// ErrShutdown: the server is draining and accepts no new requests.
+	ErrShutdown = errors.New("wire: server shutting down")
+	// ErrMalformed: a payload could not be decoded (truncated fields,
+	// unknown opcode, trailing garbage).
+	ErrMalformed = errors.New("wire: malformed payload")
+	// ErrTooLarge: a frame, batch or scan exceeds the protocol bounds
+	// (MaxFrame, MaxBatchOps, MaxScanLimit).
+	ErrTooLarge = errors.New("wire: message exceeds protocol bounds")
+
+	// ErrFrameTooLarge is the framing-layer instance of ErrTooLarge,
+	// kept as its own name for ReadFrame/WriteFrame callers; it matches
+	// errors.Is(err, ErrTooLarge).
+	ErrFrameTooLarge = fmt.Errorf("%w: frame exceeds MaxFrame", ErrTooLarge)
 )
+
+// Err converts a status into its sentinel error: nil for StatusOK, the
+// matching sentinel for protocol-level rejections, and a plain error
+// for StatusErr (an operation error carries its meaning in the response
+// message, not the status).
+func (s Status) Err() error {
+	switch s {
+	case StatusOK:
+		return nil
+	case StatusBusy:
+		return ErrBusy
+	case StatusShutdown:
+		return ErrShutdown
+	case StatusMalformed:
+		return ErrMalformed
+	case StatusTooLarge:
+		return ErrTooLarge
+	default:
+		return fmt.Errorf("wire: %s", s)
+	}
+}
+
+// StatusOf maps an error back to the status code that carries it to the
+// client: the sentinel statuses for wrapped sentinels, StatusErr for
+// anything else (and StatusOK for nil). Servers use this to answer
+// internal failures consistently.
+func StatusOf(err error) Status {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, ErrBusy):
+		return StatusBusy
+	case errors.Is(err, ErrShutdown):
+		return StatusShutdown
+	case errors.Is(err, ErrTooLarge):
+		return StatusTooLarge
+	case errors.Is(err, ErrMalformed):
+		return StatusMalformed
+	default:
+		return StatusErr
+	}
+}
 
 // BatchOp is one operation inside a BATCH request. Kind must be OpGet,
 // OpPut or OpDel; Value is ignored for gets and deletes.
@@ -164,14 +227,21 @@ type Response struct {
 }
 
 // Err converts a non-OK response into an error (nil for StatusOK).
+// Protocol-level rejections wrap the status's sentinel, so callers can
+// match with errors.Is(err, ErrBusy) etc. while still seeing the
+// server's message.
 func (r *Response) Err() error {
 	if r.Status == StatusOK {
 		return nil
 	}
-	if r.Msg != "" {
+	base := r.Status.Err()
+	if r.Msg == "" {
+		return base
+	}
+	if r.Status == StatusErr {
 		return fmt.Errorf("wire: %s: %s", r.Status, r.Msg)
 	}
-	return fmt.Errorf("wire: %s", r.Status)
+	return fmt.Errorf("%w: %s", base, r.Msg)
 }
 
 // ---------------------------------------------------------------------
@@ -243,21 +313,21 @@ func AppendRequest(dst []byte, q *Request) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint32(dst, q.Limit)
 	case OpBatch:
 		if len(q.Batch) > MaxBatchOps {
-			return nil, fmt.Errorf("wire: batch of %d ops exceeds MaxBatchOps (%d)", len(q.Batch), MaxBatchOps)
+			return nil, fmt.Errorf("%w: batch of %d ops exceeds MaxBatchOps (%d)", ErrTooLarge, len(q.Batch), MaxBatchOps)
 		}
 		dst = binary.BigEndian.AppendUint32(dst, uint32(len(q.Batch)))
 		for _, op := range q.Batch {
 			switch op.Kind {
 			case OpGet, OpPut, OpDel:
 			default:
-				return nil, fmt.Errorf("wire: batch op kind %s not batchable", op.Kind)
+				return nil, fmt.Errorf("%w: batch op kind %s not batchable", ErrMalformed, op.Kind)
 			}
 			dst = append(dst, byte(op.Kind))
 			dst = binary.BigEndian.AppendUint64(dst, op.Key)
 			dst = binary.BigEndian.AppendUint64(dst, op.Value)
 		}
 	default:
-		return nil, fmt.Errorf("wire: unknown opcode %s", q.Op)
+		return nil, fmt.Errorf("%w: unknown opcode %s", ErrMalformed, q.Op)
 	}
 	return dst, nil
 }
@@ -280,12 +350,12 @@ func DecodeRequest(p []byte, q *Request) error {
 		q.Hi = d.u64()
 		q.Limit = d.u32()
 		if q.Limit > MaxScanLimit {
-			return fmt.Errorf("wire: scan limit %d exceeds MaxScanLimit (%d)", q.Limit, MaxScanLimit)
+			return fmt.Errorf("%w: scan limit %d exceeds MaxScanLimit (%d)", ErrTooLarge, q.Limit, MaxScanLimit)
 		}
 	case OpBatch:
 		n := d.u32()
 		if n > MaxBatchOps {
-			return fmt.Errorf("wire: batch of %d ops exceeds MaxBatchOps (%d)", n, MaxBatchOps)
+			return fmt.Errorf("%w: batch of %d ops exceeds MaxBatchOps (%d)", ErrTooLarge, n, MaxBatchOps)
 		}
 		for i := uint32(0); i < n; i++ {
 			kind := Opcode(d.u8())
@@ -293,13 +363,13 @@ func DecodeRequest(p []byte, q *Request) error {
 			case OpGet, OpPut, OpDel:
 			default:
 				if d.err == nil {
-					return fmt.Errorf("wire: batch op kind %d not batchable", uint8(kind))
+					return fmt.Errorf("%w: batch op kind %d not batchable", ErrMalformed, uint8(kind))
 				}
 			}
 			q.Batch = append(q.Batch, BatchOp{Kind: kind, Key: d.u64(), Value: d.u64()})
 		}
 	default:
-		return fmt.Errorf("wire: unknown opcode %d", uint8(op))
+		return fmt.Errorf("%w: unknown opcode %d", ErrMalformed, uint8(op))
 	}
 	return d.finish()
 }
@@ -362,7 +432,7 @@ func DecodeResponse(p []byte, r *Response) error {
 	case OpScan:
 		n := d.u32()
 		if n > MaxScanLimit {
-			return fmt.Errorf("wire: scan response of %d pairs exceeds MaxScanLimit (%d)", n, MaxScanLimit)
+			return fmt.Errorf("%w: scan response of %d pairs exceeds MaxScanLimit (%d)", ErrTooLarge, n, MaxScanLimit)
 		}
 		for i := uint32(0); i < n && d.err == nil; i++ {
 			r.Pairs = append(r.Pairs, Pair{Key: d.u64(), Value: d.u64()})
@@ -370,13 +440,13 @@ func DecodeResponse(p []byte, r *Response) error {
 	case OpBatch:
 		n := d.u32()
 		if n > MaxBatchOps {
-			return fmt.Errorf("wire: batch response of %d results exceeds MaxBatchOps (%d)", n, MaxBatchOps)
+			return fmt.Errorf("%w: batch response of %d results exceeds MaxBatchOps (%d)", ErrTooLarge, n, MaxBatchOps)
 		}
 		for i := uint32(0); i < n && d.err == nil; i++ {
 			r.Results = append(r.Results, OpResult{Found: d.u8() != 0, Value: d.u64()})
 		}
 	default:
-		return fmt.Errorf("wire: unknown opcode %d", uint8(op))
+		return fmt.Errorf("%w: unknown opcode %d", ErrMalformed, uint8(op))
 	}
 	return d.finish()
 }
@@ -448,7 +518,7 @@ func (d *decoder) finish() error {
 		return d.err
 	}
 	if d.off != len(d.buf) {
-		return fmt.Errorf("wire: %d trailing bytes after payload", len(d.buf)-d.off)
+		return fmt.Errorf("%w: %d trailing bytes after payload", ErrMalformed, len(d.buf)-d.off)
 	}
 	return nil
 }

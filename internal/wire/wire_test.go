@@ -2,8 +2,11 @@ package wire
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"io"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -165,5 +168,82 @@ func TestAppendFrameMatchesWriteFrame(t *testing.T) {
 	got := AppendFrame(nil, payload)
 	if !bytes.Equal(buf.Bytes(), got) {
 		t.Fatalf("AppendFrame %x != WriteFrame %x", got, buf.Bytes())
+	}
+}
+
+func TestSentinelMatching(t *testing.T) {
+	// Response.Err wraps the status's sentinel so clients can match
+	// with errors.Is while still seeing the server's message.
+	cases := []struct {
+		status Status
+		want   error
+	}{
+		{StatusBusy, ErrBusy},
+		{StatusShutdown, ErrShutdown},
+		{StatusMalformed, ErrMalformed},
+		{StatusTooLarge, ErrTooLarge},
+	}
+	for _, tc := range cases {
+		r := Response{Status: tc.status, Msg: "details"}
+		err := r.Err()
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: errors.Is(%v, %v) = false", tc.status, err, tc.want)
+		}
+		if !strings.Contains(err.Error(), "details") {
+			t.Errorf("%s: message dropped: %v", tc.status, err)
+		}
+		// Without a message the bare sentinel comes back.
+		r.Msg = ""
+		if !errors.Is(r.Err(), tc.want) {
+			t.Errorf("%s: bare Err() does not match sentinel", tc.status)
+		}
+		// Round-trip: sentinel -> status -> sentinel.
+		if got := StatusOf(tc.want); got != tc.status {
+			t.Errorf("StatusOf(%v) = %s, want %s", tc.want, got, tc.status)
+		}
+		if got := StatusOf(fmt.Errorf("wrapped: %w", tc.want)); got != tc.status {
+			t.Errorf("StatusOf(wrapped %v) = %s, want %s", tc.want, got, tc.status)
+		}
+	}
+	ok := Response{Status: StatusOK}
+	if ok.Err() != nil {
+		t.Error("OK response produced an error")
+	}
+	if StatusOf(nil) != StatusOK {
+		t.Error("StatusOf(nil) != StatusOK")
+	}
+	if StatusOf(errors.New("disk on fire")) != StatusErr {
+		t.Error("unrecognized error should map to StatusErr")
+	}
+	if !errors.Is(ErrFrameTooLarge, ErrTooLarge) {
+		t.Error("ErrFrameTooLarge does not match ErrTooLarge")
+	}
+}
+
+func TestDecodeErrorsWrapSentinels(t *testing.T) {
+	var q Request
+	// Unknown opcode -> malformed.
+	if err := DecodeRequest([]byte{99, 0, 0, 0, 0, 0, 0, 0, 1}, &q); !errors.Is(err, ErrMalformed) {
+		t.Errorf("unknown opcode: got %v, want ErrMalformed", err)
+	}
+	// Oversized scan limit -> too large.
+	payload, err := AppendRequest(nil, &Request{Op: OpScan, ID: 1, Lo: 0, Hi: 9, Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload[len(payload)-4] = 0xFF
+	payload[len(payload)-3] = 0xFF
+	payload[len(payload)-2] = 0xFF
+	payload[len(payload)-1] = 0xFF
+	if err := DecodeRequest(payload, &q); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized scan limit: got %v, want ErrTooLarge", err)
+	}
+	// Oversized batch on the encode side -> too large.
+	big := &Request{Op: OpBatch, ID: 1, Batch: make([]BatchOp, MaxBatchOps+1)}
+	for i := range big.Batch {
+		big.Batch[i] = BatchOp{Kind: OpPut, Key: uint64(i), Value: 1}
+	}
+	if _, err := AppendRequest(nil, big); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized batch encode: got %v, want ErrTooLarge", err)
 	}
 }

@@ -1,0 +1,79 @@
+package upskiplist
+
+import (
+	"strconv"
+
+	"upskiplist/internal/metrics"
+)
+
+// opKind indexes the per-op-kind latency histograms of a storeMetrics.
+type opKind int
+
+const (
+	opKindInsert opKind = iota
+	opKindGet
+	opKindContains
+	opKindRemove
+	opKindScan
+	opKindCount
+)
+
+var opKindNames = [opKindCount]string{"insert", "get", "contains", "remove", "scan"}
+
+// storeMetrics holds the engine's registered instruments. It is built
+// once by EnableMetrics and published through an atomic pointer, so the
+// per-op cost when metrics are off is a single pointer load and branch.
+type storeMetrics struct {
+	// opLat is point-op latency by kind (upsl_op_seconds{op=...}).
+	opLat [opKindCount]*metrics.Histogram
+	// batchLat is the latency of one ApplyBatch group commit
+	// (upsl_batch_commit_seconds); batchOps counts the operations those
+	// commits carried (upsl_batch_ops_total).
+	batchLat *metrics.Histogram
+	batchOps *metrics.Counter
+	// shardOps counts ops routed to each shard (upsl_shard_ops_total).
+	shardOps []*metrics.Counter
+}
+
+// EnableMetrics registers the engine's instruments with reg and starts
+// recording: per-op-kind point-op latency, batch-commit latency and
+// sizes, persistence-fence waits (observed inside every shard's pools),
+// and per-shard routing counters. Recording is wait-free; enabling is
+// safe while workers are running (ops already in flight may miss the
+// first samples). Enabling twice with the same registry is idempotent.
+func (s *Store) EnableMetrics(reg *metrics.Registry) {
+	m := &storeMetrics{}
+	for k := opKind(0); k < opKindCount; k++ {
+		m.opLat[k] = reg.Histogram("upsl_op_seconds",
+			"engine point-op latency by kind",
+			metrics.Labels{"op": opKindNames[k]})
+	}
+	m.batchLat = reg.Histogram("upsl_batch_commit_seconds",
+		"latency of one group-committed engine batch", nil)
+	m.batchOps = reg.Counter("upsl_batch_ops_total",
+		"operations applied inside group-committed batches", nil)
+	m.shardOps = make([]*metrics.Counter, len(s.shards))
+	fence := reg.Histogram("upsl_fence_wait_seconds",
+		"persistence fence wait time", nil)
+	for si, e := range s.shards {
+		m.shardOps[si] = reg.Counter("upsl_shard_ops_total",
+			"ops routed to each keyspace shard",
+			metrics.Labels{"shard": strconv.Itoa(si)})
+		for _, p := range e.pools {
+			p.SetFenceObserver(fence.Hist())
+		}
+	}
+	s.met.Store(m)
+}
+
+// DisableMetrics stops recording (instruments stay registered; their
+// values freeze). Ops already past the enable check may record a few
+// more samples.
+func (s *Store) DisableMetrics() {
+	s.met.Store(nil)
+	for _, e := range s.shards {
+		for _, p := range e.pools {
+			p.SetFenceObserver(nil)
+		}
+	}
+}

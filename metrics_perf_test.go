@@ -1,0 +1,67 @@
+package upskiplist
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+
+	"upskiplist/internal/metrics"
+)
+
+// TestMetricsOverheadBound is the observability cost guard: with
+// metrics enabled, YCSB-A point-op throughput on the simulated cost
+// model must stay within 5% of the uninstrumented store. The recording
+// cost per op is two clock reads, one histogram bucket increment and
+// one shard-counter increment — against ops whose simulated PMEM
+// access penalties put them at microsecond scale, as on the paper's
+// hardware.
+func TestMetricsOverheadBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf measurement; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("perf measurement; race-detector instrumentation swamps the simulated access costs")
+	}
+	const preload = 20000
+	const ops = 10000
+
+	measure := func(instrumented bool) float64 {
+		st, err := Create(perfOptions(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if instrumented {
+			st.EnableMetrics(metrics.NewRegistry())
+		}
+		// Each run allocates fresh multi-MB pools; collecting the last
+		// run's before timing keeps GC debt from charging whichever
+		// variant happens to run later.
+		runtime.GC()
+		return runYCSBA(t, st, preload, ops)
+	}
+	// Paired back-to-back runs cancel common-mode noise, and alternating
+	// which variant runs first cancels any residual first-vs-second
+	// drift within a pair; the median of four pairs discards disturbed
+	// ones. The first, unrecorded pair warms the process.
+	measure(false)
+	measure(true)
+	var ratios []float64
+	for i := 0; i < 4; i++ {
+		var base, inst float64
+		if i%2 == 0 {
+			base = measure(false)
+			inst = measure(true)
+		} else {
+			inst = measure(true)
+			base = measure(false)
+		}
+		ratios = append(ratios, inst/base)
+		t.Logf("pair %d: plain %.0f ops/s, instrumented %.0f ops/s, ratio %.3f", i, base, inst, inst/base)
+	}
+	sort.Float64s(ratios)
+	ratio := (ratios[1] + ratios[2]) / 2
+	t.Logf("metrics overhead: median instrumented/plain ratio %.3f", ratio)
+	if ratio < 0.95 {
+		t.Fatalf("metric recording costs %.1f%% of point-op throughput (want <= 5%%)", (1-ratio)*100)
+	}
+}

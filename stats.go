@@ -1,27 +1,16 @@
 package upskiplist
 
-import "upskiplist/internal/pmem"
+import "upskiplist/internal/stats"
 
-// StoreStats is a point-in-time snapshot of a store's engine counters,
-// aggregated over every pool of every shard. It is the groundwork for an
-// observability layer: a server samples it periodically and logs (or
-// exports) the deltas.
-type StoreStats struct {
-	// Shards is the keyspace shard count (1 for an unsharded store).
-	Shards int
-	// Mem aggregates the pmem counters of every pool: loads, stores,
-	// CASes, flushes (persisted cache lines), fences, remote-NUMA
-	// accesses and line-cache misses.
-	Mem pmem.StatsSnapshot
-}
-
-// PersistedLines returns the cumulative count of cache-line flushes —
-// the number of 64-byte lines pushed to the persistence domain.
-func (s StoreStats) PersistedLines() uint64 { return s.Mem.Flushes }
-
-// Fences returns the cumulative persistence-fence count, the
-// group-commit amortization metric (fences / operations).
-func (s StoreStats) Fences() uint64 { return s.Mem.Fences }
+// StoreStats is the store's view of the shared stats snapshot
+// (internal/stats.Snapshot): every stats surface in the system — engine,
+// worker, network server — fills sections of the same struct, so the
+// metrics registry, the periodic server log and the JSON bench records
+// all read the same fields. A store snapshot fills Shards and Mem (the
+// pmem counters aggregated over every pool of every shard); combine
+// snapshots from several components with Merge, and difference two of
+// them with Sub for interval rates.
+type StoreStats = stats.Snapshot
 
 // Stats aggregates the pmem counters of every shard's pools. It may be
 // called concurrently with workers (the counters are atomics); the
@@ -48,35 +37,17 @@ func (s *Store) Stats() StoreStats {
 // into per-shard batchers so each drain group-commits within one shard.
 func (s *Store) ShardOf(key uint64) int { return s.shardOf(key) }
 
-// WorkerStats is a snapshot of one worker's private counters. Like the
-// worker itself it is single-goroutine state: only the owning goroutine
-// may call Stats, and cross-thread publication (e.g. a server batcher
-// exporting its worker's counters) must copy the snapshot through its
-// own synchronization.
-type WorkerStats struct {
-	// Ops counts engine operations issued through this worker: each
-	// point op and each batched op counts once; a Scan counts once
-	// regardless of how many pairs it visits.
-	Ops uint64
-	// HintSeeded / HintMissed / HintFallback are the volatile
-	// predecessor-hint-cache counters summed across the worker's
-	// per-shard contexts: traversals seeded from a validated hint,
-	// lookups with no usable entry, and seeded traversals that restarted
-	// from the head after the hint proved stale.
-	HintSeeded   uint64
-	HintMissed   uint64
-	HintFallback uint64
-}
-
-// HintHitRate returns the fraction of hint-cache lookups that seeded a
-// traversal (0 when the cache saw no lookups, e.g. when disabled).
-func (ws WorkerStats) HintHitRate() float64 {
-	total := ws.HintSeeded + ws.HintMissed
-	if total == 0 {
-		return 0
-	}
-	return float64(ws.HintSeeded) / float64(total)
-}
+// WorkerStats is the worker's view of the shared stats snapshot. Like
+// the worker itself it is single-goroutine state: only the owning
+// goroutine may call Stats, and cross-thread publication (e.g. a server
+// batcher exporting its worker's counters) must copy the snapshot
+// through its own synchronization.
+//
+// A worker snapshot fills Ops (each point op and each batched op counts
+// once; a Scan counts once regardless of how many pairs it visits) and
+// the volatile predecessor-hint-cache counters summed across the
+// worker's per-shard contexts.
+type WorkerStats = stats.Snapshot
 
 // Stats snapshots the worker's counters. Owner-goroutine only.
 func (w *Worker) Stats() WorkerStats {

@@ -51,10 +51,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"upskiplist/internal/alloc"
 	"upskiplist/internal/epoch"
 	"upskiplist/internal/exec"
+	"upskiplist/internal/metrics"
 	"upskiplist/internal/numa"
 	"upskiplist/internal/pmem"
 	"upskiplist/internal/riv"
@@ -222,6 +224,10 @@ type Store struct {
 	opts   Options
 	topo   numa.Topology
 	shards []*engine
+	// met is the optional metrics sink (see EnableMetrics). Nil when
+	// observability is off, so the hot-path cost of "metrics disabled"
+	// is one atomic pointer load.
+	met atomic.Pointer[storeMetrics]
 }
 
 // newShardPools builds the pool set for one shard. An unsharded store
@@ -562,40 +568,72 @@ func (s *Store) NewWorker(threadID int) *Worker {
 // the context used against shard 0.
 func (w *Worker) Ctx() *exec.Ctx { return w.ctxs[0] }
 
-// at routes a key to (owning engine, this worker's context for it).
-func (w *Worker) at(key uint64) (*engine, *exec.Ctx) {
+// at routes a key to (owning engine, this worker's context for it),
+// bumping the shard's routing counter when metrics are enabled.
+func (w *Worker) at(key uint64, m *storeMetrics) (*engine, *exec.Ctx) {
 	si := w.s.shardOf(key)
+	if m != nil {
+		m.shardOps[si].Inc()
+	}
 	return w.s.shards[si], w.ctxs[si]
 }
 
 // Insert adds or updates a key, returning the previous value and whether
 // the key was present.
 func (w *Worker) Insert(key, value uint64) (old uint64, existed bool, err error) {
-	e, ctx := w.at(key)
+	m := w.s.met.Load()
+	e, ctx := w.at(key, m)
 	w.ops++
-	return e.list.Insert(ctx, key, value)
+	if m == nil {
+		return e.list.Insert(ctx, key, value)
+	}
+	start := metrics.Now()
+	old, existed, err = e.list.Insert(ctx, key, value)
+	m.opLat[opKindInsert].Since(start)
+	return old, existed, err
 }
 
 // Get returns the value stored under key.
 func (w *Worker) Get(key uint64) (uint64, bool) {
-	e, ctx := w.at(key)
+	m := w.s.met.Load()
+	e, ctx := w.at(key, m)
 	w.ops++
-	return e.list.Get(ctx, key)
+	if m == nil {
+		return e.list.Get(ctx, key)
+	}
+	start := metrics.Now()
+	v, ok := e.list.Get(ctx, key)
+	m.opLat[opKindGet].Since(start)
+	return v, ok
 }
 
 // Contains reports whether key is present.
 func (w *Worker) Contains(key uint64) bool {
-	e, ctx := w.at(key)
+	m := w.s.met.Load()
+	e, ctx := w.at(key, m)
 	w.ops++
-	return e.list.Contains(ctx, key)
+	if m == nil {
+		return e.list.Contains(ctx, key)
+	}
+	start := metrics.Now()
+	ok := e.list.Contains(ctx, key)
+	m.opLat[opKindContains].Since(start)
+	return ok
 }
 
 // Remove deletes key, returning the removed value and whether it was
 // present.
 func (w *Worker) Remove(key uint64) (uint64, bool, error) {
-	e, ctx := w.at(key)
+	m := w.s.met.Load()
+	e, ctx := w.at(key, m)
 	w.ops++
-	return e.list.Remove(ctx, key)
+	if m == nil {
+		return e.list.Remove(ctx, key)
+	}
+	start := metrics.Now()
+	v, ok, err := e.list.Remove(ctx, key)
+	m.opLat[opKindRemove].Since(start)
+	return v, ok, err
 }
 
 // Scan visits all live pairs with keys in [lo, hi] in ascending order
@@ -604,6 +642,17 @@ func (w *Worker) Remove(key uint64) (uint64, bool, error) {
 // ascending key sequence.
 func (w *Worker) Scan(lo, hi uint64, fn func(key, value uint64) bool) error {
 	w.ops++
+	if m := w.s.met.Load(); m != nil {
+		start := metrics.Now()
+		err := w.scan(lo, hi, fn)
+		m.opLat[opKindScan].Since(start)
+		return err
+	}
+	return w.scan(lo, hi, fn)
+}
+
+// scan is the uninstrumented body of Scan.
+func (w *Worker) scan(lo, hi uint64, fn func(key, value uint64) bool) error {
 	if len(w.s.shards) == 1 {
 		return w.s.shards[0].list.Scan(w.ctxs[0], lo, hi, fn)
 	}
