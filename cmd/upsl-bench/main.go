@@ -22,6 +22,12 @@
 //	server    network service layer: pipelined TCP clients, depth sweep
 //	          (BENCH_server.json; excluded from "all" — drives loopback TCP;
 //	          -server-addr drives an external upsl-server instead)
+//	churn     online reclamation: constant live set under insert/remove
+//	          turnover, footprint + throughput per phase, with and
+//	          without a reclaimer (BENCH_churn.json; excluded from "all")
+//	churn-wire  put+del dead segment through a running upsl-server
+//	          (-server-addr required) so a -online-reclaim server frees
+//	          blocks mid-service; used by CI's loopback smoke
 //
 // Absolute numbers will differ from the paper (its substrate was a
 // 4-socket Optane machine; ours is a simulator) — the comparisons,
@@ -62,7 +68,7 @@ type benchConfig struct {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table5.1, fig5.1, fig5.2, fig5.3, fig5.4, fig5.5, fig5.6, table5.4, extE, all")
+		exp        = flag.String("exp", "all", "experiment: table5.1, fig5.1, fig5.2, fig5.3, fig5.4, fig5.5, fig5.6, table5.4, extE, shards, server, churn, churn-wire, all")
 		preload    = flag.Uint64("preload", 20000, "preloaded key count (paper: 100M)")
 		ops        = flag.Int("ops", 10000, "operations per thread")
 		threadsCSV = flag.String("threads", "1,2,4,8,16", "thread counts for sweeps")
@@ -80,9 +86,12 @@ func main() {
 	)
 	flag.Parse()
 	if *benchJSON == "" {
-		if *exp == "server" {
+		switch *exp {
+		case "server":
 			*benchJSON = "BENCH_server.json"
-		} else {
+		case "churn":
+			*benchJSON = "BENCH_churn.json"
+		default:
 			*benchJSON = "BENCH_shards.json"
 		}
 	}
@@ -119,20 +128,25 @@ func main() {
 	}
 
 	experiments := map[string]func(benchConfig){
-		"table5.1": runTable51,
-		"fig5.1":   runFig51,
-		"fig5.2":   runFig52,
-		"fig5.3":   runFig53,
-		"fig5.4":   runFig54,
-		"fig5.5":   runFig55,
-		"fig5.6":   runFig56,
-		"table5.4": runTable54,
-		"extE":     runExtE,
-		"shards":   runShards,
-		"server":   runServerExp,
+		"table5.1":   runTable51,
+		"fig5.1":     runFig51,
+		"fig5.2":     runFig52,
+		"fig5.3":     runFig53,
+		"fig5.4":     runFig54,
+		"fig5.5":     runFig55,
+		"fig5.6":     runFig56,
+		"table5.4":   runTable54,
+		"extE":       runExtE,
+		"shards":     runShards,
+		"server":     runServerExp,
+		"churn":      runChurnExp,
+		"churn-wire": runChurnWireExp,
 	}
 	// "server" is deliberately not in the "all" order: it opens loopback
-	// TCP sockets, which the pure in-process reproduction runs avoid.
+	// TCP sockets, which the pure in-process reproduction runs avoid
+	// ("churn-wire" additionally requires an external server).
+	// "churn" is also separate: it writes its own BENCH_churn.json, which
+	// an "all" run sharing one -bench-json path would clobber.
 	order := []string{"table5.1", "fig5.1", "fig5.2", "fig5.3", "fig5.4", "fig5.5", "fig5.6", "table5.4", "extE", "shards"}
 	if *exp == "all" {
 		for _, name := range order {

@@ -50,6 +50,7 @@ func main() {
 		batchDelay    = flag.Duration("batch-delay", 0, "max wait for a batcher drain to fill (0 = greedy)")
 		statsInterval = flag.Duration("stats-interval", 10*time.Second, "periodic stats log interval (0 disables)")
 		metricsAddr   = flag.String("metrics-addr", "127.0.0.1:7846", "sidecar HTTP address for /metrics and /healthz (empty disables)")
+		onlineReclaim = flag.Bool("online-reclaim", false, "reclaim fully-tombstoned nodes in the background (epoch-based, concurrent with serving)")
 	)
 	flag.Parse()
 
@@ -73,6 +74,13 @@ func main() {
 		fatalf("%v", err)
 	}
 	st.EnableMetrics(reg)
+	if *onlineReclaim {
+		// After EnableMetrics so the reclaimers report grace-wait times;
+		// OnlineReclaim is volatile configuration, so a Load-ed store
+		// needs this explicit enable too.
+		st.EnableOnlineReclaim()
+		logf("online reclamation enabled")
+	}
 	if *dir != "" {
 		if created {
 			logf("created fresh store (shards=%d) — will save to %s on shutdown", st.NumShards(), *dir)

@@ -1,0 +1,87 @@
+package epoch
+
+import "sync/atomic"
+
+// Domain is the volatile grace-period (epoch-based reclamation) domain
+// used by online node reclamation. It is entirely DRAM state — nothing
+// here is persisted and nothing survives a restart, which is exactly
+// right: a restart IS a grace period (no pre-crash reader can still hold
+// a pointer), so rebuilding the domain empty after Open is sound.
+//
+// The protocol is classic EBR. The domain keeps a global era counter and
+// one padded slot per worker thread. A worker entering an operation
+// stamps the current era into its slot; leaving, it clears the slot. A
+// reclaimer that unlinked a node tags it with the era current at tag
+// time, advances the era, and frees the node only once every occupied
+// slot holds an era strictly greater than the tag — at that point every
+// worker that could have observed the node mid-traversal has exited.
+//
+// Do not confuse Domain with Clock: Clock is the paper's persistent
+// failure-free epoch (crash detection), Domain is a volatile
+// memory-reclamation era. They advance independently.
+type Domain struct {
+	era   atomic.Uint64
+	slots []eraSlot
+}
+
+// eraSlot is one worker's pinned era, padded to its own cache line so
+// per-op stamping never false-shares between workers.
+type eraSlot struct {
+	v atomic.Uint64
+	_ [7]uint64
+}
+
+// NewDomain creates a domain with nslots worker slots. Slot indices are
+// taken modulo nslots, so callers should size it with the store's thread
+// budget and keep worker thread IDs below it (sharing a slot between two
+// live workers would let one worker's Exit unpin the other).
+func NewDomain(nslots int) *Domain {
+	if nslots < 1 {
+		nslots = 1
+	}
+	d := &Domain{slots: make([]eraSlot, nslots)}
+	d.era.Store(1) // era 0 is reserved as "not pinned"
+	return d
+}
+
+// Era returns the current era.
+func (d *Domain) Era() uint64 { return d.era.Load() }
+
+// Advance bumps the era and returns the new value.
+func (d *Domain) Advance() uint64 { return d.era.Add(1) }
+
+// Enter pins the current era into the worker's slot. The store-then-
+// recheck loop closes the classic EBR race: without it, a worker could
+// read era e, stall, and publish its pin only after the reclaimer has
+// already scanned the slots for era e — freeing a node the worker is
+// about to dereference. When Enter returns having stored e and re-read
+// e, the pin was globally visible before any Advance past e, so every
+// later MinActive scan for a tag >= e observes it.
+func (d *Domain) Enter(slot int) {
+	s := &d.slots[slot%len(d.slots)].v
+	for {
+		e := d.era.Load()
+		s.Store(e)
+		if d.era.Load() == e {
+			return
+		}
+	}
+}
+
+// Exit clears the worker's pin.
+func (d *Domain) Exit(slot int) {
+	d.slots[slot%len(d.slots)].v.Store(0)
+}
+
+// MinActive returns the smallest pinned era, or ^uint64(0) when no
+// worker is pinned. A limbo batch tagged with era t may be freed once
+// MinActive() > t.
+func (d *Domain) MinActive() uint64 {
+	min := ^uint64(0)
+	for i := range d.slots {
+		if e := d.slots[i].v.Load(); e != 0 && e < min {
+			min = e
+		}
+	}
+	return min
+}

@@ -50,6 +50,13 @@ type Ctx struct {
 	// is separate from Batch because the structural paths flush Batch
 	// mid-operation, which would prematurely drain a shared group.
 	Group pmem.Batch
+	// Pins is the reclamation-era pin depth for this worker. Public
+	// skip-list operations stamp the worker's era slot on entry and clear
+	// it on exit; the depth counter makes that re-entrant (Contains calls
+	// Get, batch application calls the point ops), so only the outermost
+	// operation touches the epoch.Domain. Like Hints, this is volatile
+	// per-worker state with no recovery obligations.
+	Pins int
 	// towers is a free list of preds/succs scratch pairs. It is a list
 	// rather than a single buffer because recovery helpers re-enter the
 	// traversal path (traverse -> checkForInsertRecovery -> tower link)

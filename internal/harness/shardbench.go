@@ -42,6 +42,15 @@ type BenchRecord struct {
 	// runs, where read and write round trips diverge.
 	OpLatency   map[string]LatencySummary `json:"op_latency,omitempty"`
 	FencesPerOp float64                   `json:"fences_per_op"`
+	// Churn-experiment fields: Phase numbers the samples in time order;
+	// AllocBlocks is the provisioned node+retired block count at the end
+	// of the phase, LiveNodes the bottom-level nodes still holding a
+	// live key, FreedBlocks the cumulative blocks returned to free
+	// lists by online reclamation. Zero (omitted) elsewhere.
+	Phase       int   `json:"phase,omitempty"`
+	AllocBlocks int   `json:"alloc_blocks,omitempty"`
+	LiveNodes   int   `json:"live_nodes,omitempty"`
+	FreedBlocks int64 `json:"freed_blocks,omitempty"`
 }
 
 // LatencySummary is the percentile fingerprint of one latency

@@ -401,6 +401,17 @@ func (s *Server) stop(kill bool) {
 	}
 	s.batcherWG.Wait()
 	s.connWG.Wait()
+	// Workers are gone; park the store's background reclaimers so the
+	// store really is quiesced when stop returns. A graceful shutdown
+	// stops them for good (Save's own pause/drain then runs unopposed); a
+	// kill leaves them merely paused — the abrupt-crash contract promises
+	// nothing mutates after Kill, and the SimulateCrash a test may issue
+	// next pauses idempotently.
+	if kill {
+		s.st.PauseReclaim()
+	} else {
+		s.st.DisableOnlineReclaim()
+	}
 	s.state.Store(stateStopped)
 	if !kill {
 		s.logStats("final")

@@ -24,9 +24,16 @@ import (
 // makes an interrupted compaction idempotently repairable at the next
 // Open.
 
+// Online reclamation (reclaim.go) reuses this exact log: state 1 covers
+// a retirement's tombstone-check-through-unlink window, and the new
+// state 2 covers each individual limbo-block free. The log has one slot
+// and two possible writers — the quiesced Compact and the reclaimer
+// goroutine — which never run concurrently (Store.Compact pauses and
+// drains the reclaimer first).
+
 // Compaction log layout within the root area (after the root object).
 const (
-	compOffState = 8  // 0 idle, 1 unlinking
+	compOffState = 8  // 0 idle, 1 unlinking, 2 freeing a retired block
 	compOffNode  = 9  // riv.Ptr of the node being removed
 	compOffKey   = 10 // its first key, for post-crash identity checking
 )
@@ -44,13 +51,35 @@ func (s *SkipList) Compact(ctx *exec.Ctx) (int, error) {
 	for {
 		victim := s.findEmptyNode(ctx)
 		if victim.IsNull() {
-			return reclaimed, nil
+			break
 		}
 		if err := s.reclaimNode(ctx, victim); err != nil {
 			return reclaimed, err
 		}
 		reclaimed++
 	}
+	// Collect blocks a reclaimer retired but never freed: a reclaimer
+	// stopped with limbo still pending, or a crash while the (volatile)
+	// limbo list held them and no reclaimer ran since. Such blocks are
+	// fully unlinked — the state-1 intent covers the unlink window — and
+	// the list is quiesced, so they free directly under a state-2 intent.
+	for _, p := range s.a.RetiredBlocks() {
+		s.freeRetired(ctx, p)
+		reclaimed++
+	}
+	return reclaimed, nil
+}
+
+// freeRetired returns one unreachable KindRetired block to the allocator
+// under a state-2 intent, so a crash mid-free is finished at Open.
+func (s *SkipList) freeRetired(ctx *exec.Ctx, p riv.Ptr) {
+	r, off := s.rootPool, s.rootOff
+	r.Store(off+compOffNode, p.Word(), ctx.Mem)
+	r.Store(off+compOffState, 2, ctx.Mem)
+	r.Persist(off+compOffState, 2, ctx.Mem)
+	s.a.Free(ctx, p)
+	r.Store(off+compOffState, 0, ctx.Mem)
+	r.Persist(off+compOffState, 1, ctx.Mem)
 }
 
 // findEmptyNode walks the bottom level for a fully-tombstoned node.
@@ -118,13 +147,18 @@ func (s *SkipList) unlinkEverywhere(ctx *exec.Ctx, n nodeRef) {
 	}
 }
 
-// recoverCompaction finishes an interrupted compaction; called from Open
-// while the structure is quiesced. Guards against the logged block
-// having been freed and reallocated: the node must still be reachable at
-// the bottom level under its logged first key and fully tombstoned.
+// recoverCompaction finishes an interrupted compaction or retirement;
+// called from Open while the structure is quiesced. Guards against the
+// logged block having been freed and reallocated: under state 1 a
+// KindNode victim must still carry its logged first key and be fully
+// tombstoned; a KindRetired victim is unambiguous (nothing else stamps
+// that kind). Under state 2 the kind alone decides — convertToBlock
+// zeroes before restamping, so post-crash the block is KindRetired (free
+// unfinished), KindFree (finished), or a reallocated KindNode.
 func (s *SkipList) recoverCompaction(ctx *exec.Ctx) {
 	r, off := s.rootPool, s.rootOff
-	if r.Load(off+compOffState, ctx.Mem) != 1 {
+	state := r.Load(off+compOffState, ctx.Mem)
+	if state == 0 {
 		return
 	}
 	victim := riv.FromWord(r.Load(off+compOffNode, ctx.Mem))
@@ -138,22 +172,38 @@ func (s *SkipList) recoverCompaction(ctx *exec.Ctx) {
 		return
 	}
 	n := s.node(victim)
-	pool := n.pool
-	if pool.Load(n.off+alloc.BlockKind, ctx.Mem) != alloc.KindNode {
+	kind := n.kind(ctx.Mem)
+	switch {
+	case state == 2:
+		// A limbo free was interrupted. Finish it unless the block already
+		// lives again as a node (the free completed and the block was
+		// reallocated before a later crash wrote nothing new to the log —
+		// impossible in practice since the log clears first, but cheap to
+		// guard). Free is idempotent on KindFree.
+		if kind == alloc.KindRetired || kind == alloc.KindFree {
+			s.a.Free(ctx, victim)
+		}
+		clear()
+	case kind == alloc.KindRetired:
+		// An online retirement died between its kind flip and its log
+		// clear. Nobody survives a restart to hold a reference, so finish
+		// the unlink (idempotent) and free the block outright.
+		s.unlinkRetired(ctx, n, key, n.height(ctx.Mem))
+		s.a.Free(ctx, victim)
+		clear()
+	case kind != alloc.KindNode:
 		// Already back on a free list: the Free had completed (or nearly;
 		// Free is idempotent). Re-run it to finish any partial linking.
 		s.a.Free(ctx, victim)
 		clear()
-		return
-	}
-	if n.key0(s, ctx.Mem) != key || !s.nodeFullyTombstoned(ctx, n) {
+	case n.key0(s, ctx.Mem) != key || !s.nodeFullyTombstoned(ctx, n):
 		// The block was reallocated as a live node; the old compaction
 		// evidently completed.
 		clear()
-		return
+	default:
+		// Still the tombstoned victim: finish unlinking and free it.
+		s.unlinkEverywhere(ctx, n)
+		s.a.Free(ctx, victim)
+		clear()
 	}
-	// Still the tombstoned victim: finish unlinking and free it.
-	s.unlinkEverywhere(ctx, n)
-	s.a.Free(ctx, victim)
-	clear()
 }

@@ -3,6 +3,7 @@ package skiplist
 import (
 	"fmt"
 
+	"upskiplist/internal/alloc"
 	"upskiplist/internal/exec"
 	"upskiplist/internal/riv"
 )
@@ -19,6 +20,10 @@ import (
 //  4. No key appears in more than one node.
 //  5. No node is write-locked and reader counts are zero.
 //  6. Node heights are within [1, maxHeight].
+//  7. Every linked node is a live node block: never KindRetired or
+//     KindFree, and never simultaneously on an allocator free list —
+//     the invariant online reclamation must preserve (a violation means
+//     a reachable block could be handed out again as a new node).
 func (s *SkipList) CheckInvariants(ctx *exec.Ctx) error {
 	nd := ctx.Mem
 	seen := make(map[uint64]riv.Ptr)
@@ -58,6 +63,9 @@ func (s *SkipList) CheckInvariants(ctx *exec.Ctx) error {
 			break
 		}
 		n := s.node(cur)
+		if k := n.kind(nd); k != alloc.KindNode {
+			return fmt.Errorf("skiplist: linked node %v has block kind %d (retired or freed block still reachable)", cur, k)
+		}
 		k0 := n.key0(s, nd)
 		if k0 == keyEmpty {
 			return fmt.Errorf("skiplist: node %v has empty first key", cur)
@@ -134,7 +142,23 @@ func (s *SkipList) CheckInvariants(ctx *exec.Ctx) error {
 			return fmt.Errorf("skiplist: node %v linked at level %d above height %d", p, top, h)
 		}
 	}
-	return nil
+
+	// Pass 3: no reachable block may also sit on an allocator free list
+	// (pass 2 already proved every linked pointer appears on the bottom
+	// level, so checking the bottom set covers all levels). A block in
+	// both places would eventually be reallocated while still linked.
+	var dup error
+	free := make(map[riv.Ptr]struct{})
+	s.a.ForEachFree(func(p riv.Ptr) {
+		free[p] = struct{}{}
+	})
+	for _, p := range bottom {
+		if _, onFree := free[p]; onFree {
+			dup = fmt.Errorf("skiplist: node %v is linked and on a free list", p)
+			break
+		}
+	}
+	return dup
 }
 
 // DumpStats returns coarse structure statistics for debugging and the
@@ -144,6 +168,9 @@ type StructStats struct {
 	LiveKeys  int
 	Tombs     int
 	MaxLinked int
+	// EmptyNodes counts linked nodes with no live key at all — the
+	// population online reclamation exists to keep near zero.
+	EmptyNodes int
 }
 
 // Stats walks the list (quiesced) and summarizes it.
@@ -157,6 +184,7 @@ func (s *SkipList) Stats(ctx *exec.Ctx) StructStats {
 		if h := n.height(nd); h > st.MaxLinked {
 			st.MaxLinked = h
 		}
+		liveHere := 0
 		for i := 0; i < s.keysPerNode; i++ {
 			if n.key(s, i, nd) == keyEmpty {
 				continue
@@ -165,7 +193,11 @@ func (s *SkipList) Stats(ctx *exec.Ctx) StructStats {
 				st.Tombs++
 			} else {
 				st.LiveKeys++
+				liveHere++
 			}
+		}
+		if liveHere == 0 {
+			st.EmptyNodes++
 		}
 		cur = n.next(s, 0, nd)
 	}

@@ -3,6 +3,7 @@ package skiplist
 import (
 	"sort"
 
+	"upskiplist/internal/alloc"
 	"upskiplist/internal/exec"
 	"upskiplist/internal/riv"
 )
@@ -17,13 +18,23 @@ import (
 // interleave with concurrent writers (the same guarantee the paper's
 // bottom-level range scans would give). An Iterator is not safe for
 // concurrent use; create one per goroutine.
+// Under online reclamation the cursor's node may be retired and its
+// block recycled between calls (the era pin covers a single Seek/Next
+// call, not the iterator's lifetime). The pairs buffer is a DRAM
+// snapshot and stays valid regardless; only advancing off the node
+// dereferences it again, so advanceNode revalidates the cursor (still a
+// node, same immutable first key) and otherwise re-seeks past the last
+// key this node could have yielded. A freed-and-recycled block can
+// therefore never contribute pairs — no phantom keys.
 type Iterator struct {
 	s   *SkipList
 	ctx *exec.Ctx
 
-	node  riv.Ptr // node the buffer came from
-	pairs []kv    // live pairs of that node, sorted
-	idx   int     // position in pairs; idx == len(pairs) means exhausted
+	node   riv.Ptr // node the buffer came from
+	curK0  uint64  // its immutable first key, for cursor revalidation
+	resume uint64  // largest key the buffer could have yielded
+	pairs  []kv    // live pairs of that node, sorted
+	idx    int     // position in pairs; idx == len(pairs) means exhausted
 }
 
 type kv struct{ k, v uint64 }
@@ -40,6 +51,8 @@ func (it *Iterator) Seek(key uint64) bool {
 		key = KeyMin
 	}
 	s := it.s
+	s.pin(it.ctx)
+	defer s.unpin(it.ctx)
 	t := it.ctx.GetTowers(s.maxHeight)
 	defer it.ctx.PutTowers(t)
 	preds, succs := t.Preds, t.Succs
@@ -48,6 +61,7 @@ func (it *Iterator) Seek(key uint64) bool {
 	if start == s.head {
 		start = succs[0]
 	}
+	it.resume = key - 1 // a fresh Seek owes nothing below key
 	it.loadNode(start, key)
 	for len(it.pairs) == 0 {
 		if !it.advanceNode() {
@@ -64,6 +78,8 @@ func (it *Iterator) Next() bool {
 	if it.node.IsNull() {
 		return false
 	}
+	it.s.pin(it.ctx)
+	defer it.s.unpin(it.ctx)
 	it.idx++
 	for it.idx >= len(it.pairs) {
 		if !it.advanceNode() {
@@ -95,6 +111,10 @@ func (it *Iterator) loadNode(p riv.Ptr, lo uint64) {
 		return
 	}
 	n := s.node(p)
+	it.curK0 = n.key0(s, it.ctx.Mem)
+	if it.curK0 > it.resume {
+		it.resume = it.curK0
+	}
 	for {
 		if n.isWriteLocked(it.ctx.Mem) {
 			continue // split in progress: retry the snapshot
@@ -119,17 +139,61 @@ func (it *Iterator) loadNode(p riv.Ptr, lo uint64) {
 	sort.Slice(it.pairs, func(a, b int) bool { return it.pairs[a].k < it.pairs[b].k })
 }
 
-// advanceNode moves the buffer to the next node's pairs.
+// advanceNode moves the buffer to the next node's pairs. The caller
+// holds the era pin.
 func (it *Iterator) advanceNode() bool {
 	s := it.s
 	if it.node.IsNull() {
 		return false
 	}
-	next := s.node(it.node).next(s, 0, it.ctx.Mem)
+	if len(it.pairs) > 0 {
+		if k := it.pairs[len(it.pairs)-1].k; k > it.resume {
+			it.resume = k
+		}
+	}
+	n := s.node(it.node)
+	if s.reclaimOn && (n.kind(it.ctx.Mem) != alloc.KindNode || n.key0(s, it.ctx.Mem) != it.curK0) {
+		// The cursor's block was retired (and possibly recycled as a
+		// different node) since the last call: its next pointer is no
+		// longer trustworthy. Re-seek past everything this node could
+		// have yielded. A recycled block with the SAME first key is a
+		// live node covering the same range and stays a valid cursor.
+		return it.reseek()
+	}
+	next := n.next(s, 0, it.ctx.Mem)
 	if next.IsNull() || next == s.tail {
 		it.node = riv.Null
 		return false
 	}
-	it.loadNode(next, KeyMin)
+	// Load the successor strictly above everything already yielded: a
+	// split that landed after this node was snapshotted moved its upper
+	// half into the successor, and re-emitting those pairs would break
+	// the ascending-order contract (the shard merge depends on it).
+	if it.resume >= KeyMax {
+		it.node = riv.Null
+		return false
+	}
+	it.loadNode(next, it.resume+1)
+	return len(it.pairs) > 0 || it.advanceNode()
+}
+
+// reseek repositions the cursor at the first node holding keys strictly
+// above everything already yielded, via a fresh traversal.
+func (it *Iterator) reseek() bool {
+	s := it.s
+	if it.resume >= KeyMax {
+		it.node = riv.Null
+		return false
+	}
+	lo := it.resume + 1
+	t := it.ctx.GetTowers(s.maxHeight)
+	defer it.ctx.PutTowers(t)
+	preds, succs := t.Preds, t.Succs
+	s.traverse(it.ctx, lo, preds, succs)
+	start := preds[0]
+	if start == s.head {
+		start = succs[0]
+	}
+	it.loadNode(start, lo)
 	return len(it.pairs) > 0 || it.advanceNode()
 }

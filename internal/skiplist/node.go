@@ -76,8 +76,45 @@ func (n nodeRef) lockWord(nd *pmem.Acc) uint64   { return n.pool.Load(n.off+offS
 func (n nodeRef) meta(nd *pmem.Acc) uint64       { return n.pool.Load(n.off+offMeta, nd) }
 func (n nodeRef) height(nd *pmem.Acc) int        { return metaHeight(n.meta(nd)) }
 
+// nextMark is the Harris-style retirement mark, set on bit 0 of a
+// retired node's own next words. Block starts are cache-line aligned, so
+// a valid pointer word never has bit 0 set; a marked word makes every
+// CAS that read the stripped pointer as its expected value fail, which
+// is what stops a racing insert from linking a new node behind a victim
+// after the victim is unlinked (the lost-insert race). Readers always
+// strip the bit, so marks are invisible to traversal; they also need no
+// crash handling — recovery re-runs the unlink from the intent log and
+// strips on read like everyone else.
+const nextMark = uint64(1)
+
 func (n nodeRef) next(s *SkipList, level int, nd *pmem.Acc) riv.Ptr {
-	return riv.FromWord(n.pool.Load(n.off+offNext+uint64(level), nd))
+	return riv.FromWord(n.pool.Load(n.off+offNext+uint64(level), nd) &^ nextMark)
+}
+
+// nextWord reads a next slot raw, mark included.
+func (n nodeRef) nextWord(level int, nd *pmem.Acc) uint64 {
+	return n.pool.Load(n.off+offNext+uint64(level), nd)
+}
+
+// markNext sets the retirement mark on one next word. Returns once the
+// mark is set (by us or an earlier attempt); a null word is left alone.
+func (n nodeRef) markNext(level int, nd *pmem.Acc) {
+	off := n.off + offNext + uint64(level)
+	for {
+		w := n.pool.Load(off, nd)
+		if w == 0 || w&nextMark != 0 {
+			return
+		}
+		if n.pool.CAS(off, w, w|nextMark, nd) {
+			return
+		}
+	}
+}
+
+// kind reads the block's allocator kind word (shared layout: offKind ==
+// alloc.BlockKind).
+func (n nodeRef) kind(nd *pmem.Acc) uint64 {
+	return n.pool.Load(n.off+offKind, nd)
 }
 
 func (n nodeRef) setNext(s *SkipList, level int, p riv.Ptr, nd *pmem.Acc) {

@@ -27,6 +27,8 @@ func (s *SkipList) Insert(ctx *exec.Ctx, key, value uint64) (old uint64, existed
 	if value == Tombstone {
 		return 0, false, ErrValueRange
 	}
+	s.pin(ctx)
+	defer s.unpin(ctx)
 	return s.upsert(ctx, key, value)
 }
 
@@ -293,6 +295,8 @@ func (s *SkipList) Get(ctx *exec.Ctx, key uint64) (uint64, bool) {
 	if key < KeyMin || key > KeyMax {
 		return 0, false
 	}
+	s.pin(ctx)
+	defer s.unpin(ctx)
 	t := ctx.GetTowers(s.maxHeight)
 	defer ctx.PutTowers(t)
 	preds, succs := t.Preds, t.Succs
@@ -334,6 +338,8 @@ func (s *SkipList) Remove(ctx *exec.Ctx, key uint64) (uint64, bool, error) {
 	if key < KeyMin || key > KeyMax {
 		return 0, false, ErrKeyRange
 	}
+	s.pin(ctx)
+	defer s.unpin(ctx)
 	t := ctx.GetTowers(s.maxHeight)
 	defer ctx.PutTowers(t)
 	preds, succs := t.Preds, t.Succs
@@ -358,6 +364,12 @@ func (s *SkipList) Remove(ctx *exec.Ctx, key uint64) (uint64, bool, error) {
 		}
 		old := s.update(ctx, pred, res.keyIndex, Tombstone)
 		pred.readUnlock(ctx.Mem)
+		if s.rec != nil && old != Tombstone && s.nodeFullyTombstoned(ctx, pred) {
+			// Retire-on-traversal: this remove emptied the node's last
+			// live value (best-effort check — a racing insert may revive
+			// it, which the sweeper re-verifies under the write lock).
+			s.rec.report(pred.ptr)
+		}
 		o, ex := normPrev(old)
 		return o, ex, nil
 	}
@@ -366,8 +378,12 @@ func (s *SkipList) Remove(ctx *exec.Ctx, key uint64) (uint64, bool, error) {
 // Scan performs a bottom-level range query over [lo, hi], invoking fn for
 // every live pair in ascending key order until fn returns false. Each
 // node is read with split-count validation so a concurrent split cannot
-// drop or duplicate pairs from the snapshot of that node. This is the
-// range-query extension the paper lists as future work.
+// drop or duplicate pairs from the snapshot of that node. A split that
+// lands after a node was snapshotted would surface its migrated upper
+// half again from the new sibling; those are filtered against the last
+// emitted key, keeping the stream strictly ascending (callers — the
+// shard merge above all — rely on that). This is the range-query
+// extension the paper lists as future work.
 func (s *SkipList) Scan(ctx *exec.Ctx, lo, hi uint64, fn func(key, value uint64) bool) error {
 	if lo < KeyMin {
 		lo = KeyMin
@@ -378,6 +394,8 @@ func (s *SkipList) Scan(ctx *exec.Ctx, lo, hi uint64, fn func(key, value uint64)
 	if lo > hi {
 		return nil
 	}
+	s.pin(ctx)
+	defer s.unpin(ctx)
 	t := ctx.GetTowers(s.maxHeight)
 	defer ctx.PutTowers(t)
 	preds, succs := t.Preds, t.Succs
@@ -387,6 +405,8 @@ func (s *SkipList) Scan(ctx *exec.Ctx, lo, hi uint64, fn func(key, value uint64)
 		cur = succs[0]
 	}
 	type pair struct{ k, v uint64 }
+	var last uint64
+	emitted := false
 	for !cur.IsNull() && cur != s.tail {
 		n := s.node(cur)
 		if n.key0(s, ctx.Mem) > hi {
@@ -417,6 +437,10 @@ func (s *SkipList) Scan(ctx *exec.Ctx, lo, hi uint64, fn func(key, value uint64)
 		}
 		sort.Slice(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
 		for _, p := range pairs {
+			if emitted && p.k <= last {
+				continue
+			}
+			last, emitted = p.k, true
 			if !fn(p.k, p.v) {
 				return nil
 			}

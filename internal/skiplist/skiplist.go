@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"upskiplist/internal/alloc"
+	"upskiplist/internal/epoch"
 	"upskiplist/internal/exec"
 	"upskiplist/internal/pmem"
 	"upskiplist/internal/riv"
@@ -132,14 +133,48 @@ type SkipList struct {
 
 	// hints enables seeding traversals from each worker's volatile
 	// HintCache. hintGen is bumped whenever node memory may be reclaimed
-	// (compaction) so every worker's cache self-invalidates: within one
-	// generation a published node's block is never freed, which is what
-	// makes a cached pointer safe to probe.
+	// (compaction, or an online-reclaim limbo batch closing) so every
+	// worker's cache self-invalidates: within one generation a published
+	// node's block is never freed, which is what makes a cached pointer
+	// safe to probe.
 	hints   bool
 	hintGen atomic.Uint64
 
+	// Online reclamation state (reclaim.go). dom is the volatile
+	// grace-period domain workers pin on op entry; rec the attached
+	// reclaimer. reclaimOn is sticky: once a reclaimer has ever run on
+	// this handle, KindRetired nodes may be linked, so traversals keep
+	// paying the skip check even after the reclaimer stops. All three are
+	// set before concurrent operations begin (StartReclaim's contract).
+	dom       *epoch.Domain
+	rec       *Reclaimer
+	reclaimOn bool
+
 	// stats
 	recoveries recoveryCounters
+}
+
+// pin stamps the worker's reclamation-era slot on operation entry. The
+// depth counter makes nested public ops (Contains -> Get, batch
+// application) pin only once. No-op unless online reclaim is attached.
+func (s *SkipList) pin(ctx *exec.Ctx) {
+	if s.dom == nil {
+		return
+	}
+	if ctx.Pins == 0 {
+		s.dom.Enter(ctx.ThreadID)
+	}
+	ctx.Pins++
+}
+
+// unpin clears the era slot when the outermost operation exits.
+func (s *SkipList) unpin(ctx *exec.Ctx) {
+	if s.dom == nil || ctx.Pins == 0 {
+		return
+	}
+	if ctx.Pins--; ctx.Pins == 0 {
+		s.dom.Exit(ctx.ThreadID)
+	}
 }
 
 // Recoveries is a snapshot of repair actions performed during
@@ -503,6 +538,15 @@ outer:
 			}
 			cur := s.node(nxt)
 			for {
+				if s.reclaimOn && cur.kind(ctx.Mem) == alloc.KindRetired {
+					// A retired node is out of the abstract set but may
+					// still be linked (or serve as a bridge mid-unlink):
+					// walk through it without adopting it as pred. Checked
+					// before the epoch claim so recovery never resurrects a
+					// victim's tower.
+					cur = s.node(cur.next(s, level, ctx.Mem))
+					continue
+				}
 				if cur.epoch(ctx.Mem) != curEpoch {
 					if s.checkForRecovery(ctx, level, cur, &recoveriesDone) {
 						res = traverseResult{keyIndex: -1, levelFound: -1}
@@ -704,9 +748,22 @@ func (s *SkipList) linkTraverse(ctx *exec.Ctx, key uint64, preds, succs []riv.Pt
 	pred := s.node(s.head)
 	for level := s.maxHeight - 1; level >= 0; level-- {
 		cur := s.node(pred.next(s, level, ctx.Mem))
-		for cur.key0(s, ctx.Mem) < key {
-			pred = cur
-			cur = s.node(pred.next(s, level, ctx.Mem))
+		for {
+			if s.reclaimOn && cur.kind(ctx.Mem) == alloc.KindRetired {
+				// Walk through retired nodes without recording them: a
+				// CAS against a victim's marked next word can never
+				// succeed, so adopting one as pred would spin, and
+				// recording one as succ would link a new node to memory
+				// about to be freed.
+				cur = s.node(cur.next(s, level, ctx.Mem))
+				continue
+			}
+			if cur.key0(s, ctx.Mem) < key {
+				pred = cur
+				cur = s.node(pred.next(s, level, ctx.Mem))
+				continue
+			}
+			break
 		}
 		preds[level] = pred.ptr
 		succs[level] = cur.ptr
@@ -740,6 +797,26 @@ func (s *SkipList) linkHigherLevels(ctx *exec.Ctx, n nodeRef, from, height int) 
 			if succs[level] == n.ptr {
 				break // already linked at this level
 			}
+			if s.reclaimOn {
+				// Hold the node's lock shared across the link: the store
+				// into n's next word below would otherwise race the
+				// sweeper's retirement marks (a plain store wipes the mark
+				// and re-publishes a victim). Retirement takes the lock
+				// exclusive, so under the read lock a KindNode stays one;
+				// once the node is retired the rest of its tower is moot.
+				if !n.readLock(s.a.Clock().Current(), ctx.Mem) {
+					if n.kind(ctx.Mem) == alloc.KindRetired {
+						return
+					}
+					// A splitter holds the node; refresh and retry.
+					s.linkTraverse(ctx, key, preds, succs)
+					continue
+				}
+				if n.kind(ctx.Mem) == alloc.KindRetired {
+					n.readUnlock(ctx.Mem)
+					return
+				}
+			}
 			pred := s.node(preds[level])
 			succ := succs[level]
 			// Point the node at its successor first, persist, then swing
@@ -747,7 +824,11 @@ func (s *SkipList) linkHigherLevels(ctx *exec.Ctx, n nodeRef, from, height int) 
 			// is required for recoverability (Function 17's comment).
 			n.setNext(s, level, succ, ctx.Mem)
 			n.persistNext(s, level, ctx.Mem)
-			if pred.casNext(s, level, succ, n.ptr, ctx.Mem) {
+			linked := pred.casNext(s, level, succ, n.ptr, ctx.Mem)
+			if s.reclaimOn {
+				n.readUnlock(ctx.Mem)
+			}
+			if linked {
 				pred.persistNext(s, level, ctx.Mem)
 				break
 			}

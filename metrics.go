@@ -2,6 +2,7 @@ package upskiplist
 
 import (
 	"strconv"
+	"time"
 
 	"upskiplist/internal/metrics"
 )
@@ -33,6 +34,11 @@ type storeMetrics struct {
 	batchOps *metrics.Counter
 	// shardOps counts ops routed to each shard (upsl_shard_ops_total).
 	shardOps []*metrics.Counter
+	// graceWait observes, per freed limbo batch, the wall time between
+	// batch close and free (upsl_reclaim_grace_wait_seconds). The
+	// remaining reclaim series are GaugeFuncs sampling the reclaimers'
+	// own counters at scrape time, so they need no hot-path hook at all.
+	graceWait *metrics.Histogram
 }
 
 // EnableMetrics registers the engine's instruments with reg and starts
@@ -63,7 +69,26 @@ func (s *Store) EnableMetrics(reg *metrics.Registry) {
 			p.SetFenceObserver(fence.Hist())
 		}
 	}
+	m.graceWait = reg.Histogram("upsl_reclaim_grace_wait_seconds",
+		"wall time a limbo batch waited for its grace period before being freed", nil)
+	reg.GaugeFunc("upsl_reclaim_nodes_retired_total",
+		"fully-tombstoned nodes retired (unlinked onto limbo) by online reclamation",
+		nil, func() float64 { return float64(s.ReclaimStats().Retired) })
+	reg.GaugeFunc("upsl_reclaim_blocks_freed_total",
+		"retired blocks returned to allocator free lists by online reclamation",
+		nil, func() float64 { return float64(s.ReclaimStats().Freed) })
+	reg.GaugeFunc("upsl_reclaim_limbo_depth",
+		"retired blocks currently awaiting their grace period",
+		nil, func() float64 { return float64(s.ReclaimStats().LimboDepth) })
 	s.met.Store(m)
+	// Reclaimers started before metrics were enabled get the grace
+	// observer retrofitted (safe while they run).
+	for _, e := range s.shards {
+		if r := e.list.Reclaimer(); r != nil {
+			h := m.graceWait
+			r.SetGraceObserver(func(d time.Duration) { h.Observe(d.Nanoseconds()) })
+		}
+	}
 }
 
 // DisableMetrics stops recording (instruments stay registered; their

@@ -1,0 +1,85 @@
+package upskiplist
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestReclaimPointOpOverhead bounds the hot-path cost of having online
+// reclamation enabled when there is nothing to reclaim: a churn-free
+// point-op workload (gets + value updates over a stable key set, the
+// production default with hints on) must run within a few percent of
+// the same store without a reclaimer. The reclaim-on store pays the
+// era pin/unpin per op and the per-hop retired-kind check; the
+// reclaimer itself stays idle (nothing is ever fully tombstoned).
+func TestReclaimPointOpOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	if raceEnabled {
+		t.Skip("race detector skews timing comparisons")
+	}
+	const (
+		keys  = 20000
+		ops   = 150000
+		tol   = 1.10 // reclaim-on may be at most 10% slower (ISSUE target 5%, doubled for CI jitter)
+		trial = 3
+	)
+	opts := func(reclaim bool) Options {
+		o := DefaultOptions()
+		o.MaxHeight = 12
+		o.KeysPerNode = 8
+		o.PoolWords = 1 << 21
+		o.ChunkWords = 1 << 13
+		o.MaxChunks = o.PoolWords/o.ChunkWords + 16
+		o.Cost = perfCost()
+		o.OnlineReclaim = reclaim
+		return o
+	}
+	run := func(reclaim bool) float64 {
+		st, err := Create(opts(reclaim))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.DisableOnlineReclaim()
+		w := st.NewWorker(1)
+		for k := uint64(1); k <= keys; k++ {
+			if _, _, err := w.Insert(k, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(7))
+		// Warmup pass, then best-of-N measured passes (best-of filters
+		// scheduler noise — both sides get the same treatment).
+		best := 0.0
+		for tr := 0; tr <= trial; tr++ {
+			start := time.Now()
+			for i := 0; i < ops; i++ {
+				k := uint64(rng.Int63n(keys)) + 1
+				if i%4 == 3 {
+					if _, _, err := w.Insert(k, k+1); err != nil { // value update: no new node
+						t.Fatal(err)
+					}
+				} else if _, ok := w.Get(k); !ok {
+					t.Fatalf("key %d missing", k)
+				}
+			}
+			if r := float64(ops) / time.Since(start).Seconds(); tr > 0 && r > best {
+				best = r
+			}
+		}
+		if got := st.ReclaimStats().Retired; got != 0 {
+			t.Fatalf("churn-free workload retired %d nodes", got)
+		}
+		return best
+	}
+	base := run(false)
+	rec := run(true)
+	t.Logf("point ops: base=%.0f ops/s, reclaim-on=%.0f ops/s (%.1f%% overhead)",
+		base, rec, 100*(base-rec)/base)
+	if rec*tol < base {
+		t.Errorf("reclaim-on point ops %.0f ops/s more than %.0f%% below baseline %.0f ops/s",
+			rec, 100*(tol-1), base)
+	}
+}

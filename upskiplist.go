@@ -52,6 +52,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"time"
 
 	"upskiplist/internal/alloc"
 	"upskiplist/internal/epoch"
@@ -127,6 +128,19 @@ type Options struct {
 	// paper's allocation mode 1, §4.3.2) instead of provisioning chunks
 	// on demand as the structure grows (mode 2, the default).
 	Preallocate bool
+
+	// OnlineReclaim starts a background epoch-based reclaimer per shard
+	// (see EnableOnlineReclaim): fully-tombstoned nodes are retired and
+	// their blocks recycled concurrently with the workload, instead of
+	// only by the quiesced Compact. Volatile configuration like the hint
+	// cache: not persisted by Save — a Load-ed store needs an explicit
+	// EnableOnlineReclaim call.
+	OnlineReclaim bool
+	// ReclaimInterval is the reclaimer's cycle period (0 = 200µs);
+	// ReclaimScanNodes bounds how many bottom-level nodes each cycle
+	// examines (0 = 64). Together they rate-limit the sweeper.
+	ReclaimInterval  time.Duration
+	ReclaimScanNodes int
 
 	// Cost enables the synthetic PMEM access-cost model (benchmarks).
 	Cost *pmem.CostModel
@@ -314,6 +328,9 @@ func Create(opts Options) (*Store, error) {
 		e.list = list
 		st.shards = append(st.shards, e)
 	}
+	if opts.OnlineReclaim {
+		st.EnableOnlineReclaim()
+	}
 	return st, nil
 }
 
@@ -354,6 +371,9 @@ func assembleEngine(opts Options, pools []*pmem.Pool, pas []*alloc.PoolAllocator
 // paper, this is all the recovery there is — repairs happen lazily
 // during subsequent operations.
 func (s *Store) Reopen() (*Store, error) {
+	// The old handle's reclaimers run against the same pools the new
+	// handle will own; stop them first (waits for their goroutines).
+	s.DisableOnlineReclaim()
 	st := &Store{opts: s.opts, topo: s.topo}
 	for _, old := range s.shards {
 		var pas []*alloc.PoolAllocator
@@ -376,6 +396,9 @@ func (s *Store) Reopen() (*Store, error) {
 		list.SetHintCache(!s.opts.DisableHintCache)
 		e.list = list
 		st.shards = append(st.shards, e)
+	}
+	if s.opts.OnlineReclaim {
+		st.EnableOnlineReclaim()
 	}
 	return st, nil
 }
@@ -435,23 +458,28 @@ func (s *Store) shardOf(key uint64) int {
 }
 
 // EnableCrashTracking switches every pool of every shard into
-// crash-tracking mode. Must be called quiesced.
+// crash-tracking mode. Must be called quiesced; background reclaimers
+// are held at a cycle boundary for the switch.
 func (s *Store) EnableCrashTracking() {
+	s.PauseReclaim()
 	for _, e := range s.shards {
 		for _, p := range e.pools {
 			p.EnableTracking()
 		}
 	}
+	s.ResumeReclaim()
 }
 
 // DisableCrashTracking leaves crash-tracking mode (all pending writes
 // count as persisted).
 func (s *Store) DisableCrashTracking() {
+	s.PauseReclaim()
 	for _, e := range s.shards {
 		for _, p := range e.pools {
 			p.DisableTracking()
 		}
 	}
+	s.ResumeReclaim()
 }
 
 // SimulateCrash discards every unflushed cache line in every pool of
@@ -459,6 +487,11 @@ func (s *Store) DisableCrashTracking() {
 // must be quiesced: all workers abandoned or stopped. Returns the number
 // of lines reverted.
 func (s *Store) SimulateCrash() int {
+	// Reclaimers are paused — not resumed — so nothing touches the
+	// reverted pools afterwards; the only valid next step is Reopen,
+	// which stops them for good. A reclaimer goroutine already killed by
+	// a crash injector (its thread "died at the failure") pauses cleanly.
+	s.PauseReclaim()
 	n := 0
 	for _, e := range s.shards {
 		for _, p := range e.pools {
@@ -482,6 +515,7 @@ func shardSalt(shard int) uint64 {
 // surviving subsets differ per shard as they would across real devices.
 // Returns (reverted, survived) line counts.
 func (s *Store) SimulateCrashPartial(evictProb float64, seed uint64) (int, int) {
+	s.PauseReclaim() // see SimulateCrash
 	rev, sur := 0, 0
 	for si, e := range s.shards {
 		for _, p := range e.pools {
@@ -519,7 +553,14 @@ func (s *Store) ReclaimOrphans() int {
 // is compacted; the store must be quiesced (no concurrent workers). An
 // interrupted compaction is completed automatically at the next Reopen.
 func (s *Store) Compact() (int, error) {
-	total := 0
+	// With online reclamation on, hold the reclaimers at a cycle boundary
+	// and flush their limbo lists first: a limbo block freed twice (once
+	// by Compact's retired-block sweep, once by a resumed reclaimer whose
+	// stale limbo entry now names a reallocated node) would corrupt the
+	// structure, so the drain empties limbo before Compact looks.
+	s.PauseReclaim()
+	defer s.ResumeReclaim()
+	total := s.drainReclaimQuiesced()
 	for _, e := range s.shards {
 		n, err := e.list.Compact(exec.NewCtx(0, 0))
 		total += n
@@ -750,6 +791,12 @@ func (w *Worker) CheckInvariants() error {
 // Save writes every pool's durable image into dir (one file per pool,
 // shard-qualified names for sharded stores).
 func (s *Store) Save(dir string) error {
+	// Save is a quiesced entry point; flush limbo so the saved image
+	// carries no retired blocks (they would be rediscovered anyway, but a
+	// clean image loads clean).
+	s.PauseReclaim()
+	defer s.ResumeReclaim()
+	s.drainReclaimQuiesced()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
