@@ -42,6 +42,16 @@ func churnOptions(reclaim bool) Options {
 	// that path. With hints on, point ops are near-O(1) regardless of
 	// dead prefix and the comparison measures nothing.
 	o.DisableHintCache = true
+	// Foresight off for the same reason: the descent prefetch overlaps
+	// each dead-node hop's line fetch with the previous node's examine,
+	// deflating exactly the per-hop cost whose growth this experiment
+	// measures.
+	o.DisableForesight = true
+	// Classic p = 1/2 towers: the MaxHeight=8 provisioning above and the
+	// dead-tower-clutter analysis assume Pugh geometry, and the sparse
+	// default would change how much of the dead population reaches the
+	// index levels — an orthogonal axis the hotpath experiment owns.
+	o.TowerBranch = 2
 	o.OnlineReclaim = reclaim
 	// Steady-state retirement rides the workers' retire-on-remove
 	// reports; the sweep is only the leak backstop, so keep its duty

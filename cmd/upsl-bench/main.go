@@ -28,6 +28,10 @@
 //	churn-wire  put+del dead segment through a running upsl-server
 //	          (-server-addr required) so a -online-reclaim server frees
 //	          blocks mid-service; used by CI's loopback smoke
+//	hotpath   cache-conscious traversal: block search + foresight
+//	          prefetching + sparse towers vs the reference traversal,
+//	          with nodes-visited / keys-probed / prefetches per op
+//	          (BENCH_hotpath.json; excluded from "all")
 //
 // Absolute numbers will differ from the paper (its substrate was a
 // 4-socket Optane machine; ours is a simulator) — the comparisons,
@@ -68,7 +72,7 @@ type benchConfig struct {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table5.1, fig5.1, fig5.2, fig5.3, fig5.4, fig5.5, fig5.6, table5.4, extE, shards, server, churn, churn-wire, all")
+		exp        = flag.String("exp", "all", "experiment: table5.1, fig5.1, fig5.2, fig5.3, fig5.4, fig5.5, fig5.6, table5.4, extE, shards, server, churn, churn-wire, hotpath, all")
 		preload    = flag.Uint64("preload", 20000, "preloaded key count (paper: 100M)")
 		ops        = flag.Int("ops", 10000, "operations per thread")
 		threadsCSV = flag.String("threads", "1,2,4,8,16", "thread counts for sweeps")
@@ -91,6 +95,8 @@ func main() {
 			*benchJSON = "BENCH_server.json"
 		case "churn":
 			*benchJSON = "BENCH_churn.json"
+		case "hotpath":
+			*benchJSON = "BENCH_hotpath.json"
 		default:
 			*benchJSON = "BENCH_shards.json"
 		}
@@ -141,12 +147,14 @@ func main() {
 		"server":     runServerExp,
 		"churn":      runChurnExp,
 		"churn-wire": runChurnWireExp,
+		"hotpath":    runHotPath,
 	}
 	// "server" is deliberately not in the "all" order: it opens loopback
 	// TCP sockets, which the pure in-process reproduction runs avoid
 	// ("churn-wire" additionally requires an external server).
-	// "churn" is also separate: it writes its own BENCH_churn.json, which
-	// an "all" run sharing one -bench-json path would clobber.
+	// "churn" and "hotpath" are also separate: each writes its own
+	// BENCH_*.json, which an "all" run sharing one -bench-json path would
+	// clobber.
 	order := []string{"table5.1", "fig5.1", "fig5.2", "fig5.3", "fig5.4", "fig5.5", "fig5.6", "table5.4", "extE", "shards"}
 	if *exp == "all" {
 		for _, name := range order {

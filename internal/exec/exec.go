@@ -57,11 +57,31 @@ type Ctx struct {
 	// operation touches the epoch.Domain. Like Hints, this is volatile
 	// per-worker state with no recovery obligations.
 	Pins int
+	// Path accumulates per-worker traversal-locality counters (see
+	// PathStats). Like Hints, it is single-owner volatile state: no
+	// atomics, no recovery obligations, surfaced through Worker.Stats.
+	Path PathStats
 	// towers is a free list of preds/succs scratch pairs. It is a list
 	// rather than a single buffer because recovery helpers re-enter the
 	// traversal path (traverse -> checkForInsertRecovery -> tower link)
 	// while the outer operation still holds its pair.
 	towers []*Towers
+	// blocks is a free list of word buffers for bulk key/value-block
+	// loads, mirroring towers: recovery paths nest traversals while the
+	// outer operation may hold a snapshot buffer.
+	blocks [][]uint64
+}
+
+// PathStats counts the memory work a worker's traversals performed —
+// the cache-conscious-traversal observability the hotpath experiment
+// records. NodesVisited counts every node a descent inspected (adopted
+// as pred or rejected, across all levels, including link traversals);
+// KeysProbed counts key slots fetched during in-node searches and
+// range-scan snapshots. Divided by Ops they give the nodes-visited-per-op
+// and keys-probed-per-op figures.
+type PathStats struct {
+	NodesVisited uint64
+	KeysProbed   uint64
 }
 
 // Towers is a reusable preds/succs pair for skip-list traversals. Reusing
@@ -107,6 +127,29 @@ func (c *Ctx) GetTowers(levels int) *Towers {
 // PutTowers returns a pair obtained from GetTowers to the free list.
 func (c *Ctx) PutTowers(t *Towers) {
 	c.towers = append(c.towers, t)
+}
+
+// GetBlock returns a word buffer of length n for a bulk block load,
+// reusing a previously returned buffer when one is free. Contents are
+// unspecified; hand the buffer back with PutBlock. Like GetTowers, the
+// free list reaches the worst-case re-entrant nesting depth after a few
+// operations and stops allocating.
+func (c *Ctx) GetBlock(n int) []uint64 {
+	if m := len(c.blocks) - 1; m >= 0 {
+		b := c.blocks[m]
+		c.blocks[m] = nil
+		c.blocks = c.blocks[:m]
+		if cap(b) < n {
+			return make([]uint64, n)
+		}
+		return b[:n]
+	}
+	return make([]uint64, n)
+}
+
+// PutBlock returns a buffer obtained from GetBlock to the free list.
+func (c *Ctx) PutBlock(b []uint64) {
+	c.blocks = append(c.blocks, b)
 }
 
 // HintSlots is the number of direct-mapped entries in a HintCache:
@@ -190,6 +233,24 @@ func (h *HintCache) Reset() {
 func (c *Ctx) GeometricHeight(max int) int {
 	h := 1
 	for h < max && c.Rand.Int63()&1 == 0 {
+		h++
+	}
+	return h
+}
+
+// GeometricHeightB draws a tower height in [1, max] where each level
+// promotes with probability 1/branch — the sparse-tower bias of
+// B-Skiplist-shaped structures: with fat multi-key bottom nodes, fewer
+// and shorter towers keep the whole index portion cache-resident.
+// branch <= 2 reproduces GeometricHeight's classic p = 1/2 draw (and its
+// exact Rand consumption, so height sequences stay comparable).
+func (c *Ctx) GeometricHeightB(max, branch int) int {
+	if branch <= 2 {
+		return c.GeometricHeight(max)
+	}
+	b := int64(branch)
+	h := 1
+	for h < max && c.Rand.Int63n(b) == 0 {
 		h++
 	}
 	return h

@@ -93,6 +93,7 @@ func (u *UPSL) PoolStats() pmem.StatsSnapshot {
 		out.Fences += s.Fences
 		out.RemoteOps += s.RemoteOps
 		out.Misses += s.Misses
+		out.Prefetches += s.Prefetches
 	}
 	return out
 }

@@ -51,6 +51,12 @@ type BenchRecord struct {
 	AllocBlocks int   `json:"alloc_blocks,omitempty"`
 	LiveNodes   int   `json:"live_nodes,omitempty"`
 	FreedBlocks int64 `json:"freed_blocks,omitempty"`
+	// Traversal-locality fields (the hotpath experiment): mean nodes a
+	// descent inspected per op, mean key comparisons per op, and mean
+	// charged prefetch issues per op. Zero (omitted) elsewhere.
+	NodesVisitedPerOp float64 `json:"nodes_visited_per_op,omitempty"`
+	KeysProbedPerOp   float64 `json:"keys_probed_per_op,omitempty"`
+	PrefetchesPerOp   float64 `json:"prefetches_per_op,omitempty"`
 }
 
 // LatencySummary is the percentile fingerprint of one latency

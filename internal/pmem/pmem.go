@@ -65,14 +65,14 @@ const statShards = 32
 
 // statCell is one padded shard of counters.
 type statCell struct {
-	Loads     atomic.Uint64
-	Stores    atomic.Uint64
-	CASes     atomic.Uint64
-	Flushes   atomic.Uint64
-	Fences    atomic.Uint64
-	RemoteOps atomic.Uint64
-	Misses    atomic.Uint64
-	_         [1]uint64 // pad to a cache line
+	Loads      atomic.Uint64
+	Stores     atomic.Uint64
+	CASes      atomic.Uint64
+	Flushes    atomic.Uint64
+	Fences     atomic.Uint64
+	RemoteOps  atomic.Uint64
+	Misses     atomic.Uint64
+	Prefetches atomic.Uint64 // 8 words: exactly one cache line
 }
 
 // Stats holds cumulative operation counters for one pool, sharded to
@@ -100,24 +100,26 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		out.Fences += c.Fences.Load()
 		out.RemoteOps += c.RemoteOps.Load()
 		out.Misses += c.Misses.Load()
+		out.Prefetches += c.Prefetches.Load()
 	}
 	return out
 }
 
 // StatsSnapshot is a point-in-time copy of a pool's Stats.
 type StatsSnapshot struct {
-	Loads     uint64
-	Stores    uint64
-	CASes     uint64
-	Flushes   uint64
-	Fences    uint64
-	RemoteOps uint64
-	Misses    uint64
+	Loads      uint64
+	Stores     uint64
+	CASes      uint64
+	Flushes    uint64
+	Fences     uint64
+	RemoteOps  uint64
+	Misses     uint64
+	Prefetches uint64
 }
 
 func (s StatsSnapshot) String() string {
-	return fmt.Sprintf("loads=%d stores=%d cas=%d flushes=%d fences=%d remote=%d",
-		s.Loads, s.Stores, s.CASes, s.Flushes, s.Fences, s.RemoteOps)
+	return fmt.Sprintf("loads=%d stores=%d cas=%d flushes=%d fences=%d remote=%d prefetch=%d",
+		s.Loads, s.Stores, s.CASes, s.Flushes, s.Fences, s.RemoteOps, s.Prefetches)
 }
 
 // CostModel describes the synthetic access-latency model used by
@@ -140,6 +142,13 @@ type CostModel struct {
 	FlushPenalty  int // per cache-line flush
 	FencePenalty  int // per memory fence
 	RemotePenalty int // extra charge when a missed line is remote
+	// PrefetchPenalty is the charge for a Prefetch hint that misses the
+	// worker's line cache: the issue cost of a PREFETCHT0 whose memory
+	// latency then overlaps the compare work the caller keeps doing —
+	// well below LoadPenalty, which is what makes foresight-style
+	// traversal prefetching profitable. Zero keeps prefetches free while
+	// still warming the line cache.
+	PrefetchPenalty int
 	// FlushContention is the extra charge per concurrent flusher beyond
 	// the first, modelling the PMEM controller's persist bandwidth
 	// saturating "at a low number of concurrent threads" (§2.1.3). This
@@ -158,6 +167,7 @@ func DefaultCostModel() *CostModel {
 		FlushPenalty:    56,
 		FencePenalty:    8,
 		RemotePenalty:   24,
+		PrefetchPenalty: 12,
 		FlushContention: 48,
 	}
 }

@@ -1,0 +1,66 @@
+package pmem
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// Prefetch hints that the word at off will be loaded soon — the
+// simulation's analogue of issuing PREFETCHT0 on the line during
+// traversal, as "Skiplists with Foresight" does for the next candidate
+// node while the current node's keys are still being compared.
+//
+// Two things happen. First, a real hardware prefetch is issued on the
+// backing array, so the next simulated Load of the line finds it in the
+// host CPU's cache. Second, the cost model is told the line is now
+// resident: the accessor's line cache adopts the tag, and instead of the
+// full LoadPenalty the worker pays only PrefetchPenalty — the issue cost
+// of a prefetch whose completion overlaps the compare work the caller is
+// still doing. A line already resident costs nothing (the hint is
+// discarded by hardware too).
+//
+// Prefetch never faults: an out-of-range offset (a stale traversal hint
+// pointing past a smaller pool) is silently ignored, exactly like the
+// hardware instruction. It performs no stats step() and cannot trip
+// crash injection — a prefetch is invisible to recovery.
+func (p *Pool) Prefetch(off uint64, acc *Acc) {
+	if off >= uint64(len(p.words)) {
+		return
+	}
+	prefetchT0(unsafe.Pointer(&p.words[off]))
+	c := p.cost
+	if c == nil || acc == nil {
+		return
+	}
+	if acc.touch(p.id, off>>lineShift) {
+		return // already resident: free, like the hardware hint
+	}
+	p.stats.cell(acc).Prefetches.Add(1)
+	spin(c.PrefetchPenalty)
+}
+
+// LoadBlock atomically reads the n = len(dst) contiguous words starting
+// at off into dst. It is the bulk counterpart of Load for block-organized
+// data (a node's key block): the words are charged per covered cache
+// line rather than per word — a streamed sequential read of a resident
+// line costs one hit, not eight — and the per-call bookkeeping (stats
+// shard update, injection step) is paid once for the whole block. Word
+// loads are individually atomic; the block as a whole is not a snapshot,
+// exactly like n independent Load calls (callers validate with split
+// counts or locks as usual).
+func (p *Pool) LoadBlock(off uint64, dst []uint64, acc *Acc) {
+	n := uint64(len(dst))
+	if n == 0 {
+		return
+	}
+	p.step()
+	p.stats.cell(acc).Loads.Add(n)
+	if p.cost != nil {
+		for line, last := off>>lineShift, (off+n-1)>>lineShift; line <= last; line++ {
+			p.chargeLoad(line<<lineShift, acc)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		dst[i] = atomic.LoadUint64(&p.words[off+i])
+	}
+}

@@ -1,0 +1,9 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func prefetchT0(addr unsafe.Pointer)
+TEXT ·prefetchT0(SB), NOSPLIT, $0-8
+	MOVQ addr+0(FP), AX
+	PREFETCHT0 (AX)
+	RET

@@ -1,0 +1,9 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// func prefetchT0(addr unsafe.Pointer)
+TEXT ·prefetchT0(SB), NOSPLIT, $0-8
+	MOVD addr+0(FP), R0
+	PRFM (R0), PLDL1KEEP
+	RET

@@ -1,0 +1,13 @@
+//go:build amd64 || arm64
+
+package pmem
+
+import "unsafe"
+
+// prefetchT0 issues a non-faulting hardware prefetch of the cache line
+// containing addr into all cache levels (PREFETCHT0 on amd64, PRFM
+// PLDL1KEEP on arm64). It is a pure hint: no ordering, no side effects
+// beyond warming the cache.
+//
+//go:noescape
+func prefetchT0(addr unsafe.Pointer)

@@ -1,0 +1,10 @@
+//go:build !amd64 && !arm64
+
+package pmem
+
+import "unsafe"
+
+// prefetchT0 is a no-op on architectures without a prefetch stub; the
+// simulated cost model still records the hint so behaviour (and the
+// Prefetches counter) stays identical across platforms.
+func prefetchT0(addr unsafe.Pointer) { _ = addr }

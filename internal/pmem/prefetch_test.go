@@ -1,0 +1,117 @@
+package pmem
+
+import "testing"
+
+func newPrefetchPool(t *testing.T, cost *CostModel) *Pool {
+	t.Helper()
+	p, err := NewPool(Config{ID: 3, Words: 1 << 12, HomeNode: -1, Cost: cost})
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	return p
+}
+
+func TestPrefetchWarmsLineCache(t *testing.T) {
+	p := newPrefetchPool(t, DefaultCostModel())
+	acc := NewAcc(0)
+
+	p.Prefetch(128, acc)
+	snap := p.Stats().Snapshot()
+	if snap.Prefetches != 1 {
+		t.Fatalf("prefetches = %d, want 1", snap.Prefetches)
+	}
+
+	// The subsequent load of the same line must be a hit: no new miss.
+	missesBefore := snap.Misses
+	p.Load(130, acc) // same 8-word line as offset 128
+	snap = p.Stats().Snapshot()
+	if snap.Misses != missesBefore {
+		t.Fatalf("load after prefetch missed: misses %d -> %d", missesBefore, snap.Misses)
+	}
+
+	// Prefetching a resident line is free and uncounted.
+	p.Prefetch(129, acc)
+	if got := p.Stats().Snapshot().Prefetches; got != 1 {
+		t.Fatalf("resident-line prefetch counted: prefetches = %d, want 1", got)
+	}
+}
+
+func TestPrefetchOutOfRangeIsIgnored(t *testing.T) {
+	p := newPrefetchPool(t, DefaultCostModel())
+	acc := NewAcc(0)
+	p.Prefetch(p.Size(), acc)      // first invalid offset
+	p.Prefetch(^uint64(0), acc)    // a garbage stale-hint offset
+	p.Prefetch(p.Size()+1234, nil) // nil accessor
+	if got := p.Stats().Snapshot().Prefetches; got != 0 {
+		t.Fatalf("out-of-range prefetch counted: prefetches = %d, want 0", got)
+	}
+}
+
+func TestPrefetchWithoutCostModel(t *testing.T) {
+	p := newPrefetchPool(t, nil)
+	acc := NewAcc(0)
+	p.Prefetch(0, acc) // must not panic or count
+	if got := p.Stats().Snapshot().Prefetches; got != 0 {
+		t.Fatalf("cost-free prefetch counted: prefetches = %d, want 0", got)
+	}
+}
+
+func TestLoadBlockMatchesPerWordLoads(t *testing.T) {
+	p := newPrefetchPool(t, DefaultCostModel())
+	acc := NewAcc(0)
+	base := uint64(64)
+	nwords := uint64(37) // deliberately not line-aligned at either end
+	for i := uint64(0); i < nwords; i++ {
+		p.Store(base+i, i*i+7, nil)
+	}
+	got := make([]uint64, nwords)
+	p.LoadBlock(base+0, got, acc)
+	for i := uint64(0); i < nwords; i++ {
+		if want := p.Load(base+i, nil); got[i] != want {
+			t.Fatalf("word %d: LoadBlock read %d, Load reads %d", i, got[i], want)
+		}
+	}
+}
+
+func TestLoadBlockChargesPerLine(t *testing.T) {
+	p := newPrefetchPool(t, DefaultCostModel())
+	acc := NewAcc(0)
+	buf := make([]uint64, 2*LineWords) // spans exactly two cold lines
+	p.LoadBlock(0, buf, acc)
+	snap := p.Stats().Snapshot()
+	if snap.Loads != uint64(len(buf)) {
+		t.Fatalf("loads = %d, want %d", snap.Loads, len(buf))
+	}
+	// One miss, not two: the first line's miss triggers the modelled
+	// next-line hardware prefetch, so the second sequential line hits.
+	if snap.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (next-line prefetch covers line 2)", snap.Misses)
+	}
+	// Re-reading the now-resident block adds loads but no misses.
+	p.LoadBlock(0, buf, acc)
+	snap = p.Stats().Snapshot()
+	if snap.Misses != 1 {
+		t.Fatalf("resident block re-read missed: misses = %d, want 1", snap.Misses)
+	}
+	// Empty block is a no-op.
+	p.LoadBlock(0, nil, acc)
+	if got := p.Stats().Snapshot().Loads; got != 2*uint64(len(buf)) {
+		t.Fatalf("loads after empty block = %d, want %d", got, 2*len(buf))
+	}
+}
+
+func TestLoadBlockSeesVolatileWritesUnderTracking(t *testing.T) {
+	p := newPrefetchPool(t, nil)
+	p.EnableTracking()
+	p.Store(8, 42, nil) // dirty, unflushed
+	buf := make([]uint64, 1)
+	p.LoadBlock(8, buf, nil)
+	if buf[0] != 42 {
+		t.Fatalf("LoadBlock read %d, want the volatile value 42", buf[0])
+	}
+	p.Crash()
+	p.LoadBlock(8, buf, nil)
+	if buf[0] != 0 {
+		t.Fatalf("post-crash LoadBlock read %d, want the reverted value 0", buf[0])
+	}
+}

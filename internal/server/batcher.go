@@ -47,6 +47,8 @@ type batcher struct {
 	hintSeeded   atomic.Uint64
 	hintMissed   atomic.Uint64
 	hintFallback atomic.Uint64
+	nodesVisited atomic.Uint64
+	keysProbed   atomic.Uint64
 }
 
 func newBatcher(srv *Server, shard int) *batcher {
@@ -157,6 +159,8 @@ func (b *batcher) apply() {
 	b.hintSeeded.Store(ws.HintSeeded)
 	b.hintMissed.Store(ws.HintMissed)
 	b.hintFallback.Store(ws.HintFallback)
+	b.nodesVisited.Store(ws.NodesVisited)
+	b.keysProbed.Store(ws.KeysProbed)
 
 	if b.srv.killed() {
 		// Applied (and durable — ApplyBatch fenced) but never

@@ -40,6 +40,8 @@ func (s *Server) Snapshot() Snapshot {
 		snap.HintSeeded += b.hintSeeded.Load()
 		snap.HintMissed += b.hintMissed.Load()
 		snap.HintFallback += b.hintFallback.Load()
+		snap.NodesVisited += b.nodesVisited.Load()
+		snap.KeysProbed += b.keysProbed.Load()
 	}
 	return snap.Merge(s.st.Stats()) // Shards and Mem come from the engine
 }

@@ -85,6 +85,12 @@ func (s *SkipList) ApplyBatch(ctx *exec.Ctx, ops []BatchOp) {
 	ctx.Deferred = true
 	for i := range ops {
 		op := &ops[i]
+		if i+1 < len(ops) {
+			// Foresight: while op i runs, get the next op's hinted node on
+			// its way. The sort made successive keys near-neighbours, so
+			// the hint cache usually knows op i+1's covering node already.
+			s.prefetchHint(ctx, ops[i+1].Key)
+		}
 		switch op.Kind {
 		case BatchGet:
 			op.Old, op.Found = s.Get(ctx, op.Key)

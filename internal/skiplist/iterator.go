@@ -115,22 +115,44 @@ func (it *Iterator) loadNode(p riv.Ptr, lo uint64) {
 	if it.curK0 > it.resume {
 		it.resume = it.curK0
 	}
+	if s.foresight {
+		// Start the successor's header toward the cache while this node's
+		// snapshot is taken and consumed — the streaming analogue of the
+		// descent prefetch.
+		if nxt := n.next(s, 0, it.ctx.Mem); !nxt.IsNull() && nxt != s.tail {
+			s.node(nxt).prefetchHeader(it.ctx.Mem)
+		}
+	}
 	for {
 		if n.isWriteLocked(it.ctx.Mem) {
 			continue // split in progress: retry the snapshot
 		}
 		sc := n.splitCount(it.ctx.Mem)
 		it.pairs = it.pairs[:0]
-		for i := 0; i < s.keysPerNode; i++ {
-			k := n.key(s, i, it.ctx.Mem)
-			if k == keyEmpty || k < lo {
-				continue
+		if s.blockSearch {
+			buf := it.ctx.GetBlock(2 * s.keysPerNode)
+			kb, vb := buf[:s.keysPerNode], buf[s.keysPerNode:]
+			n.keyBlock(s, kb, it.ctx.Mem)
+			n.valueBlock(s, vb, it.ctx.Mem)
+			for i, k := range kb {
+				if k == keyEmpty || k < lo || vb[i] == Tombstone {
+					continue
+				}
+				it.pairs = append(it.pairs, kv{k, vb[i]})
 			}
-			v := n.value(s, i, it.ctx.Mem)
-			if v == Tombstone {
-				continue
+			it.ctx.PutBlock(buf)
+		} else {
+			for i := 0; i < s.keysPerNode; i++ {
+				k := n.key(s, i, it.ctx.Mem)
+				if k == keyEmpty || k < lo {
+					continue
+				}
+				v := n.value(s, i, it.ctx.Mem)
+				if v == Tombstone {
+					continue
+				}
+				it.pairs = append(it.pairs, kv{k, v})
 			}
-			it.pairs = append(it.pairs, kv{k, v})
 		}
 		if !n.isWriteLocked(it.ctx.Mem) && n.splitCount(it.ctx.Mem) == sc {
 			break

@@ -127,7 +127,7 @@ func (s *SkipList) update(ctx *exec.Ctx, n nodeRef, keyIndex int, value uint64) 
 // generalized to any predecessor: a brand-new node holding just (key,
 // value) is created and linked right after preds[0].
 func (s *SkipList) createSuccessor(ctx *exec.Ctx, key, value uint64, preds, succs []riv.Ptr) (bool, error) {
-	height := ctx.GeometricHeight(s.maxHeight)
+	height := s.drawHeight(ctx)
 	succ := succs[0]
 	newPtr, err := s.a.Alloc(ctx, preds[0], key)
 	if err != nil {
@@ -167,9 +167,44 @@ func (s *SkipList) insertIntoExistingNode(ctx *exec.Ctx, key, value uint64, pred
 		pred.readUnlock(ctx.Mem)
 		return stContinue, 0, nil
 	}
+	if s.blockSearch {
+		// Fast path: snapshot the key block once and decide from the
+		// snapshot. Under the read lock slots only move empty -> key, so
+		// a snapshot that shows our key is definitive, and a claim CAS on
+		// the snapshot's first empty slot either lands or fails because
+		// the slot was claimed meanwhile — possibly with our own key —
+		// in which case a fresh snapshot re-decides, exactly like the
+		// per-word loop's re-read of a lost slot.
+		buf := ctx.GetBlock(s.keysPerNode)
+		for {
+			pred.keyBlock(s, buf, ctx.Mem)
+			found, empty, probed := searchBlockInsert(buf, key)
+			ctx.Path.KeysProbed += uint64(probed)
+			if found >= 0 {
+				ctx.PutBlock(buf)
+				old := s.update(ctx, pred, found, value)
+				pred.readUnlock(ctx.Mem)
+				return stDone, old, nil
+			}
+			if empty < 0 {
+				ctx.PutBlock(buf)
+				pred.readUnlock(ctx.Mem)
+				return stNeedSplit, 0, nil
+			}
+			if pred.casKey(s, empty, keyEmpty, key, ctx.Mem) {
+				ctx.PutBlock(buf)
+				s.persistKeyOp(ctx, pred, empty)
+				old := s.update(ctx, pred, empty, value)
+				pred.readUnlock(ctx.Mem)
+				return stDone, old, nil
+			}
+			// CAS lost: another claim landed since the snapshot; retake it.
+		}
+	}
 	for i := 0; i < s.keysPerNode; i++ {
 		for {
 			k := pred.key(s, i, ctx.Mem)
+			ctx.Path.KeysProbed++
 			if k == key {
 				old := s.update(ctx, pred, i, value)
 				pred.readUnlock(ctx.Mem)
@@ -201,13 +236,28 @@ func (s *SkipList) splitNode(ctx *exec.Ctx, key uint64, preds, succs []riv.Ptr) 
 		return nil // a concurrent insert/update/split is progressing; retry
 	}
 	// Collect and sort the node's pairs. Under the write lock the keys
-	// cannot change (updates need the read lock; key claims do too).
+	// cannot change (updates need the read lock; key claims do too), so
+	// both blocks can be streamed out with two bulk loads instead of
+	// 2*keysPerNode pointwise ones.
 	type pair struct{ k, v uint64 }
 	pairs := make([]pair, 0, s.keysPerNode)
-	for i := 0; i < s.keysPerNode; i++ {
-		k := pred.key(s, i, ctx.Mem)
-		if k != keyEmpty {
-			pairs = append(pairs, pair{k, pred.value(s, i, ctx.Mem)})
+	if s.blockSearch {
+		buf := ctx.GetBlock(2 * s.keysPerNode)
+		kb, vb := buf[:s.keysPerNode], buf[s.keysPerNode:]
+		pred.keyBlock(s, kb, ctx.Mem)
+		pred.valueBlock(s, vb, ctx.Mem)
+		for i, k := range kb {
+			if k != keyEmpty {
+				pairs = append(pairs, pair{k, vb[i]})
+			}
+		}
+		ctx.PutBlock(buf)
+	} else {
+		for i := 0; i < s.keysPerNode; i++ {
+			k := pred.key(s, i, ctx.Mem)
+			if k != keyEmpty {
+				pairs = append(pairs, pair{k, pred.value(s, i, ctx.Mem)})
+			}
 		}
 	}
 	if len(pairs) < 2 {
@@ -227,7 +277,7 @@ func (s *SkipList) splitNode(ctx *exec.Ctx, key uint64, preds, succs []riv.Ptr) 
 		vals[i] = p.v
 	}
 
-	height := ctx.GeometricHeight(s.maxHeight)
+	height := s.drawHeight(ctx)
 	newPtr, err := s.a.Alloc(ctx, pred.ptr, keys[0])
 	if err != nil {
 		pred.writeUnlock(s.a.Clock().Current(), ctx.Mem)
@@ -405,12 +455,24 @@ func (s *SkipList) Scan(ctx *exec.Ctx, lo, hi uint64, fn func(key, value uint64)
 		cur = succs[0]
 	}
 	type pair struct{ k, v uint64 }
+	var blockBuf []uint64
+	if s.blockSearch {
+		blockBuf = ctx.GetBlock(2 * s.keysPerNode)
+		defer ctx.PutBlock(blockBuf)
+	}
 	var last uint64
 	emitted := false
 	for !cur.IsNull() && cur != s.tail {
 		n := s.node(cur)
 		if n.key0(s, ctx.Mem) > hi {
 			break
+		}
+		if s.foresight {
+			// Streaming ahead: start the successor's header line on its
+			// way while this node is snapshotted and emitted.
+			if nxt := n.next(s, 0, ctx.Mem); !nxt.IsNull() && nxt != s.tail {
+				s.node(nxt).prefetchHeader(ctx.Mem)
+			}
 		}
 		// Snapshot this node's pairs with validation.
 		var pairs []pair
@@ -420,16 +482,28 @@ func (s *SkipList) Scan(ctx *exec.Ctx, lo, hi uint64, fn func(key, value uint64)
 			}
 			sc := n.splitCount(ctx.Mem)
 			pairs = pairs[:0]
-			for i := 0; i < s.keysPerNode; i++ {
-				k := n.key(s, i, ctx.Mem)
-				if k == keyEmpty || k < lo || k > hi {
-					continue
+			if s.blockSearch {
+				kb, vb := blockBuf[:s.keysPerNode], blockBuf[s.keysPerNode:]
+				n.keyBlock(s, kb, ctx.Mem)
+				n.valueBlock(s, vb, ctx.Mem)
+				for i, k := range kb {
+					if k == keyEmpty || k < lo || k > hi || vb[i] == Tombstone {
+						continue
+					}
+					pairs = append(pairs, pair{k, vb[i]})
 				}
-				v := n.value(s, i, ctx.Mem)
-				if v == Tombstone {
-					continue
+			} else {
+				for i := 0; i < s.keysPerNode; i++ {
+					k := n.key(s, i, ctx.Mem)
+					if k == keyEmpty || k < lo || k > hi {
+						continue
+					}
+					v := n.value(s, i, ctx.Mem)
+					if v == Tombstone {
+						continue
+					}
+					pairs = append(pairs, pair{k, v})
 				}
-				pairs = append(pairs, pair{k, v})
 			}
 			if !n.isWriteLocked(ctx.Mem) && n.splitCount(ctx.Mem) == sc {
 				break

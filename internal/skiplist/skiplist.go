@@ -57,8 +57,24 @@ const (
 	flagSorted = 1 << 0
 
 	// MaxHeight is the tallest tower supported (the paper runs with 32
-	// levels).
+	// levels). The cap is what the meta word's 8-bit height field and the
+	// lock word's layout were sized for.
 	MaxHeight = 32
+
+	// MaxKeysPerNode is the largest node capacity the meta word's 16-bit
+	// sorted-prefix field can describe.
+	MaxKeysPerNode = 0xffff
+
+	// defaultTowerBranch is the default inverse promotion probability of
+	// the tower height generator (see Config.TowerBranch): towers promote
+	// with p = 1/4, the B-Skiplist-shaped sparse-tower bias tuned against
+	// YCSB-C — with fat multi-key bottom nodes, a level of indexing is
+	// only worth its cache lines when it skips several nodes at once.
+	defaultTowerBranch = 4
+
+	// maxTowerBranch bounds the configurable bias; beyond this towers are
+	// so rare the structure degenerates into a linked list of fat nodes.
+	maxTowerBranch = 64
 )
 
 // Errors.
@@ -94,6 +110,21 @@ type Config struct {
 	// this knob exists for ablation and debugging. The setting is
 	// volatile (per handle), not persisted.
 	DisableHintCache bool
+	// TowerBranch is the inverse promotion probability of the tower
+	// height generator: a new node's tower reaches level l+1 with
+	// probability 1/TowerBranch. 2 reproduces Pugh's classic p = 1/2
+	// draw; 0 means the default (4), which biases toward sparse towers —
+	// the B-Skiplist shape where fat bottom nodes carry the fan-out and
+	// the few index levels stay cache-resident. Volatile tuning like
+	// RecoveryBudget: heights never affect results or recovery, only
+	// performance, and the setting is not persisted.
+	TowerBranch int
+	// DisableBlockSearch turns off the bulk key-block fast path (in-node
+	// searches fall back to per-word key(i) loads) and DisableForesight
+	// turns off traversal prefetching. Both are volatile ablation knobs:
+	// neither path can change results, which the equivalence tests pin.
+	DisableBlockSearch bool
+	DisableForesight   bool
 }
 
 // DefaultConfig matches the paper's evaluation parameters scaled for
@@ -117,7 +148,10 @@ type SkipList struct {
 	maxHeight   int
 	keysPerNode int
 	sorted      bool
-	budget      int // deferrable repairs per traversal; <0 = unlimited
+	budget      int  // deferrable repairs per traversal; <0 = unlimited
+	branch      int  // inverse tower promotion probability (>= 2)
+	blockSearch bool // bulk key-block in-node search fast path
+	foresight   bool // traversal prefetching
 	blockWords  uint64
 
 	head riv.Ptr
@@ -193,7 +227,10 @@ type recoveryCounters struct {
 }
 
 func (cfg Config) validate() error {
-	if cfg.MaxHeight < 1 || cfg.MaxHeight > MaxHeight || cfg.KeysPerNode < 1 || cfg.KeysPerNode > 0xffff {
+	if cfg.MaxHeight < 1 || cfg.MaxHeight > MaxHeight || cfg.KeysPerNode < 1 || cfg.KeysPerNode > MaxKeysPerNode {
+		return ErrBadConfig
+	}
+	if cfg.TowerBranch != 0 && (cfg.TowerBranch < 2 || cfg.TowerBranch > maxTowerBranch) {
 		return ErrBadConfig
 	}
 	return nil
@@ -218,10 +255,13 @@ func Create(a *alloc.Allocator, cfg Config) (*SkipList, error) {
 		a: a, space: a.Space(),
 		rootPool: rootPA.Pool(), rootOff: rootPA.RootOff(),
 		maxHeight: cfg.MaxHeight, keysPerNode: cfg.KeysPerNode,
-		sorted:     cfg.SortedNodes,
-		budget:     normalizeBudget(cfg.RecoveryBudget),
-		blockWords: a.BlockWords(),
-		hints:      !cfg.DisableHintCache,
+		sorted:      cfg.SortedNodes,
+		budget:      normalizeBudget(cfg.RecoveryBudget),
+		branch:      normalizeBranch(cfg.TowerBranch),
+		blockSearch: !cfg.DisableBlockSearch,
+		foresight:   !cfg.DisableForesight,
+		blockWords:  a.BlockWords(),
+		hints:       !cfg.DisableHintCache,
 	}
 
 	node := rootPA.Pool().HomeNode()
@@ -289,6 +329,9 @@ func Open(a *alloc.Allocator) (*SkipList, error) {
 		keysPerNode: int(r.Load(off+rootOffKeys, nil)),
 		sorted:      r.Load(off+rootOffFlags, nil)&flagSorted != 0,
 		budget:      1,
+		branch:      defaultTowerBranch,
+		blockSearch: true,
+		foresight:   true,
 		blockWords:  a.BlockWords(),
 		hints:       true,
 		head:        riv.FromWord(r.Load(off+rootOffHead, nil)),
@@ -377,6 +420,24 @@ func normalizeBudget(b int) int {
 	return b
 }
 
+func normalizeBranch(b int) int {
+	switch {
+	case b == 0:
+		return defaultTowerBranch
+	case b < 2:
+		return 2
+	case b > maxTowerBranch:
+		return maxTowerBranch
+	}
+	return b
+}
+
+// drawHeight draws a new node's tower height under the configured
+// sparse-tower bias.
+func (s *SkipList) drawHeight(ctx *exec.Ctx) int {
+	return ctx.GeometricHeightB(s.maxHeight, s.branch)
+}
+
 // SetRecoveryBudget tunes the per-traversal deferred-repair bound (the
 // paper's k, §4.4.1) on this volatile handle. Negative = unlimited.
 func (s *SkipList) SetRecoveryBudget(k int) { s.budget = normalizeBudget(k) }
@@ -386,13 +447,33 @@ func (s *SkipList) SetRecoveryBudget(k int) { s.budget = normalizeBudget(k) }
 // be called before concurrent operations begin.
 func (s *SkipList) SetHintCache(enabled bool) { s.hints = enabled }
 
+// SetTowerBranch tunes the sparse-tower bias (see Config.TowerBranch) on
+// this volatile handle; 0 restores the default. Heights already drawn
+// are unaffected — the knob only shapes future inserts — so it is safe
+// to apply at Open before concurrent operations begin.
+func (s *SkipList) SetTowerBranch(b int) { s.branch = normalizeBranch(b) }
+
+// SetFastPaths enables or disables the cache-conscious traversal fast
+// paths (bulk block search, foresight prefetching) on this volatile
+// handle — the ablation switch the hotpath experiment and the
+// equivalence tests use. Must be called before concurrent operations
+// begin.
+func (s *SkipList) SetFastPaths(blockSearch, foresight bool) {
+	s.blockSearch = blockSearch
+	s.foresight = foresight
+}
+
 // Head and Tail expose the sentinels for tests and invariant checkers.
 func (s *SkipList) Head() riv.Ptr { return s.head }
 func (s *SkipList) Tail() riv.Ptr { return s.tail }
 
 // Config returns the effective geometry.
 func (s *SkipList) Config() Config {
-	return Config{MaxHeight: s.maxHeight, KeysPerNode: s.keysPerNode, SortedNodes: s.sorted, DisableHintCache: !s.hints}
+	return Config{
+		MaxHeight: s.maxHeight, KeysPerNode: s.keysPerNode, SortedNodes: s.sorted,
+		DisableHintCache: !s.hints, TowerBranch: s.branch,
+		DisableBlockSearch: !s.blockSearch, DisableForesight: !s.foresight,
+	}
 }
 
 // RecoveryStats returns a snapshot of the repair counters.
@@ -443,6 +524,17 @@ func (s *SkipList) hintSeed(ctx *exec.Ctx, key, curEpoch uint64) (nodeRef, int, 
 		return nodeRef{}, 0, false
 	}
 	n := nodeRef{pool: pool, off: off, ptr: riv.FromWord(w)}
+	if s.foresight {
+		// Warm the hinted node's header and key lines before the
+		// validation loads below touch either: issuing both prefetches
+		// up front overlaps the two line fetches (memory-level
+		// parallelism) where sequential validation would miss twice. If
+		// the hint proves stale the prefetches were the only cost —
+		// bounds-checked hints into freed or foreign memory are dropped
+		// by Prefetch itself, so a stale hint leaves nothing dangling.
+		n.prefetchHeader(ctx.Mem)
+		n.prefetchKeys(s, ctx.Mem)
+	}
 	if pool.Load(off+offKind, ctx.Mem) != alloc.KindNode {
 		return nodeRef{}, 0, false
 	}
@@ -515,6 +607,7 @@ outer:
 			if n, lvl, ok := s.hintSeed(ctx, key, curEpoch); ok {
 				pred, startLevel, seeded = n, lvl, true
 				ctx.Hints.Seeded++
+				ctx.Path.NodesVisited++
 				// The descent below only inspects nodes it advances INTO,
 				// so the seed — which may itself be the covering node —
 				// is accounted for here, mirroring the loop's order.
@@ -537,7 +630,11 @@ outer:
 				continue outer
 			}
 			cur := s.node(nxt)
+			if s.foresight {
+				cur.prefetchHeader(ctx.Mem)
+			}
 			for {
+				ctx.Path.NodesVisited++
 				if s.reclaimOn && cur.kind(ctx.Mem) == alloc.KindRetired {
 					// A retired node is out of the abstract set but may
 					// still be linked (or serve as a bridge mid-unlink):
@@ -574,12 +671,25 @@ outer:
 					}
 					pred = cur
 					cur = s.node(pred.next(s, level, ctx.Mem))
+					if s.foresight {
+						// Foresight: the next candidate's address is now
+						// known, so its header line fetch can overlap the
+						// work of examining it (charged at the cheap
+						// PrefetchPenalty instead of a full load miss).
+						cur.prefetchHeader(ctx.Mem)
+					}
 					continue
 				}
 				break
 			}
 			preds[level] = pred.ptr
 			succs[level] = cur.ptr
+		}
+		if s.foresight && pred.ptr != s.head {
+			// pred is now the covering data node; warm its key block while
+			// the upper-level prefill and hint bookkeeping below run, so
+			// the in-node scan that follows starts from a resident line.
+			pred.prefetchKeys(s, ctx.Mem)
 		}
 		for level := startLevel + 1; level < s.maxHeight; level++ {
 			preds[level] = s.head
@@ -606,32 +716,46 @@ outer:
 // scanInternalKeys finds key within a node (Function 8). When the sorted
 // option is on, the sorted prefix left by the last split is binary
 // searched before the unsorted overflow is scanned linearly — the
-// BzTree-style lookup the paper names as future work.
+// BzTree-style lookup the paper names as future work. The default path
+// bulk-loads the key block once and searches the snapshot (blocksearch.go);
+// the per-word path below is the ablation reference the property tests
+// hold it to.
 func (s *SkipList) scanInternalKeys(ctx *exec.Ctx, n nodeRef, key uint64) int {
-	start := 1
+	sorted := 0
 	if s.sorted {
-		sorted := metaSorted(n.meta(ctx.Mem))
+		sorted = metaSorted(n.meta(ctx.Mem))
 		if sorted > s.keysPerNode {
 			sorted = s.keysPerNode
 		}
-		if sorted > 1 {
-			lo, hi := 1, sorted-1
-			for lo <= hi {
-				mid := (lo + hi) / 2
-				k := n.key(s, mid, ctx.Mem)
-				switch {
-				case k == key:
-					return mid
-				case k != keyEmpty && k < key:
-					lo = mid + 1
-				default:
-					hi = mid - 1
-				}
+	}
+	if s.blockSearch {
+		buf := ctx.GetBlock(s.keysPerNode)
+		n.keyBlock(s, buf, ctx.Mem)
+		idx, probed := searchBlock(buf, key, sorted)
+		ctx.PutBlock(buf)
+		ctx.Path.KeysProbed += uint64(probed)
+		return idx
+	}
+	start := 1
+	if sorted > 1 {
+		lo, hi := 1, sorted-1
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			k := n.key(s, mid, ctx.Mem)
+			ctx.Path.KeysProbed++
+			switch {
+			case k == key:
+				return mid
+			case k != keyEmpty && k < key:
+				lo = mid + 1
+			default:
+				hi = mid - 1
 			}
-			start = sorted
 		}
+		start = sorted
 	}
 	for i := start; i < s.keysPerNode; i++ {
+		ctx.Path.KeysProbed++
 		if n.key(s, i, ctx.Mem) == key {
 			return i
 		}
@@ -692,6 +816,17 @@ func (s *SkipList) checkForNodeSplitRecovery(ctx *exec.Ctx, cur nodeRef) {
 	if haveSucc {
 		succ = s.node(succPtr)
 	}
+	// The duplicate check reads the successor's keys K times; with the
+	// block fast path they are snapshotted once instead. Either way the
+	// check is best-effort against concurrent succ inserts (the per-word
+	// loop could equally miss a key claimed behind its scan position),
+	// and erasing is always safe: a key seen in succ stays owned by succ.
+	var succKeys []uint64
+	if haveSucc && s.blockSearch {
+		succKeys = ctx.GetBlock(s.keysPerNode)
+		succ.keyBlock(s, succKeys, ctx.Mem)
+		defer ctx.PutBlock(succKeys)
+	}
 	for i := 0; i < s.keysPerNode; i++ {
 		k := cur.key(s, i, ctx.Mem)
 		if k == keyEmpty {
@@ -703,12 +838,25 @@ func (s *SkipList) checkForNodeSplitRecovery(ctx *exec.Ctx, cur nodeRef) {
 		if !haveSucc {
 			continue
 		}
-		for j := 0; j < s.keysPerNode; j++ {
-			if succ.key(s, j, ctx.Mem) == k {
-				cur.pool.Store(cur.off+s.keyOff(i), keyEmpty, ctx.Mem)
-				cur.pool.Store(cur.off+s.valOff(i), Tombstone, ctx.Mem)
-				break
+		dup := false
+		if succKeys != nil {
+			for _, sk := range succKeys {
+				if sk == k {
+					dup = true
+					break
+				}
 			}
+		} else {
+			for j := 0; j < s.keysPerNode; j++ {
+				if succ.key(s, j, ctx.Mem) == k {
+					dup = true
+					break
+				}
+			}
+		}
+		if dup {
+			cur.pool.Store(cur.off+s.keyOff(i), keyEmpty, ctx.Mem)
+			cur.pool.Store(cur.off+s.valOff(i), Tombstone, ctx.Mem)
 		}
 	}
 	// The sorted prefix may have been invalidated by the erases; fall
@@ -748,7 +896,11 @@ func (s *SkipList) linkTraverse(ctx *exec.Ctx, key uint64, preds, succs []riv.Pt
 	pred := s.node(s.head)
 	for level := s.maxHeight - 1; level >= 0; level-- {
 		cur := s.node(pred.next(s, level, ctx.Mem))
+		if s.foresight {
+			cur.prefetchHeader(ctx.Mem)
+		}
 		for {
+			ctx.Path.NodesVisited++
 			if s.reclaimOn && cur.kind(ctx.Mem) == alloc.KindRetired {
 				// Walk through retired nodes without recording them: a
 				// CAS against a victim's marked next word can never
@@ -761,6 +913,9 @@ func (s *SkipList) linkTraverse(ctx *exec.Ctx, key uint64, preds, succs []riv.Pt
 			if cur.key0(s, ctx.Mem) < key {
 				pred = cur
 				cur = s.node(pred.next(s, level, ctx.Mem))
+				if s.foresight {
+					cur.prefetchHeader(ctx.Mem)
+				}
 				continue
 			}
 			break

@@ -48,6 +48,11 @@ type Snapshot struct {
 	// that fell back to a head-first walk.
 	HintSeeded, HintMissed, HintFallback uint64
 
+	// Traversal-locality counters (worker sections): nodes a descent
+	// inspected and key slots compared during in-node searches. Divided by
+	// Ops they are the cache-conscious-traversal headline metrics.
+	NodesVisited, KeysProbed uint64
+
 	// Mem aggregates the pmem counters of every pool: loads, stores,
 	// CASes, flushes (persisted cache lines), fences, remote-NUMA
 	// accesses and line-cache misses.
@@ -80,6 +85,8 @@ func (s Snapshot) Merge(other Snapshot) Snapshot {
 	out.HintSeeded += other.HintSeeded
 	out.HintMissed += other.HintMissed
 	out.HintFallback += other.HintFallback
+	out.NodesVisited += other.NodesVisited
+	out.KeysProbed += other.KeysProbed
 	out.Mem.Loads += other.Mem.Loads
 	out.Mem.Stores += other.Mem.Stores
 	out.Mem.CASes += other.Mem.CASes
@@ -87,6 +94,7 @@ func (s Snapshot) Merge(other Snapshot) Snapshot {
 	out.Mem.Fences += other.Mem.Fences
 	out.Mem.RemoteOps += other.Mem.RemoteOps
 	out.Mem.Misses += other.Mem.Misses
+	out.Mem.Prefetches += other.Mem.Prefetches
 	return out
 }
 
@@ -109,6 +117,8 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	out.HintSeeded -= prev.HintSeeded
 	out.HintMissed -= prev.HintMissed
 	out.HintFallback -= prev.HintFallback
+	out.NodesVisited -= prev.NodesVisited
+	out.KeysProbed -= prev.KeysProbed
 	out.Mem.Loads -= prev.Mem.Loads
 	out.Mem.Stores -= prev.Mem.Stores
 	out.Mem.CASes -= prev.Mem.CASes
@@ -116,6 +126,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	out.Mem.Fences -= prev.Mem.Fences
 	out.Mem.RemoteOps -= prev.Mem.RemoteOps
 	out.Mem.Misses -= prev.Mem.Misses
+	out.Mem.Prefetches -= prev.Mem.Prefetches
 	return out
 }
 
@@ -153,4 +164,30 @@ func (s Snapshot) HintHitRate() float64 {
 		return 0
 	}
 	return float64(s.HintSeeded) / float64(total)
+}
+
+// NodesPerOp is the mean nodes a traversal inspected per operation —
+// the sparse-tower / hint-seeding locality metric.
+func (s Snapshot) NodesPerOp() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.NodesVisited) / float64(s.Ops)
+}
+
+// KeysProbedPerOp is the mean key comparisons per operation — the
+// block-search (sorted-prefix) locality metric.
+func (s Snapshot) KeysProbedPerOp() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.KeysProbed) / float64(s.Ops)
+}
+
+// PrefetchesPerOp is the mean charged prefetch issues per operation.
+func (s Snapshot) PrefetchesPerOp() float64 {
+	if s.Ops == 0 {
+		return 0
+	}
+	return float64(s.Mem.Prefetches) / float64(s.Ops)
 }

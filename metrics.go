@@ -80,6 +80,9 @@ func (s *Store) EnableMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("upsl_reclaim_limbo_depth",
 		"retired blocks currently awaiting their grace period",
 		nil, func() float64 { return float64(s.ReclaimStats().LimboDepth) })
+	reg.GaugeFunc("upsl_mem_prefetches_total",
+		"charged foresight prefetch issues across every pool (resident-line prefetches are free and uncounted)",
+		nil, func() float64 { return float64(s.Stats().Mem.Prefetches) })
 	s.met.Store(m)
 	// Reclaimers started before metrics were enabled get the grace
 	// observer retrofitted (safe while they run).

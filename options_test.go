@@ -1,0 +1,71 @@
+package upskiplist
+
+import (
+	"errors"
+	"testing"
+
+	"upskiplist/internal/skiplist"
+)
+
+// Geometry validation: node parameters that cannot be packed into the
+// meta word (16-bit sorted prefix, 8-bit height) or the tower-branch
+// range must be rejected at Create with the typed ErrBadGeometry, not
+// discovered as corruption later.
+func TestOptionsGeometryValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"MaxHeightTooTall", func(o *Options) { o.MaxHeight = skiplist.MaxHeight + 1 }},
+		{"MaxHeightNegative", func(o *Options) { o.MaxHeight = -1 }},
+		{"KeysPerNodeOverflowsMeta", func(o *Options) { o.KeysPerNode = skiplist.MaxKeysPerNode + 1 }},
+		{"KeysPerNodeNegative", func(o *Options) { o.KeysPerNode = -4 }},
+		{"TowerBranchOne", func(o *Options) { o.TowerBranch = 1 }},
+		{"TowerBranchHuge", func(o *Options) { o.TowerBranch = 65 }},
+		{"TowerBranchNegative", func(o *Options) { o.TowerBranch = -2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := testOptions()
+			tc.mutate(&o)
+			st, err := Create(o)
+			if err == nil {
+				t.Fatal("Create accepted unpackable geometry")
+			}
+			if !errors.Is(err, ErrBadGeometry) {
+				t.Fatalf("error %v is not ErrBadGeometry", err)
+			}
+			_ = st
+		})
+	}
+}
+
+// Boundary values that DO pack must be accepted, and zero must keep
+// picking defaults.
+func TestOptionsGeometryBoundaries(t *testing.T) {
+	for _, tb := range []int{0, 2, 64} {
+		o := testOptions()
+		o.TowerBranch = tb
+		st, err := Create(o)
+		if err != nil {
+			t.Fatalf("TowerBranch=%d rejected: %v", tb, err)
+		}
+		w := st.NewWorker(0)
+		for k := uint64(1); k <= 500; k++ {
+			if _, _, err := w.Insert(k, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := w.Count(); got != 500 {
+			t.Fatalf("TowerBranch=%d: count %d, want 500", tb, got)
+		}
+		if err := w.CheckInvariants(); err != nil {
+			t.Fatalf("TowerBranch=%d invariants: %v", tb, err)
+		}
+	}
+	o := testOptions()
+	o.MaxHeight = skiplist.MaxHeight
+	if _, err := Create(o); err != nil {
+		t.Fatalf("MaxHeight=%d (the cap) rejected: %v", skiplist.MaxHeight, err)
+	}
+}

@@ -27,6 +27,7 @@ func (s *Store) Stats() StoreStats {
 			out.Mem.Fences += snap.Fences
 			out.Mem.RemoteOps += snap.RemoteOps
 			out.Mem.Misses += snap.Misses
+			out.Mem.Prefetches += snap.Prefetches
 		}
 	}
 	return out
@@ -56,6 +57,8 @@ func (w *Worker) Stats() WorkerStats {
 		ws.HintSeeded += ctx.Hints.Seeded
 		ws.HintMissed += ctx.Hints.Missed
 		ws.HintFallback += ctx.Hints.Fallback
+		ws.NodesVisited += ctx.Path.NodesVisited
+		ws.KeysProbed += ctx.Path.KeysProbed
 	}
 	return ws
 }

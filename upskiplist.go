@@ -71,6 +71,14 @@ const (
 	Tombstone = skiplist.Tombstone
 )
 
+// ErrBadGeometry reports Options whose node geometry cannot be packed
+// into the on-PMEM node layout: the meta word gives the sorted-prefix
+// length 16 bits and the height 8, so KeysPerNode is capped at
+// skiplist.MaxKeysPerNode and MaxHeight at skiplist.MaxHeight, and
+// TowerBranch must be 0 (default) or within [2, 64]. Wrap-tested with
+// errors.Is.
+var ErrBadGeometry = errors.New("upskiplist: invalid node geometry")
+
 // Placement selects the pool layout (see the paper's §5.2.3 comparison).
 type Placement = numa.Placement
 
@@ -100,6 +108,23 @@ type Options struct {
 	// Reopen/crash, and can only ever change performance, never results;
 	// the knob exists for ablation and debugging. Not persisted by Save.
 	DisableHintCache bool
+
+	// TowerBranch biases tower heights toward the ground: each level
+	// promotes with probability 1/TowerBranch instead of the classic 1/2,
+	// giving the sparse B-Skiplist-shaped index that keeps the upper
+	// levels cache-resident over fat multi-key nodes. 0 picks the tuned
+	// default (4); values must otherwise be in [2, 64]. Volatile tuning
+	// like the hint cache: not persisted by Save, applied again by
+	// Reopen/Load from the options they are given.
+	TowerBranch int
+	// DisableBlockSearch switches in-node searches back to per-key loads
+	// instead of one bulk key-block load searched in DRAM. Ablation knob;
+	// results never change.
+	DisableBlockSearch bool
+	// DisableForesight turns off traversal prefetching (descent
+	// next-candidate, scan/iterator successor, and batch next-op hint
+	// prefetches). Ablation knob; results never change.
+	DisableForesight bool
 
 	// Shards splits the keyspace across this many independent skip lists
 	// (0 or 1 = today's single-list store). Routing is by key modulo the
@@ -168,6 +193,15 @@ func (o *Options) normalize() error {
 	if o.KeysPerNode == 0 {
 		o.KeysPerNode = 16
 	}
+	if o.MaxHeight < 1 || o.MaxHeight > skiplist.MaxHeight {
+		return fmt.Errorf("%w: MaxHeight %d outside [1, %d]", ErrBadGeometry, o.MaxHeight, skiplist.MaxHeight)
+	}
+	if o.KeysPerNode < 1 || o.KeysPerNode > skiplist.MaxKeysPerNode {
+		return fmt.Errorf("%w: KeysPerNode %d outside [1, %d] (meta word keeps the sorted prefix in 16 bits)", ErrBadGeometry, o.KeysPerNode, skiplist.MaxKeysPerNode)
+	}
+	if o.TowerBranch != 0 && (o.TowerBranch < 2 || o.TowerBranch > 64) {
+		return fmt.Errorf("%w: TowerBranch %d must be 0 (default) or within [2, 64]", ErrBadGeometry, o.TowerBranch)
+	}
 	if o.Shards <= 0 {
 		o.Shards = 1
 	}
@@ -209,11 +243,14 @@ func (o Options) allocConfig() alloc.Config {
 
 func (o Options) skipConfig() skiplist.Config {
 	return skiplist.Config{
-		MaxHeight:        o.MaxHeight,
-		KeysPerNode:      o.KeysPerNode,
-		SortedNodes:      o.SortedNodes,
-		RecoveryBudget:   o.RecoveryBudget,
-		DisableHintCache: o.DisableHintCache,
+		MaxHeight:          o.MaxHeight,
+		KeysPerNode:        o.KeysPerNode,
+		SortedNodes:        o.SortedNodes,
+		RecoveryBudget:     o.RecoveryBudget,
+		DisableHintCache:   o.DisableHintCache,
+		TowerBranch:        o.TowerBranch,
+		DisableBlockSearch: o.DisableBlockSearch,
+		DisableForesight:   o.DisableForesight,
 	}
 }
 
@@ -394,6 +431,8 @@ func (s *Store) Reopen() (*Store, error) {
 		}
 		list.SetRecoveryBudget(s.opts.RecoveryBudget)
 		list.SetHintCache(!s.opts.DisableHintCache)
+		list.SetTowerBranch(s.opts.TowerBranch)
+		list.SetFastPaths(!s.opts.DisableBlockSearch, !s.opts.DisableForesight)
 		e.list = list
 		st.shards = append(st.shards, e)
 	}
@@ -859,6 +898,8 @@ func Load(dir string) (*Store, error) {
 		}
 		list.SetRecoveryBudget(opts.RecoveryBudget)
 		list.SetHintCache(!opts.DisableHintCache)
+		list.SetTowerBranch(opts.TowerBranch)
+		list.SetFastPaths(!opts.DisableBlockSearch, !opts.DisableForesight)
 		e.list = list
 		st.shards = append(st.shards, e)
 	}
