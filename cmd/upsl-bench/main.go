@@ -32,6 +32,10 @@
 //	          prefetching + sparse towers vs the reference traversal,
 //	          with nodes-visited / keys-probed / prefetches per op
 //	          (BENCH_hotpath.json; excluded from "all")
+//	snap      MVCC snapshots: YCSB-A writer throughput with 0/1/4 open
+//	          snapshots plus frozen-scan latency, every scan
+//	          equivalence-checked against the pre-snapshot dump
+//	          (BENCH_snap.json; excluded from "all")
 //
 // Absolute numbers will differ from the paper (its substrate was a
 // 4-socket Optane machine; ours is a simulator) — the comparisons,
@@ -72,7 +76,7 @@ type benchConfig struct {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table5.1, fig5.1, fig5.2, fig5.3, fig5.4, fig5.5, fig5.6, table5.4, extE, shards, server, churn, churn-wire, hotpath, all")
+		exp        = flag.String("exp", "all", "experiment: table5.1, fig5.1, fig5.2, fig5.3, fig5.4, fig5.5, fig5.6, table5.4, extE, shards, server, churn, churn-wire, hotpath, snap, all")
 		preload    = flag.Uint64("preload", 20000, "preloaded key count (paper: 100M)")
 		ops        = flag.Int("ops", 10000, "operations per thread")
 		threadsCSV = flag.String("threads", "1,2,4,8,16", "thread counts for sweeps")
@@ -97,6 +101,8 @@ func main() {
 			*benchJSON = "BENCH_churn.json"
 		case "hotpath":
 			*benchJSON = "BENCH_hotpath.json"
+		case "snap":
+			*benchJSON = "BENCH_snap.json"
 		default:
 			*benchJSON = "BENCH_shards.json"
 		}
@@ -148,13 +154,14 @@ func main() {
 		"churn":      runChurnExp,
 		"churn-wire": runChurnWireExp,
 		"hotpath":    runHotPath,
+		"snap":       runSnapExp,
 	}
 	// "server" is deliberately not in the "all" order: it opens loopback
 	// TCP sockets, which the pure in-process reproduction runs avoid
 	// ("churn-wire" additionally requires an external server).
-	// "churn" and "hotpath" are also separate: each writes its own
-	// BENCH_*.json, which an "all" run sharing one -bench-json path would
-	// clobber.
+	// "churn", "hotpath" and "snap" are also separate: each writes its
+	// own BENCH_*.json, which an "all" run sharing one -bench-json path
+	// would clobber.
 	order := []string{"table5.1", "fig5.1", "fig5.2", "fig5.3", "fig5.4", "fig5.5", "fig5.6", "table5.4", "extE", "shards"}
 	if *exp == "all" {
 		for _, name := range order {

@@ -1,6 +1,8 @@
 // Command upsl-server serves an upskiplist store over TCP with the wire
 // protocol (internal/wire): pipelined GET/PUT/DEL/SCAN/BATCH requests,
-// group-committed through per-shard batchers (internal/server).
+// group-committed through per-shard batchers (internal/server), plus
+// SNAP_SCAN/SNAP_RELEASE frozen-snapshot paging under TTL leases
+// (-snap-ttl).
 //
 // Usage:
 //
@@ -51,6 +53,7 @@ func main() {
 		statsInterval = flag.Duration("stats-interval", 10*time.Second, "periodic stats log interval (0 disables)")
 		metricsAddr   = flag.String("metrics-addr", "127.0.0.1:7846", "sidecar HTTP address for /metrics and /healthz (empty disables)")
 		onlineReclaim = flag.Bool("online-reclaim", false, "reclaim fully-tombstoned nodes in the background (epoch-based, concurrent with serving)")
+		snapTTL       = flag.Duration("snap-ttl", 30*time.Second, "idle TTL of wire snapshot leases (SNAP_SCAN); an expired lease unpins its era for reclamation")
 	)
 	flag.Parse()
 
@@ -96,6 +99,7 @@ func main() {
 		MaxBatch:      *batchMax,
 		MaxDelay:      *batchDelay,
 		Dir:           *dir,
+		SnapTTL:       *snapTTL,
 		StatsInterval: *statsInterval,
 		Metrics:       reg,
 		Logf:          logf,

@@ -1,0 +1,80 @@
+// Command upsl-snapleak opens a wire snapshot lease against a running
+// upsl-server and exits WITHOUT releasing it — deliberately simulating
+// a client that died mid-scan. Before abandoning the lease it verifies
+// the view is actually frozen: it inserts -put keys, opens the
+// snapshot, overwrites every key through the same connection, and
+// checks one paged SNAP_SCAN still returns the pre-snapshot values.
+//
+// It exists for the CI loopback smoke, which runs it and then asserts
+// the server's lease janitor expires the abandoned lease (the
+// upsl_snapshots_open gauge returns to 0) within about one -snap-ttl.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"upskiplist/internal/client"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "upsl-snapleak: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:7845", "upsl-server address")
+		put  = flag.Int("put", 200, "keys inserted before the snapshot and overwritten after it")
+		page = flag.Int("page", 64, "page size for the frozen-view verification scan")
+	)
+	flag.Parse()
+
+	c, err := client.Dial(*addr)
+	if err != nil {
+		fatalf("dial %s: %v", *addr, err)
+	}
+	n := uint64(*put)
+	for k := uint64(1); k <= n; k++ {
+		if _, _, err := c.PutNoCtx(k, k*3); err != nil {
+			fatalf("preload put %d: %v", k, err)
+		}
+	}
+	sn, err := c.SnapshotNoCtx()
+	if err != nil {
+		fatalf("opening snapshot: %v", err)
+	}
+	// Rewrite the world after the cut; the lease must not see it.
+	for k := uint64(1); k <= n; k++ {
+		if _, _, err := c.PutNoCtx(k, 7); err != nil {
+			fatalf("post-snapshot put %d: %v", k, err)
+		}
+	}
+	got := uint64(0)
+	lo := uint64(1)
+	for {
+		pairs, err := sn.Scan(context.Background(), lo, n, *page)
+		if err != nil {
+			fatalf("snapshot page at lo=%d: %v", lo, err)
+		}
+		for _, p := range pairs {
+			want := got + 1
+			if p.Key != want || p.Value != want*3 {
+				fatalf("frozen view diverged: pair %d = {%d %d}, want {%d %d}",
+					got, p.Key, p.Value, want, want*3)
+			}
+			got++
+		}
+		if len(pairs) < *page {
+			break
+		}
+		lo = pairs[len(pairs)-1].Key + 1
+	}
+	if got != n {
+		fatalf("frozen scan returned %d pairs, want %d", got, n)
+	}
+	fmt.Printf("upsl-snapleak: lease %d verified frozen over %d keys; abandoning it\n", sn.ID(), n)
+	// No Release, no Close: walk away and let the TTL janitor clean up.
+}

@@ -117,6 +117,13 @@ const (
 	// unreachable (the retire intent log covers the unlink window) and are
 	// re-discovered by RetiredBlocks and freed.
 	KindRetired = 2
+	// KindVersion marks a block holding MVCC version-shadow entries: prior
+	// values of keys overwritten while a snapshot was open. Version blocks
+	// are owned by a volatile version log and freed when the last snapshot
+	// closes; after a crash they are orphans by construction (the log is
+	// DRAM state) and are swept by VersionBlocks or reclaimed through the
+	// allocation log like any other lost block.
+	KindVersion = 3
 )
 
 // Log entry word layout (one cache line per thread ID).
@@ -569,6 +576,13 @@ func (a *Allocator) recoverLoggedAlloc(ctx *exec.Ctx, block, pred riv.Ptr, key u
 		// Claimed or repaired this epoch by someone else; not ours to touch.
 		return
 	}
+	if kind == KindVersion {
+		// A stale-epoch version block is an orphan: the version log that
+		// owned it was volatile and died with the crash, and version blocks
+		// are never reachable from the structure.
+		a.Free(ctx, block)
+		return
+	}
 	if a.reachCheck != nil && a.reachCheck(ctx, pred, key, block) {
 		return // insertion had committed; node is live
 	}
@@ -585,7 +599,7 @@ func (a *Allocator) Free(ctx *exec.Ctx, obj riv.Ptr) {
 	}
 	arena := ctx.ThreadID % pa.cfg.NumArenas
 	oPool, oOff := a.resolve(obj)
-	if k := oPool.Load(oOff+BlockKind, ctx.Mem); k == KindNode || k == KindRetired {
+	if k := oPool.Load(oOff+BlockKind, ctx.Mem); k == KindNode || k == KindRetired || k == KindVersion {
 		a.convertToBlock(ctx, oPool, oOff)
 	} else {
 		// Already a free block: if it is visibly linked (it is some
@@ -705,6 +719,31 @@ func (a *Allocator) RetiredBlocks() []riv.Ptr {
 	return out
 }
 
+// VersionBlocks scans every provisioned chunk for blocks stamped
+// KindVersion and returns their pointers. After a restart these are
+// orphans: the version log owning them was volatile, so nothing will
+// ever free them through the normal last-snapshot-close path. The
+// caller must guarantee no live version log currently holds blocks in
+// these pools (i.e. no snapshot is open) — the sweep cannot tell an
+// orphan from a block the log is actively filling.
+func (a *Allocator) VersionBlocks() []riv.Ptr {
+	var out []riv.Ptr
+	for _, pa := range a.pools {
+		nChunks := pa.pool.Load(hdrChunkCount, nil)
+		for c := uint64(0); c < nChunks; c++ {
+			base := pa.chunkSpace + c*pa.cfg.ChunkWords
+			nBlocks := pa.cfg.ChunkWords / pa.cfg.BlockWords
+			for b := uint64(0); b < nBlocks; b++ {
+				off := base + b*pa.cfg.BlockWords
+				if pa.pool.Load(off+BlockKind, nil) == KindVersion {
+					out = append(out, riv.Make(pa.pool.ID(), uint16(c), uint32(b*pa.cfg.BlockWords)))
+				}
+			}
+		}
+	}
+	return out
+}
+
 // BlockCensus counts every provisioned block by kind. Node+Retired is
 // the store's allocated footprint; a churn workload with reclamation
 // should hold it near the live set while one without grows it without
@@ -712,7 +751,7 @@ func (a *Allocator) RetiredBlocks() []riv.Ptr {
 // approximate (off by the handful of blocks in transition) — exactly
 // good enough for capacity accounting.
 type BlockCensus struct {
-	Free, Node, Retired, Total int
+	Free, Node, Retired, Version, Total int
 }
 
 // Census scans all provisioned chunks and tallies block kinds.
@@ -731,6 +770,8 @@ func (a *Allocator) Census() BlockCensus {
 					c.Node++
 				case KindRetired:
 					c.Retired++
+				case KindVersion:
+					c.Version++
 				}
 				c.Total++
 			}

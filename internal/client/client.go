@@ -52,7 +52,7 @@ type Call struct {
 type clientMetrics struct {
 	// rtt is request round-trip latency by op kind, indexed by opcode
 	// (upsl_client_rtt_seconds{op=...}).
-	rtt [wire.OpBatch + 1]*metrics.Histogram
+	rtt [wire.OpSnapRelease + 1]*metrics.Histogram
 }
 
 // Client is a pipelined connection to an upsl-server.
@@ -104,7 +104,7 @@ func NewClient(nc net.Conn) *Client {
 // any pipelining delay ahead of the request.
 func (c *Client) EnableMetrics(reg *metrics.Registry) {
 	m := &clientMetrics{}
-	for _, op := range []wire.Opcode{wire.OpGet, wire.OpPut, wire.OpDel, wire.OpScan, wire.OpBatch} {
+	for _, op := range []wire.Opcode{wire.OpGet, wire.OpPut, wire.OpDel, wire.OpScan, wire.OpBatch, wire.OpSnapScan, wire.OpSnapRelease} {
 		m.rtt[op] = reg.Histogram("upsl_client_rtt_seconds",
 			"client request round-trip latency by op kind",
 			metrics.Labels{"op": op.String()})
@@ -242,6 +242,90 @@ func (c *Client) Batch(ctx context.Context, ops []wire.BatchOp) ([]wire.OpResult
 	return append([]wire.OpResult(nil), r.Results...), nil
 }
 
+// Snapshot is a handle to a server-side frozen MVCC snapshot lease.
+// Reads through it observe the store exactly as of the moment Snapshot
+// returned, regardless of concurrent writes. The lease is kept alive by
+// use (every page renews its TTL) and dropped by Release — or by the
+// server's TTL if this client disappears.
+type Snapshot struct {
+	c  *Client
+	id uint64
+}
+
+// Snapshot opens a server-side snapshot and returns its lease handle.
+// The open itself transfers no pairs (it requests an empty range).
+func (c *Client) Snapshot(ctx context.Context) (*Snapshot, error) {
+	r, err := c.call(ctx, &wire.Request{Op: wire.OpSnapScan, Snap: 0, Lo: 1, Hi: 0, Limit: 1})
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{c: c, id: r.Snap}, nil
+}
+
+// SnapshotNoCtx is Snapshot with context.Background().
+func (c *Client) SnapshotNoCtx() (*Snapshot, error) {
+	return c.Snapshot(context.Background())
+}
+
+// ID is the server-side lease id (for diagnostics).
+func (s *Snapshot) ID() uint64 { return s.id }
+
+// Scan returns one page: up to limit frozen pairs with keys in [lo, hi]
+// (inclusive), ascending. limit <= 0 requests the server maximum
+// (wire.MaxScanLimit). A full page means more pairs may follow; resume
+// from the last key + 1.
+func (s *Snapshot) Scan(ctx context.Context, lo, hi uint64, limit int) ([]wire.Pair, error) {
+	if limit <= 0 || limit > wire.MaxScanLimit {
+		limit = wire.MaxScanLimit
+	}
+	r, err := s.c.call(ctx, &wire.Request{Op: wire.OpSnapScan, Snap: s.id, Lo: lo, Hi: hi, Limit: uint32(limit)})
+	if err != nil {
+		return nil, err
+	}
+	return append([]wire.Pair(nil), r.Pairs...), nil
+}
+
+// ScanAll streams every frozen pair in [lo, hi] to fn in ascending key
+// order, paging with maximum-size requests until the range is exhausted
+// or fn returns false.
+func (s *Snapshot) ScanAll(ctx context.Context, lo, hi uint64, fn func(key, value uint64) bool) error {
+	for {
+		page, err := s.Scan(ctx, lo, hi, wire.MaxScanLimit)
+		if err != nil {
+			return err
+		}
+		for _, p := range page {
+			if !fn(p.Key, p.Value) {
+				return nil
+			}
+		}
+		if len(page) < wire.MaxScanLimit {
+			return nil
+		}
+		last := page[len(page)-1].Key
+		if last >= hi {
+			return nil
+		}
+		lo = last + 1
+	}
+}
+
+// Release drops the lease, unpinning the snapshot's era server-side. It
+// reports whether the lease still existed (false when it had already
+// expired or been released). The handle is dead afterwards.
+func (s *Snapshot) Release(ctx context.Context) (bool, error) {
+	r, err := s.c.call(ctx, &wire.Request{Op: wire.OpSnapRelease, Snap: s.id})
+	if err != nil {
+		return false, err
+	}
+	return r.Found, nil
+}
+
+// ReleaseNoCtx is Release with context.Background().
+func (s *Snapshot) ReleaseNoCtx() (bool, error) {
+	return s.Release(context.Background())
+}
+
 // The *NoCtx wrappers are the context-free convenience surface for
 // callers with no cancellation to propagate (tools, tests): each is
 // exactly its namesake with context.Background().
@@ -351,7 +435,7 @@ func (c *Client) readLoop() {
 			continue // response to an abandoned call
 		}
 		if call.start != 0 {
-			if m := c.met.Load(); m != nil && resp.Op <= wire.OpBatch && m.rtt[resp.Op] != nil {
+			if m := c.met.Load(); m != nil && resp.Op <= wire.OpSnapRelease && m.rtt[resp.Op] != nil {
 				m.rtt[resp.Op].Since(call.start)
 			}
 		}

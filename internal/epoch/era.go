@@ -22,7 +22,20 @@ import "sync/atomic"
 type Domain struct {
 	era   atomic.Uint64
 	slots []eraSlot
+
+	// pins are long-lived era pins held by snapshots rather than by
+	// worker operations. A worker slot is pinned for the duration of one
+	// op; a pin slot stays pinned for the lifetime of a snapshot handle,
+	// turning every limbo batch tagged at or after the pinned era into a
+	// grace barrier the reclaimer must not cross. Fixed-size so
+	// PinCurrent stays allocation-free; NumPins bounds concurrently open
+	// snapshots per domain.
+	pins [NumPins]eraSlot
 }
+
+// NumPins is the number of snapshot pin slots per domain — the maximum
+// number of concurrently open snapshots a single shard supports.
+const NumPins = 64
 
 // eraSlot is one worker's pinned era, padded to its own cache line so
 // per-op stamping never false-shares between workers.
@@ -73,13 +86,66 @@ func (d *Domain) Exit(slot int) {
 	d.slots[slot%len(d.slots)].v.Store(0)
 }
 
-// MinActive returns the smallest pinned era, or ^uint64(0) when no
-// worker is pinned. A limbo batch tagged with era t may be freed once
-// MinActive() > t.
+// PinCurrent claims a free snapshot pin slot and pins the current era
+// into it, returning the slot id and the pinned era. ok is false when
+// every pin slot is taken (too many open snapshots). The claim is a
+// CAS(0 -> era) followed by the same store-then-recheck loop Enter
+// uses: once PinCurrent returns era e, the pin was globally visible
+// before any Advance past e, so every later MinActive scan observes it
+// and no batch tagged >= e can be freed until Unpin.
+func (d *Domain) PinCurrent() (id int, era uint64, ok bool) {
+	for i := range d.pins {
+		s := &d.pins[i].v
+		e := d.era.Load()
+		if !s.CompareAndSwap(0, e) {
+			continue // slot taken
+		}
+		// Slot is ours; close the stall race exactly like Enter.
+		for d.era.Load() != e {
+			e = d.era.Load()
+			s.Store(e)
+		}
+		return i, e, true
+	}
+	return 0, 0, false
+}
+
+// Unpin releases a snapshot pin claimed by PinCurrent.
+func (d *Domain) Unpin(id int) {
+	d.pins[id].v.Store(0)
+}
+
+// MinActive returns the smallest pinned era across worker slots AND
+// snapshot pins, or ^uint64(0) when nothing is pinned. A limbo batch
+// tagged with era t may be freed once MinActive() > t.
 func (d *Domain) MinActive() uint64 {
+	min := d.MinWorkers()
+	if p := d.MinPinned(); p < min {
+		min = p
+	}
+	return min
+}
+
+// MinWorkers returns the smallest era pinned by a worker slot, or
+// ^uint64(0) when no worker is pinned.
+func (d *Domain) MinWorkers() uint64 {
 	min := ^uint64(0)
 	for i := range d.slots {
 		if e := d.slots[i].v.Load(); e != 0 && e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// MinPinned returns the smallest era held by a snapshot pin, or
+// ^uint64(0) when no snapshot is pinned. The reclaimer uses the split
+// between MinWorkers and MinPinned to count batches whose free is
+// blocked specifically by an open snapshot.
+func (d *Domain) MinPinned() uint64 {
+	min := ^uint64(0)
+	for i := range d.pins {
+		if e := d.pins[i].v.Load(); e != 0 && e < min {
 			min = e
 		}
 	}

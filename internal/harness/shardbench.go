@@ -51,6 +51,9 @@ type BenchRecord struct {
 	AllocBlocks int   `json:"alloc_blocks,omitempty"`
 	LiveNodes   int   `json:"live_nodes,omitempty"`
 	FreedBlocks int64 `json:"freed_blocks,omitempty"`
+	// Snapshots is the number of MVCC snapshots held open for the whole
+	// run (the snap experiment). Zero (omitted) elsewhere.
+	Snapshots int `json:"snapshots,omitempty"`
 	// Traversal-locality fields (the hotpath experiment): mean nodes a
 	// descent inspected per op, mean key comparisons per op, and mean
 	// charged prefetch issues per op. Zero (omitted) elsewhere.

@@ -41,6 +41,7 @@ import (
 
 	"upskiplist"
 	"upskiplist/internal/metrics"
+	"upskiplist/internal/snapshot"
 	"upskiplist/internal/wire"
 )
 
@@ -79,6 +80,13 @@ type Config struct {
 	// Dir, when non-empty, is where a graceful Shutdown writes a
 	// durable Save of the store.
 	Dir string
+
+	// SnapTTL is how long a wire snapshot lease (SNAP_SCAN) survives
+	// without being touched before the server releases it, unpinning its
+	// era for reclamation (default 30s, minimum 1s). A lease is touched
+	// by every SNAP_SCAN page, so only an idle or crashed client loses
+	// its snapshot.
+	SnapTTL time.Duration
 
 	// StatsInterval enables the periodic one-line engine/server stats
 	// log (0 disables).
@@ -160,7 +168,25 @@ type Server struct {
 	ctr       *serverCounters
 	met       *srvMetrics // nil unless cfg.Metrics was set
 	statsQuit chan struct{}
+
+	// leases tracks wire snapshot leases (SNAP_SCAN); the janitor
+	// goroutine expires untouched ones so a crashed client cannot pin
+	// reclamation forever.
+	leases    *snapshot.Leases
+	leaseQuit chan struct{}
 }
+
+// snapLease is the server-side handle behind one wire snapshot lease.
+// The mutex serializes pages: a lease id may be shared across
+// connections (or pipelined on one), and the Snap's per-shard read
+// contexts are not safe for concurrent scans.
+type snapLease struct {
+	mu   sync.Mutex
+	snap *upskiplist.Snap
+}
+
+// Release implements snapshot.Releaser.
+func (l *snapLease) Release() { l.snap.Release() }
 
 // serverCounters are the server-side request counters. They are
 // registry-backed so the periodic stats log, Server.Snapshot and the
@@ -173,6 +199,8 @@ type serverCounters struct {
 	puts       *metrics.Counter
 	dels       *metrics.Counter
 	scans      *metrics.Counter
+	snapScans  *metrics.Counter // SNAP_SCAN pages (incl. opens)
+	snapRels   *metrics.Counter // SNAP_RELEASE frames
 	batches    *metrics.Counter // client BATCH frames
 	batchOps   *metrics.Counter // ops inside client BATCH frames
 	malf       *metrics.Counter // malformed frames
@@ -192,6 +220,8 @@ func newServerCounters(reg *metrics.Registry) *serverCounters {
 		puts:       req("PUT"),
 		dels:       req("DEL"),
 		scans:      req("SCAN"),
+		snapScans:  req("SNAP_SCAN"),
+		snapRels:   req("SNAP_RELEASE"),
 		batches:    req("BATCH"),
 		batchOps:   reg.Counter("upsl_server_batch_ops_total", "operations inside client BATCH frames", nil),
 		malf:       reg.Counter("upsl_server_malformed_total", "malformed request frames", nil),
@@ -244,6 +274,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Metrics != nil {
 		s.met = newSrvMetrics(cfg.Metrics)
 	}
+	// Wire snapshots are always available: enabling is idempotent and
+	// must happen before concurrent operations begin, which is exactly
+	// now (no worker has run yet).
+	s.st.EnableSnapshots()
+	s.leases = snapshot.NewLeases(cfg.SnapTTL)
+	s.leaseQuit = make(chan struct{})
+	s.reg.GaugeFunc("upsl_server_snap_leases", "currently held wire snapshot leases", nil, func() float64 {
+		return float64(s.leases.Len())
+	})
+	go s.leaseJanitor()
 	nshards := s.st.NumShards()
 	s.threadIDs = make(chan int, cfg.MaxConns)
 	for i := 0; i < cfg.MaxConns; i++ {
@@ -260,6 +300,31 @@ func New(cfg Config) (*Server, error) {
 		go s.statsLoop()
 	}
 	return s, nil
+}
+
+// leaseJanitor expires untouched snapshot leases a few times per TTL,
+// so a client that crashed mid-scan unpins reclamation within about one
+// TTL rather than never.
+func (s *Server) leaseJanitor() {
+	interval := s.leases.TTL() / 4
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	if interval > 5*time.Second {
+		interval = 5 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.leaseQuit:
+			return
+		case now := <-t.C:
+			if n := s.leases.Expire(now); n > 0 {
+				s.cfg.Logf("server: expired %d idle snapshot lease(s)", n)
+			}
+		}
+	}
 }
 
 // Serve starts accepting connections on ln. It returns immediately; the
@@ -401,6 +466,13 @@ func (s *Server) stop(kill bool) {
 	}
 	s.batcherWG.Wait()
 	s.connWG.Wait()
+	// Workers are gone; drop whatever snapshot leases clients left
+	// behind so the eras they pin stop gating reclamation (and Save's
+	// quiesced drain below).
+	close(s.leaseQuit)
+	if n := s.leases.ReleaseAll(); n > 0 && !kill {
+		s.cfg.Logf("server: released %d leftover snapshot lease(s)", n)
+	}
 	// Workers are gone; park the store's background reclaimers so the
 	// store really is quiesced when stop returns. A graceful shutdown
 	// stops them for good (Save's own pause/drain then runs unopposed); a
@@ -541,6 +613,12 @@ func (c *conn) dispatch() {
 	case wire.OpScan:
 		c.srv.ctr.scans.Inc()
 		c.runScan(q)
+	case wire.OpSnapScan:
+		c.srv.ctr.snapScans.Inc()
+		c.runSnapScan(q)
+	case wire.OpSnapRelease:
+		c.srv.ctr.snapRels.Inc()
+		c.runSnapRelease(q)
 	case wire.OpBatch:
 		c.srv.ctr.batches.Inc()
 		c.srv.ctr.batchOps.Add(uint64(len(q.Batch)))
@@ -560,6 +638,63 @@ func (c *conn) runScan(q *wire.Request) {
 		return len(c.scanBuf) < limit
 	})
 	c.respond(&wire.Response{Op: wire.OpScan, ID: q.ID, Pairs: c.scanBuf})
+}
+
+// runSnapScan serves one page of a frozen snapshot. Snap == 0 opens a
+// new lease (Store.Snapshot) and returns its id with the first page;
+// otherwise the request pages an existing lease, touch-renewing its
+// TTL. The page is read under the lease's mutex — the Snap handle is
+// not safe for concurrent scans.
+func (c *conn) runSnapScan(q *wire.Request) {
+	s := c.srv
+	var l *snapLease
+	id := q.Snap
+	if id == 0 {
+		sn, err := s.st.Snapshot()
+		if err != nil {
+			status := wire.StatusErr
+			if errors.Is(err, upskiplist.ErrTooManySnapshots) {
+				status = wire.StatusBusy
+			}
+			c.respond(&wire.Response{Op: wire.OpSnapScan, Status: status, ID: q.ID, Msg: err.Error()})
+			return
+		}
+		l = &snapLease{snap: sn}
+		id = s.leases.Add(l)
+	} else {
+		r, ok := s.leases.Get(id)
+		if !ok {
+			c.respond(&wire.Response{
+				Op: wire.OpSnapScan, Status: wire.StatusErr, ID: q.ID,
+				Msg: fmt.Sprintf("unknown or expired snapshot lease %d", id),
+			})
+			return
+		}
+		l = r.(*snapLease)
+	}
+	limit := int(q.Limit)
+	if limit <= 0 || limit > wire.MaxScanLimit {
+		limit = wire.MaxScanLimit
+	}
+	c.scanBuf = c.scanBuf[:0]
+	l.mu.Lock()
+	err := l.snap.Scan(q.Lo, q.Hi, func(k, v uint64) bool {
+		c.scanBuf = append(c.scanBuf, wire.Pair{Key: k, Value: v})
+		return len(c.scanBuf) < limit
+	})
+	l.mu.Unlock()
+	if err != nil {
+		c.respond(&wire.Response{Op: wire.OpSnapScan, Status: wire.StatusOf(err), ID: q.ID, Msg: err.Error()})
+		return
+	}
+	c.respond(&wire.Response{Op: wire.OpSnapScan, ID: q.ID, Snap: id, Pairs: c.scanBuf})
+}
+
+// runSnapRelease drops a snapshot lease; Found reports whether it still
+// existed (false when already released or expired).
+func (c *conn) runSnapRelease(q *wire.Request) {
+	ok := c.srv.leases.Release(q.Snap)
+	c.respond(&wire.Response{Op: wire.OpSnapRelease, ID: q.ID, Found: ok})
 }
 
 // runBatch executes a client BATCH frame as one engine group commit on

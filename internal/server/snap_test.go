@@ -1,0 +1,134 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"upskiplist/internal/wire"
+)
+
+// TestServerSnapshotFrozenPaging opens a wire snapshot, mutates the
+// store through the same connection, and checks the paged snapshot scan
+// still returns the pre-snapshot state — across page boundaries.
+func TestServerSnapshotFrozenPaging(t *testing.T) {
+	_, addr := newTestServer(t, Config{})
+	c := dialT(t, addr)
+
+	const n = 500
+	for i := uint64(1); i <= n; i++ {
+		if _, _, err := c.PutNoCtx(i, i*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn, err := c.SnapshotNoCtx()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.ID() == 0 {
+		t.Fatal("lease id 0")
+	}
+	// Rewrite the world after the snapshot.
+	for i := uint64(1); i <= n; i++ {
+		if _, _, err := c.PutNoCtx(i, 7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c.PutNoCtx(n+50, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Page with a tiny page size to cross many boundaries.
+	var got []wire.Pair
+	lo := uint64(1)
+	for {
+		page, err := sn.Scan(context.Background(), lo, ^uint64(0)-1, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, page...)
+		if len(page) < 64 {
+			break
+		}
+		lo = page[len(page)-1].Key + 1
+	}
+	if len(got) != n {
+		t.Fatalf("snapshot paged scan returned %d pairs, want %d", len(got), n)
+	}
+	for i, p := range got {
+		want := uint64(i + 1)
+		if p.Key != want || p.Value != want*3 {
+			t.Fatalf("pair %d = %+v, want {%d %d}", i, p, want, want*3)
+		}
+	}
+	// ScanAll agrees.
+	m := 0
+	if err := sn.ScanAll(context.Background(), 1, ^uint64(0)-1, func(k, v uint64) bool {
+		m++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m != n {
+		t.Fatalf("ScanAll visited %d, want %d", m, n)
+	}
+
+	if ok, err := sn.ReleaseNoCtx(); err != nil || !ok {
+		t.Fatalf("release = %v, %v", ok, err)
+	}
+	if ok, err := sn.ReleaseNoCtx(); err != nil || ok {
+		t.Fatalf("double release = %v, %v (want false)", ok, err)
+	}
+	// A released lease no longer pages.
+	if _, err := sn.Scan(context.Background(), 1, 10, 10); err == nil {
+		t.Fatal("scan on released lease succeeded")
+	}
+}
+
+// TestServerSnapshotLeaseExpiry kills the client without releasing and
+// checks the janitor expires the lease, unpinning the store's snapshot
+// within about one TTL.
+func TestServerSnapshotLeaseExpiry(t *testing.T) {
+	s, addr := newTestServer(t, Config{SnapTTL: time.Second})
+	c := dialT(t, addr)
+	for i := uint64(1); i <= 100; i++ {
+		if _, _, err := c.PutNoCtx(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.SnapshotNoCtx(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Store().SnapshotsOpen() != 1 || s.leases.Len() != 1 {
+		t.Fatalf("open=%d leases=%d after open", s.Store().SnapshotsOpen(), s.leases.Len())
+	}
+	// Crash the client: no release, no more touches.
+	c.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Store().SnapshotsOpen() != 0 || s.leases.Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("lease never expired: open=%d leases=%d",
+				s.Store().SnapshotsOpen(), s.leases.Len())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestServerSnapshotUnknownLease checks paging a bogus lease id fails
+// cleanly without killing the connection.
+func TestServerSnapshotUnknownLease(t *testing.T) {
+	_, addr := newTestServer(t, Config{})
+	c := dialT(t, addr)
+	call := c.Go(&wire.Request{Op: wire.OpSnapScan, Snap: 999, Lo: 1, Hi: 10, Limit: 10}, nil)
+	cl := <-call.Done
+	if cl.Err != nil {
+		t.Fatal(cl.Err)
+	}
+	if cl.Resp.Status != wire.StatusErr {
+		t.Fatalf("status = %v, want ERR", cl.Resp.Status)
+	}
+	// Connection still usable.
+	if _, _, err := c.PutNoCtx(1, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,14 +15,24 @@ package skiplist
 // Like the underlying iterators, a Merged must not be shared between
 // goroutines.
 type Merged struct {
-	its []*Iterator
+	its []Cursor
 	cur int // source holding the smallest current key; -1 when exhausted
 }
 
-// NewMerged builds a merge cursor over the given iterators. The slice is
-// retained; the iterators must be unpositioned or about to be Seek'd via
-// the Merged (never advanced behind its back).
+// NewMerged builds a merge cursor over the given iterators. The
+// iterators must be unpositioned or about to be Seek'd via the Merged
+// (never advanced behind its back).
 func NewMerged(its []*Iterator) *Merged {
+	cs := make([]Cursor, len(its))
+	for i, it := range its {
+		cs[i] = it
+	}
+	return NewMergedCursors(cs)
+}
+
+// NewMergedCursors is NewMerged over any cursor sources — live
+// iterators, frozen snapshot iterators, or a mix. The slice is retained.
+func NewMergedCursors(its []Cursor) *Merged {
 	return &Merged{its: its, cur: -1}
 }
 

@@ -1,0 +1,295 @@
+package skiplist
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"upskiplist/internal/exec"
+)
+
+// dumpList collects every live pair via the plain iterator.
+func dumpList(sl *SkipList, ctx *exec.Ctx) []kv {
+	var out []kv
+	it := sl.NewIterator(ctx)
+	for ok := it.Seek(KeyMin); ok; ok = it.Next() {
+		out = append(out, kv{k: it.Key(), v: it.Value()})
+	}
+	return out
+}
+
+// dumpSnap collects every frozen pair of a snapshot.
+func dumpSnap(t testing.TB, p *ListSnap, ctx *exec.Ctx) []kv {
+	var out []kv
+	err := p.Scan(ctx, KeyMin, KeyMax, func(k, v uint64) bool {
+		out = append(out, kv{k: k, v: v})
+		return true
+	})
+	if err != nil {
+		t.Fatalf("snap scan: %v", err)
+	}
+	return out
+}
+
+func pairsEqual(a, b []kv) (int, bool) {
+	if len(a) != len(b) {
+		return -1, false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// TestSnapshotFrozenBasic pins a snapshot, rewrites the world, and
+// checks the snapshot still answers with the pre-snapshot state while
+// the live view moved on — then checks Release recycles every version
+// block.
+func TestSnapshotFrozenBasic(t *testing.T) {
+	e := newEnv(t, Config{MaxHeight: 8, KeysPerNode: 4})
+	e.sl.EnableSnapshots(64)
+	ctx := ctx0()
+	for i := uint64(1); i <= 200; i++ {
+		if _, _, err := e.sl.Insert(ctx, i, i*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rctx := exec.NewCtx(50, 0)
+	snap, err := e.sl.AcquireSnapshot(rctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.sl.OpenSnapshots(); got != 1 {
+		t.Fatalf("OpenSnapshots = %d, want 1", got)
+	}
+
+	// Rewrite: update 1..100, remove 150..180, insert 201..250.
+	for i := uint64(1); i <= 100; i++ {
+		if _, _, err := e.sl.Insert(ctx, i, i*1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(150); i <= 180; i++ {
+		if _, _, err := e.sl.Remove(ctx, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(201); i <= 250; i++ {
+		if _, _, err := e.sl.Insert(ctx, i, i*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Frozen point reads.
+	for i := uint64(1); i <= 200; i++ {
+		v, ok := snap.Get(rctx, i)
+		if !ok || v != i*10 {
+			t.Fatalf("snap.Get(%d) = %d,%v, want %d,true", i, v, ok, i*10)
+		}
+	}
+	for i := uint64(201); i <= 250; i++ {
+		if _, ok := snap.Get(rctx, i); ok {
+			t.Fatalf("snap.Get(%d) sees post-snapshot insert", i)
+		}
+	}
+	// Frozen scan: exactly the 200 original pairs, ascending.
+	var want []kv
+	for i := uint64(1); i <= 200; i++ {
+		want = append(want, kv{k: i, v: i * 10})
+	}
+	got := dumpSnap(t, snap, rctx)
+	if i, ok := pairsEqual(want, got); !ok {
+		t.Fatalf("snap scan diverges (len %d vs %d, first diff at %d)", len(want), len(got), i)
+	}
+	// Live view moved on.
+	if v, ok := e.sl.Get(ctx, 1); !ok || v != 1000 {
+		t.Fatalf("live Get(1) = %d,%v, want 1000,true", v, ok)
+	}
+	if _, ok := e.sl.Get(ctx, 160); ok {
+		t.Fatal("live Get(160) should be removed")
+	}
+
+	snap.Release(rctx)
+	snap.Release(rctx) // idempotent
+	if got := e.sl.OpenSnapshots(); got != 0 {
+		t.Fatalf("OpenSnapshots after release = %d, want 0", got)
+	}
+	if c := e.a.Census(); c.Version != 0 {
+		t.Fatalf("%d version blocks survived the last release", c.Version)
+	}
+	if err := e.sl.CheckInvariants(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotDisabledAndExhausted covers the error surface: snapshots
+// before EnableSnapshots, and pin exhaustion.
+func TestSnapshotDisabledErr(t *testing.T) {
+	e := newEnv(t, Config{MaxHeight: 8, KeysPerNode: 4})
+	if _, err := e.sl.AcquireSnapshot(ctx0()); err != ErrSnapshotsDisabled {
+		t.Fatalf("AcquireSnapshot without enable: %v", err)
+	}
+}
+
+// TestResumeWithoutPausePanics pins the Reclaimer.Resume guard: an
+// unmatched Resume is a programming error and must fail loudly, not
+// corrupt the pause count.
+func TestResumeWithoutPausePanics(t *testing.T) {
+	e := newEnv(t, Config{MaxHeight: 8, KeysPerNode: 4})
+	rec := e.sl.StartReclaim(ReclaimConfig{Interval: time.Hour, Slots: 64})
+	defer rec.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Resume without matching Pause did not panic")
+		}
+	}()
+	rec.Resume()
+}
+
+// TestSnapshotFrozenUnderChurn is the -race frozen-view regression: a
+// snapshot is pinned over a quiesced reference state, then concurrent
+// writers drive node splits and updates while the online reclaimer
+// frees tombstoned nodes — and every snapshot scan taken meanwhile must
+// be bit-identical to the reference dump (same keys, same values, same
+// ascending order; re-exercises the iterator ascending-order fix).
+func TestSnapshotFrozenUnderChurn(t *testing.T) {
+	e := newEnv(t, Config{MaxHeight: 12, KeysPerNode: 4})
+	e.sl.EnableSnapshots(64)
+	rec := e.sl.StartReclaim(ReclaimConfig{Interval: 200 * time.Microsecond, ScanNodes: 512})
+	defer rec.Stop()
+	ctx := ctx0()
+
+	// Base state: sparse keys so later inserts land between them and
+	// force splits. Then some tombstones for the reclaimer to chew on.
+	const base = 3000
+	for i := uint64(0); i < base; i++ {
+		if _, _, err := e.sl.Insert(ctx, 10+i*5, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < base; i += 10 {
+		if _, _, err := e.sl.Remove(ctx, 10+i*5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := dumpList(e.sl, ctx)
+
+	rctx := exec.NewCtx(50, 0)
+	snap, err := e.sl.AcquireSnapshot(rctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			wctx := exec.NewCtx(tid, 0)
+			for r := uint64(0); !stop.Load(); r++ {
+				for i := uint64(tid); i < base; i += writers {
+					k := 10 + i*5
+					var err error
+					switch (i + r) % 3 {
+					case 0: // update in place
+						_, _, err = e.sl.Insert(wctx, k, i^r)
+					case 1: // insert a gap key: forces splits
+						_, _, err = e.sl.Insert(wctx, k+1+r%3, r)
+					default: // churn for the reclaimer
+						_, _, err = e.sl.Remove(wctx, k)
+					}
+					if err != nil {
+						errs <- fmt.Errorf("writer %d: %w", tid, err)
+						return
+					}
+				}
+			}
+		}(w + 1)
+	}
+
+	for round := 0; round < 15; round++ {
+		got := dumpSnap(t, snap, rctx)
+		if i, ok := pairsEqual(ref, got); !ok {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("round %d: snapshot scan diverged from reference (len %d vs %d, first diff at %d)",
+				round, len(ref), len(got), i)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	// One more scan after the dust settles, then release.
+	if i, ok := pairsEqual(ref, dumpSnap(t, snap, rctx)); !ok {
+		t.Fatalf("final snapshot scan diverged at %d", i)
+	}
+	snap.Release(rctx)
+	rec.Stop()
+	if err := e.sl.CheckInvariants(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotOrphanSweepAfterReopen crashes (reopen with epoch
+// advance) while a snapshot is open and shadow versions sit in pmem
+// blocks: the reopened list must serve the latest committed values, and
+// the startup rediscovery sweep must reclaim the orphaned KindVersion
+// blocks.
+func TestSnapshotOrphanSweepAfterReopen(t *testing.T) {
+	e := newEnv(t, Config{MaxHeight: 8, KeysPerNode: 4})
+	e.sl.EnableSnapshots(64)
+	ctx := ctx0()
+	for i := uint64(1); i <= 300; i++ {
+		if _, _, err := e.sl.Insert(ctx, i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rctx := exec.NewCtx(50, 0)
+	if _, err := e.sl.AcquireSnapshot(rctx); err != nil {
+		t.Fatal(err)
+	}
+	// Shadow plenty of versions so the log spans several blocks.
+	for r := 0; r < 4; r++ {
+		for i := uint64(1); i <= 300; i++ {
+			if _, _, err := e.sl.Insert(ctx, i, i*100+uint64(r)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if c := e.a.Census(); c.Version == 0 {
+		t.Fatal("expected live version blocks before the crash")
+	}
+
+	// Crash: the snapshot is never released; the version log dies with
+	// the process but its blocks persist as KindVersion orphans.
+	e2 := e.reopen(t)
+	ctx2 := ctx0()
+	for i := uint64(1); i <= 300; i++ {
+		v, ok := e2.sl.Get(ctx2, i)
+		if !ok || v != i*100+3 {
+			t.Fatalf("after reopen Get(%d) = %d,%v, want %d,true", i, v, ok, i*100+3)
+		}
+	}
+	rec := e2.sl.StartReclaim(ReclaimConfig{Interval: 200 * time.Microsecond, Slots: 64})
+	defer rec.Stop()
+	waitFor(t, "orphaned version blocks swept", func() bool {
+		return e2.a.Census().Version == 0
+	})
+	if rec.Stats().Rediscovered == 0 {
+		t.Fatal("rediscovery counter did not move")
+	}
+	if err := e2.sl.CheckInvariants(ctx2); err != nil {
+		t.Fatal(err)
+	}
+}

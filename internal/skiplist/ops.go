@@ -50,8 +50,11 @@ func (s *SkipList) upsert(ctx *exec.Ctx, key, value uint64) (uint64, bool, error
 				pred.readUnlock(ctx.Mem)
 				continue
 			}
-			old := s.update(ctx, pred, res.keyIndex, value)
+			old, err := s.update(ctx, pred, res.keyIndex, key, value)
 			pred.readUnlock(ctx.Mem)
+			if err != nil {
+				return 0, false, err
+			}
 			o, ex := normPrev(old)
 			return o, ex, nil
 		}
@@ -106,20 +109,30 @@ func normPrev(old uint64) (uint64, bool) {
 
 // update implements Function 14: CAS the value slot until the swap
 // lands, persist, and return the previous value. The CAS loop gives all
-// updates of one key a total order.
-func (s *SkipList) update(ctx *exec.Ctx, n nodeRef, keyIndex int, value uint64) uint64 {
+// updates of one key a total order. While a snapshot is open, the prior
+// value is pushed to the version log before the CAS and the entry is
+// sealed by the CAS outcome (mvcc.go); the only error source is
+// version-block allocation, so err is always nil with no snapshot open.
+func (s *SkipList) update(ctx *exec.Ctx, n nodeRef, keyIndex int, key, value uint64) (uint64, error) {
 	for {
 		old := n.value(s, keyIndex, ctx.Mem)
 		if old == value {
 			// Idempotent write: still persist so the linearization point
-			// (persisted value, §4.5) exists.
+			// (persisted value, §4.5) exists. No version entry — the value
+			// does not change.
 			s.persistValueOp(ctx, n, keyIndex)
-			return old
+			return old, nil
+		}
+		ent, err := s.vpush(ctx, key, old)
+		if err != nil {
+			return 0, err
 		}
 		if n.casValue(s, keyIndex, old, value, ctx.Mem) {
+			s.vseal(ctx, ent, true)
 			s.persistValueOp(ctx, n, keyIndex)
-			return old
+			return old, nil
 		}
+		s.vseal(ctx, ent, false)
 	}
 }
 
@@ -144,10 +157,19 @@ func (s *SkipList) createSuccessor(ctx *exec.Ctx, key, value uint64, preds, succ
 	ctx.Batch.Add(n.pool, n.off, s.blockWords, ctx.Mem)
 	ctx.Batch.Flush(ctx.Mem)
 	pred := s.node(preds[0])
+	// Linking the node is this key's transition from absent to present;
+	// shadow the absence for any open snapshot before publication.
+	ent, verr := s.vpush(ctx, key, Tombstone)
+	if verr != nil {
+		s.a.Free(ctx, newPtr)
+		return false, verr
+	}
 	if !pred.casNext(s, 0, succ, newPtr, ctx.Mem) {
+		s.vseal(ctx, ent, false)
 		s.a.Free(ctx, newPtr)
 		return false, nil
 	}
+	s.vseal(ctx, ent, true)
 	pred.persistNext(s, 0, ctx.Mem)
 	s.linkHigherLevels(ctx, n, 1, height)
 	return true, nil
@@ -182,9 +204,9 @@ func (s *SkipList) insertIntoExistingNode(ctx *exec.Ctx, key, value uint64, pred
 			ctx.Path.KeysProbed += uint64(probed)
 			if found >= 0 {
 				ctx.PutBlock(buf)
-				old := s.update(ctx, pred, found, value)
+				old, err := s.update(ctx, pred, found, key, value)
 				pred.readUnlock(ctx.Mem)
-				return stDone, old, nil
+				return stDone, old, err
 			}
 			if empty < 0 {
 				ctx.PutBlock(buf)
@@ -194,9 +216,9 @@ func (s *SkipList) insertIntoExistingNode(ctx *exec.Ctx, key, value uint64, pred
 			if pred.casKey(s, empty, keyEmpty, key, ctx.Mem) {
 				ctx.PutBlock(buf)
 				s.persistKeyOp(ctx, pred, empty)
-				old := s.update(ctx, pred, empty, value)
+				old, err := s.update(ctx, pred, empty, key, value)
 				pred.readUnlock(ctx.Mem)
-				return stDone, old, nil
+				return stDone, old, err
 			}
 			// CAS lost: another claim landed since the snapshot; retake it.
 		}
@@ -206,18 +228,18 @@ func (s *SkipList) insertIntoExistingNode(ctx *exec.Ctx, key, value uint64, pred
 			k := pred.key(s, i, ctx.Mem)
 			ctx.Path.KeysProbed++
 			if k == key {
-				old := s.update(ctx, pred, i, value)
+				old, err := s.update(ctx, pred, i, key, value)
 				pred.readUnlock(ctx.Mem)
-				return stDone, old, nil
+				return stDone, old, err
 			}
 			if k != keyEmpty {
 				break // occupied by someone else; next slot
 			}
 			if pred.casKey(s, i, keyEmpty, key, ctx.Mem) {
 				s.persistKeyOp(ctx, pred, i)
-				old := s.update(ctx, pred, i, value)
+				old, err := s.update(ctx, pred, i, key, value)
 				pred.readUnlock(ctx.Mem)
-				return stDone, old, nil
+				return stDone, old, err
 			}
 			// CAS lost: re-read this slot — the winner may have claimed
 			// it with our key.
@@ -412,8 +434,11 @@ func (s *SkipList) Remove(ctx *exec.Ctx, key uint64) (uint64, bool, error) {
 			pred.readUnlock(ctx.Mem)
 			continue
 		}
-		old := s.update(ctx, pred, res.keyIndex, Tombstone)
+		old, err := s.update(ctx, pred, res.keyIndex, key, Tombstone)
 		pred.readUnlock(ctx.Mem)
+		if err != nil {
+			return 0, false, err
+		}
 		if s.rec != nil && old != Tombstone && s.nodeFullyTombstoned(ctx, pred) {
 			// Retire-on-traversal: this remove emptied the node's last
 			// live value (best-effort check — a racing insert may revive

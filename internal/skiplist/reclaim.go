@@ -117,6 +117,7 @@ type Reclaimer struct {
 	freed        atomic.Int64
 	rediscovered atomic.Int64
 	limboDepth   atomic.Int64
+	snapBlocked  atomic.Int64
 }
 
 type limboBatch struct {
@@ -179,6 +180,7 @@ type ReclaimStats struct {
 	Freed        int64 // blocks returned to arena free lists
 	Rediscovered int64 // pre-crash retired blocks collected at startup
 	LimboDepth   int64 // blocks currently awaiting their grace period
+	SnapBlocked  int64 // limbo batches currently held back by a snapshot pin
 }
 
 // StartReclaim attaches a reclaimer to the list and starts its
@@ -191,9 +193,16 @@ func (s *SkipList) StartReclaim(cfg ReclaimConfig) *Reclaimer {
 		return s.rec
 	}
 	cfg = cfg.withDefaults()
+	// EnableSnapshots may have attached a domain already; reuse it —
+	// snapshot pins and reclaim grace must share one era space, or a
+	// pinned snapshot could not hold back limbo batches.
+	dom := s.dom
+	if dom == nil {
+		dom = epoch.NewDomain(cfg.Slots)
+	}
 	r := &Reclaimer{
 		s:        s,
-		dom:      epoch.NewDomain(cfg.Slots),
+		dom:      dom,
 		cfg:      cfg,
 		ctx:      exec.NewCtx(cfg.ThreadID, cfg.Node),
 		reportCh: make(chan riv.Ptr, 256),
@@ -224,6 +233,7 @@ func (r *Reclaimer) Stats() ReclaimStats {
 		Freed:        r.freed.Load(),
 		Rediscovered: r.rediscovered.Load(),
 		LimboDepth:   r.limboDepth.Load(),
+		SnapBlocked:  r.snapBlocked.Load(),
 	}
 }
 
@@ -248,12 +258,17 @@ func (r *Reclaimer) Pause() {
 	r.mu.Unlock()
 }
 
-// Resume undoes one Pause.
+// Resume undoes one Pause. An unmatched Resume panics: silently
+// tolerating it would leave the nesting count off by one, letting a
+// later Pause return while another pauser still believes the reclaimer
+// is frozen.
 func (r *Reclaimer) Resume() {
 	r.mu.Lock()
-	if r.pauses > 0 {
-		r.pauses--
+	if r.pauses == 0 {
+		r.mu.Unlock()
+		panic("skiplist: Reclaimer.Resume without matching Pause")
 	}
+	r.pauses--
 	r.cond.Broadcast()
 	r.mu.Unlock()
 }
@@ -422,6 +437,20 @@ drain:
 		}
 		r.pending = r.pending[1:]
 	}
+	// Count the batches held back specifically by a snapshot pin: every
+	// worker pin has moved past their tags, only a long-lived snapshot
+	// pin still covers them. This is the observable cost of an open
+	// snapshot (upsl_reclaim_snapshot_blocked_batches).
+	blocked := int64(0)
+	if len(r.pending) > 0 {
+		minW, minP := r.dom.MinWorkers(), r.dom.MinPinned()
+		for _, b := range r.pending {
+			if minP <= b.era && minW > b.era {
+				blocked++
+			}
+		}
+	}
+	r.snapBlocked.Store(blocked)
 }
 
 // sweep advances the bottom-level cursor up to ScanNodes nodes, retiring
@@ -594,5 +623,24 @@ func (r *Reclaimer) rediscover() {
 	}
 	if len(blocks) > 0 {
 		r.s.hintGen.Add(1)
+	}
+	// Orphaned version blocks: a crash with a snapshot open leaks the
+	// (volatile) version log's blocks as KindVersion orphans in pmem.
+	// Blocks owned by this incarnation's live log are excluded — in
+	// practice the set is empty here because StartReclaim precedes
+	// concurrent operations, but the guard makes the sweep safe to call
+	// at any point.
+	live := make(map[riv.Ptr]bool)
+	if v := r.s.vlog; v != nil {
+		for _, b := range *v.blocks.Load() {
+			live[b.ptr] = true
+		}
+	}
+	for _, p := range r.s.a.VersionBlocks() {
+		if live[p] {
+			continue
+		}
+		r.s.a.Free(r.ctx, p)
+		r.rediscovered.Add(1)
 	}
 }

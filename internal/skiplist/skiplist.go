@@ -184,6 +184,11 @@ type SkipList struct {
 	rec       *Reclaimer
 	reclaimOn bool
 
+	// MVCC snapshot state (mvcc.go). Set by EnableSnapshots before
+	// concurrent operations begin; nil keeps the write path free of any
+	// version-log work beyond one field test.
+	vlog *versionLog
+
 	// stats
 	recoveries recoveryCounters
 }

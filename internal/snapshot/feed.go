@@ -1,0 +1,124 @@
+// Package snapshot holds the volatile store-side machinery of the MVCC
+// snapshot subsystem: the committed-batch change feed that Changes()
+// replays, and the lease table the wire server uses so a crashed client
+// cannot pin reclamation forever. The frozen-view mechanics themselves
+// (version log, era pinning) live with the list in internal/skiplist;
+// this package is deliberately structure-agnostic.
+package snapshot
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrTrimmed reports a Since cursor older than the feed's retention
+// window: batches before the requested era have been overwritten and a
+// consumer must fall back to a full snapshot before resuming the feed.
+var ErrTrimmed = errors.New("snapshot: change feed trimmed past requested era")
+
+// ChangeKind discriminates feed entries.
+type ChangeKind uint8
+
+const (
+	// ChangePut records an insert/update of Key to Value.
+	ChangePut ChangeKind = iota
+	// ChangeDel records a removal of Key.
+	ChangeDel
+)
+
+// Change is one committed mutation.
+type Change struct {
+	Kind  ChangeKind
+	Key   uint64
+	Value uint64
+}
+
+// Batch is one committed group of changes, stamped with the feed era
+// assigned at commit. Eras are dense and strictly increasing in commit
+// order, so replaying batches era-ascending replays the commit order.
+type Batch struct {
+	Era     uint64
+	Changes []Change
+}
+
+// Feed is a bounded in-memory ring of committed batches — the
+// replication-log precursor: a follower that falls behind the window
+// re-syncs from a snapshot. Volatile by design; a restart starts a new
+// era sequence at 1.
+type Feed struct {
+	mu    sync.Mutex
+	ring  []Batch
+	n     int    // batches currently retained
+	start int    // ring index of the oldest retained batch
+	next  uint64 // era the next committed batch will be stamped with
+}
+
+// NewFeed creates a feed retaining up to capBatches committed batches
+// (minimum 1).
+func NewFeed(capBatches int) *Feed {
+	if capBatches < 1 {
+		capBatches = 1
+	}
+	return &Feed{ring: make([]Batch, capBatches), next: 1}
+}
+
+// Append commits one batch of changes and returns its assigned era.
+// The slice is retained; callers must hand over ownership. Empty
+// batches are not recorded (the era is not advanced) and return the
+// current high-water mark.
+func (f *Feed) Append(changes []Change) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(changes) == 0 {
+		return f.next - 1
+	}
+	era := f.next
+	f.next++
+	pos := (f.start + f.n) % len(f.ring)
+	if f.n == len(f.ring) {
+		// Full: overwrite the oldest (trim the window forward).
+		f.ring[f.start] = Batch{Era: era, Changes: changes}
+		f.start = (f.start + 1) % len(f.ring)
+	} else {
+		f.ring[pos] = Batch{Era: era, Changes: changes}
+		f.n++
+	}
+	return era
+}
+
+// Era returns the feed's high-water mark: the era of the most recently
+// committed batch (0 before any commit). Changes committed after a
+// caller observed Era() == e all carry eras > e.
+func (f *Feed) Era() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.next - 1
+}
+
+// Since returns every retained batch with era > since, era-ascending.
+// ErrTrimmed means batches in (since, oldest-retained) were already
+// overwritten, so the caller cannot replay without a gap. The returned
+// batches share the feed's change slices; consumers must not mutate
+// them.
+func (f *Feed) Since(since uint64) ([]Batch, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.n == 0 {
+		if since < f.next-1 {
+			return nil, ErrTrimmed
+		}
+		return nil, nil
+	}
+	oldest := f.ring[f.start].Era
+	if since+1 < oldest {
+		return nil, ErrTrimmed
+	}
+	var out []Batch
+	for i := 0; i < f.n; i++ {
+		b := f.ring[(f.start+i)%len(f.ring)]
+		if b.Era > since {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}

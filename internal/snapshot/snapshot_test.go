@@ -1,0 +1,109 @@
+package snapshot
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFeedErasAndSince(t *testing.T) {
+	f := NewFeed(8)
+	if f.Era() != 0 {
+		t.Fatalf("fresh feed era = %d", f.Era())
+	}
+	// Empty batches are not recorded and don't advance the era.
+	if era := f.Append(nil); era != 0 {
+		t.Fatalf("empty append era = %d", era)
+	}
+	for i := 1; i <= 3; i++ {
+		era := f.Append([]Change{{Kind: ChangePut, Key: uint64(i), Value: uint64(i * 10)}})
+		if era != uint64(i) {
+			t.Fatalf("append %d stamped era %d", i, era)
+		}
+	}
+	got, err := f.Since(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Era != 1 || got[2].Era != 3 {
+		t.Fatalf("Since(0) = %+v", got)
+	}
+	got, err = f.Since(2)
+	if err != nil || len(got) != 1 || got[0].Era != 3 {
+		t.Fatalf("Since(2) = %+v, %v", got, err)
+	}
+	if got, err := f.Since(3); err != nil || len(got) != 0 {
+		t.Fatalf("Since(head) = %+v, %v", got, err)
+	}
+}
+
+func TestFeedTrimmed(t *testing.T) {
+	f := NewFeed(4)
+	for i := 1; i <= 10; i++ {
+		f.Append([]Change{{Key: uint64(i)}})
+	}
+	// Eras 1..6 were overwritten; only 7..10 remain.
+	if _, err := f.Since(0); !errors.Is(err, ErrTrimmed) {
+		t.Fatalf("Since(0) after wrap: %v", err)
+	}
+	if _, err := f.Since(5); !errors.Is(err, ErrTrimmed) {
+		t.Fatalf("Since(5): %v", err)
+	}
+	// since = oldest-1 is exactly replayable.
+	got, err := f.Since(6)
+	if err != nil || len(got) != 4 || got[0].Era != 7 {
+		t.Fatalf("Since(6) = %+v, %v", got, err)
+	}
+}
+
+type fakeSnap struct{ released int }
+
+func (s *fakeSnap) Release() { s.released++ }
+
+func TestLeaseLifecycle(t *testing.T) {
+	l := NewLeases(time.Second)
+	s1, s2 := &fakeSnap{}, &fakeSnap{}
+	id1, id2 := l.Add(s1), l.Add(s2)
+	if id1 == 0 || id1 == id2 {
+		t.Fatalf("ids %d %d", id1, id2)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if r, ok := l.Get(id1); !ok || r != Releaser(s1) {
+		t.Fatalf("Get(%d) = %v,%v", id1, r, ok)
+	}
+	if !l.Release(id1) || s1.released != 1 {
+		t.Fatal("release did not fire")
+	}
+	if l.Release(id1) {
+		t.Fatal("double release reported live")
+	}
+	if _, ok := l.Get(id1); ok {
+		t.Fatal("released lease still resolvable")
+	}
+	if n := l.ReleaseAll(); n != 1 || s2.released != 1 {
+		t.Fatalf("ReleaseAll = %d (s2 released %d)", n, s2.released)
+	}
+}
+
+func TestLeaseExpiryAndRenewal(t *testing.T) {
+	l := NewLeases(time.Second)
+	s := &fakeSnap{}
+	id := l.Add(s)
+	// Before the deadline nothing expires.
+	if n := l.Expire(time.Now()); n != 0 {
+		t.Fatalf("premature expiry of %d leases", n)
+	}
+	// A touch renews: even "now + ttl" is not past the new deadline.
+	l.Get(id)
+	if n := l.Expire(time.Now().Add(900 * time.Millisecond)); n != 0 {
+		t.Fatalf("renewed lease expired (%d)", n)
+	}
+	if n := l.Expire(time.Now().Add(2 * time.Second)); n != 1 || s.released != 1 {
+		t.Fatalf("Expire = %d, released %d", n, s.released)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d after expiry", l.Len())
+	}
+}

@@ -44,6 +44,18 @@ const (
 	OpDel   Opcode = 3 // key -> (found, old value)
 	OpScan  Opcode = 4 // [lo, hi] inclusive, limit -> pairs
 	OpBatch Opcode = 5 // ops -> per-op results, group-committed
+
+	// OpSnapScan pages through a frozen MVCC snapshot. Snap = 0 opens a
+	// new server-side snapshot lease and returns its id with the first
+	// page; Snap != 0 continues an existing lease (touching it renews the
+	// TTL). A page is [lo, hi] inclusive capped at limit pairs; the client
+	// resumes from last key + 1 until a short page arrives.
+	OpSnapScan Opcode = 6 // snap, [lo, hi], limit -> snap id, pairs
+
+	// OpSnapRelease drops a snapshot lease, unpinning its era so
+	// reclamation can advance. Leases also expire on their own after the
+	// server's TTL, so a crashed client cannot pin reclaim forever.
+	OpSnapRelease Opcode = 7 // snap -> released?
 )
 
 func (o Opcode) String() string {
@@ -58,6 +70,10 @@ func (o Opcode) String() string {
 		return "SCAN"
 	case OpBatch:
 		return "BATCH"
+	case OpSnapScan:
+		return "SNAP_SCAN"
+	case OpSnapRelease:
+		return "SNAP_RELEASE"
 	default:
 		return fmt.Sprintf("opcode(%d)", uint8(o))
 	}
@@ -205,8 +221,12 @@ type Request struct {
 	Key uint64 // GET/PUT/DEL
 	Val uint64 // PUT
 
-	Lo, Hi uint64 // SCAN
-	Limit  uint32 // SCAN
+	Lo, Hi uint64 // SCAN / SNAP_SCAN
+	Limit  uint32 // SCAN / SNAP_SCAN
+
+	// Snap is the snapshot lease id for SNAP_SCAN (0 opens a new lease)
+	// and SNAP_RELEASE.
+	Snap uint64
 
 	Batch []BatchOp // BATCH
 }
@@ -217,10 +237,14 @@ type Response struct {
 	Status Status
 	ID     uint64
 
-	Found bool   // GET/PUT/DEL: found / previously existed
+	Found bool   // GET/PUT/DEL: found / existed; SNAP_RELEASE: lease existed
 	Value uint64 // GET value, PUT old value, DEL removed value
 
-	Pairs   []Pair     // SCAN
+	// Snap is the snapshot lease id a SNAP_SCAN page belongs to (newly
+	// minted when the request opened with Snap = 0).
+	Snap uint64
+
+	Pairs   []Pair     // SCAN / SNAP_SCAN
 	Results []OpResult // BATCH
 
 	Msg string // non-OK statuses
@@ -311,6 +335,13 @@ func AppendRequest(dst []byte, q *Request) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint64(dst, q.Lo)
 		dst = binary.BigEndian.AppendUint64(dst, q.Hi)
 		dst = binary.BigEndian.AppendUint32(dst, q.Limit)
+	case OpSnapScan:
+		dst = binary.BigEndian.AppendUint64(dst, q.Snap)
+		dst = binary.BigEndian.AppendUint64(dst, q.Lo)
+		dst = binary.BigEndian.AppendUint64(dst, q.Hi)
+		dst = binary.BigEndian.AppendUint32(dst, q.Limit)
+	case OpSnapRelease:
+		dst = binary.BigEndian.AppendUint64(dst, q.Snap)
 	case OpBatch:
 		if len(q.Batch) > MaxBatchOps {
 			return nil, fmt.Errorf("%w: batch of %d ops exceeds MaxBatchOps (%d)", ErrTooLarge, len(q.Batch), MaxBatchOps)
@@ -352,6 +383,16 @@ func DecodeRequest(p []byte, q *Request) error {
 		if q.Limit > MaxScanLimit {
 			return fmt.Errorf("%w: scan limit %d exceeds MaxScanLimit (%d)", ErrTooLarge, q.Limit, MaxScanLimit)
 		}
+	case OpSnapScan:
+		q.Snap = d.u64()
+		q.Lo = d.u64()
+		q.Hi = d.u64()
+		q.Limit = d.u32()
+		if q.Limit > MaxScanLimit {
+			return fmt.Errorf("%w: scan limit %d exceeds MaxScanLimit (%d)", ErrTooLarge, q.Limit, MaxScanLimit)
+		}
+	case OpSnapRelease:
+		q.Snap = d.u64()
 	case OpBatch:
 		n := d.u32()
 		if n > MaxBatchOps {
@@ -399,6 +440,15 @@ func AppendResponse(dst []byte, r *Response) []byte {
 			dst = binary.BigEndian.AppendUint64(dst, pr.Key)
 			dst = binary.BigEndian.AppendUint64(dst, pr.Value)
 		}
+	case OpSnapScan:
+		dst = binary.BigEndian.AppendUint64(dst, r.Snap)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Pairs)))
+		for _, pr := range r.Pairs {
+			dst = binary.BigEndian.AppendUint64(dst, pr.Key)
+			dst = binary.BigEndian.AppendUint64(dst, pr.Value)
+		}
+	case OpSnapRelease:
+		dst = append(dst, b2u8(r.Found))
 	case OpBatch:
 		dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Results)))
 		for _, res := range r.Results {
@@ -437,6 +487,17 @@ func DecodeResponse(p []byte, r *Response) error {
 		for i := uint32(0); i < n && d.err == nil; i++ {
 			r.Pairs = append(r.Pairs, Pair{Key: d.u64(), Value: d.u64()})
 		}
+	case OpSnapScan:
+		r.Snap = d.u64()
+		n := d.u32()
+		if n > MaxScanLimit {
+			return fmt.Errorf("%w: scan response of %d pairs exceeds MaxScanLimit (%d)", ErrTooLarge, n, MaxScanLimit)
+		}
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			r.Pairs = append(r.Pairs, Pair{Key: d.u64(), Value: d.u64()})
+		}
+	case OpSnapRelease:
+		r.Found = d.u8() != 0
 	case OpBatch:
 		n := d.u32()
 		if n > MaxBatchOps {

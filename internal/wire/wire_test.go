@@ -43,6 +43,9 @@ func TestRequestRoundTrip(t *testing.T) {
 			{Kind: OpDel, Key: 2},
 		}},
 		{Op: OpBatch, ID: 78, Batch: []BatchOp{}},
+		{Op: OpSnapScan, ID: 80, Snap: 0, Lo: 1, Hi: 0, Limit: 1},
+		{Op: OpSnapScan, ID: 81, Snap: 12, Lo: 100, Hi: 1 << 50, Limit: 4096},
+		{Op: OpSnapRelease, ID: 82, Snap: 12},
 	}
 	for _, q := range cases {
 		got := roundTripRequest(t, q)
@@ -79,6 +82,10 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Op: OpBatch, ID: 7, Results: []OpResult{{true, 1}, {false, 0}}},
 		{Op: OpPut, ID: 8, Status: StatusErr, Msg: "key out of range"},
 		{Op: OpGet, ID: 9, Status: StatusShutdown},
+		{Op: OpSnapScan, ID: 10, Snap: 7, Pairs: []Pair{{1, 10}, {2, 20}}},
+		{Op: OpSnapScan, ID: 11, Snap: 7, Pairs: []Pair{}},
+		{Op: OpSnapRelease, ID: 12, Found: true},
+		{Op: OpSnapScan, ID: 13, Status: StatusErr, Msg: "unknown or expired snapshot lease 9"},
 	}
 	for _, r := range cases {
 		got := roundTripResponse(t, r)

@@ -83,6 +83,15 @@ func (s *Store) EnableMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("upsl_mem_prefetches_total",
 		"charged foresight prefetch issues across every pool (resident-line prefetches are free and uncounted)",
 		nil, func() float64 { return float64(s.Stats().Mem.Prefetches) })
+	reg.GaugeFunc("upsl_snapshots_open",
+		"currently open MVCC snapshots",
+		nil, func() float64 { return float64(s.SnapshotsOpen()) })
+	reg.GaugeFunc("upsl_snapshot_oldest_era_age_seconds",
+		"age of the oldest open snapshot's pinned era (0 when none open)",
+		nil, func() float64 { return s.OldestSnapshotAge().Seconds() })
+	reg.GaugeFunc("upsl_reclaim_snapshot_blocked_batches",
+		"limbo batches whose free is currently held back by a pinned snapshot",
+		nil, func() float64 { return float64(s.ReclaimStats().SnapBlocked) })
 	s.met.Store(m)
 	// Reclaimers started before metrics were enabled get the grace
 	// observer retrofitted (safe while they run).

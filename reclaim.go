@@ -40,8 +40,8 @@ func (s *Store) EnableOnlineReclaim() {
 		rec := e.list.StartReclaim(skiplist.ReclaimConfig{
 			Interval:  s.opts.ReclaimInterval,
 			ScanNodes: s.opts.ReclaimScanNodes,
-			Slots:     s.opts.NumThreads,
-			ThreadID:  0, // frees never touch the per-thread alloc log
+			Slots:     s.opts.domainSlots(), // worker IDs + reserved snapshot-reader IDs
+			ThreadID:  0,                    // frees never touch the per-thread alloc log
 			Node:      node,
 		})
 		if m := s.met.Load(); m != nil && m.graceWait != nil {
@@ -95,6 +95,7 @@ func (s *Store) ReclaimStats() skiplist.ReclaimStats {
 			out.Freed += st.Freed
 			out.Rediscovered += st.Rediscovered
 			out.LimboDepth += st.LimboDepth
+			out.SnapBlocked += st.SnapBlocked
 		}
 	}
 	return out
@@ -110,6 +111,7 @@ func (s *Store) BlockCensus() alloc.BlockCensus {
 		out.Free += c.Free
 		out.Node += c.Node
 		out.Retired += c.Retired
+		out.Version += c.Version
 		out.Total += c.Total
 	}
 	return out

@@ -1,0 +1,417 @@
+package upskiplist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"upskiplist/internal/exec"
+	"upskiplist/internal/skiplist"
+	"upskiplist/internal/snapshot"
+)
+
+// MVCC snapshots at the store level: Store.Snapshot() pins one frozen
+// view per shard (each a consistent cut of that shard — see
+// internal/skiplist/mvcc.go for the freeze protocol) and merges them
+// behind the familiar Get/Scan/Iterator surface. Opening and reading a
+// snapshot never blocks writers; the only write-path cost while one is
+// open is a version-log append per overwritten value.
+//
+// Consistency scope: each shard's view is a single consistent cut, but
+// the per-shard cuts are acquired in sequence, so a multi-shard batch
+// racing Snapshot() may straddle the boundary (some of its keys in the
+// frozen view, others not). Single-key operations are always seen
+// atomically.
+
+// Errors.
+var (
+	// ErrSnapshotsDisabled reports Snapshot()/Changes() on a store where
+	// EnableSnapshots has not run.
+	ErrSnapshotsDisabled = skiplist.ErrSnapshotsDisabled
+	// ErrTooManySnapshots reports more concurrently open snapshots than
+	// the pin table supports.
+	ErrTooManySnapshots = skiplist.ErrTooManySnapshots
+	// ErrFeedTrimmed reports a Changes cursor older than the feed's
+	// retention window; the consumer must re-sync from a full snapshot.
+	ErrFeedTrimmed = snapshot.ErrTrimmed
+)
+
+// Change-feed types, re-exported from internal/snapshot.
+type (
+	// Change is one committed mutation in the change feed.
+	Change = snapshot.Change
+	// ChangeBatch is one committed group of changes, stamped with its
+	// feed era (dense, ascending in commit order).
+	ChangeBatch = snapshot.Batch
+)
+
+// Change kinds.
+const (
+	ChangePut = snapshot.ChangePut
+	ChangeDel = snapshot.ChangeDel
+)
+
+// snapReaderSlots is the number of era-domain slots reserved above the
+// worker thread IDs for snapshot readers. Each open Snap owns one, so
+// its per-op era pins can never share a slot with a live worker (a
+// shared slot would let one side's exit unpin the other mid-traversal).
+// Matches epoch.NumPins — the per-shard open-snapshot bound.
+const snapReaderSlots = 64
+
+// feedRetainedBatches bounds the change feed's in-memory window.
+const feedRetainedBatches = 1024
+
+// domainSlots sizes every shard's era domain: worker IDs below
+// NumThreads, snapshot readers above them.
+func (o Options) domainSlots() int { return o.NumThreads + snapReaderSlots }
+
+// EnableSnapshots switches the MVCC snapshot subsystem on: every
+// shard gets a version log (and an era domain, when online reclamation
+// has not already attached one), and the change feed starts recording
+// committed batches. Like EnableOnlineReclaim it must be called before
+// concurrent operations begin (Create/Reopen call it when
+// Options.Snapshots is set; call it right after Load). Idempotent.
+//
+// Cost when enabled but with no snapshot open: one atomic load per
+// value update, plus — only when online reclamation is off and the
+// domain exists solely for snapshots — the per-op era pin workers
+// otherwise pay only under reclamation.
+func (s *Store) EnableSnapshots() {
+	for _, e := range s.shards {
+		e.list.EnableSnapshots(s.opts.domainSlots())
+	}
+	s.snapMu.Lock()
+	if s.openSnaps == nil {
+		s.openSnaps = make(map[*Snap]time.Time)
+	}
+	s.snapMu.Unlock()
+	if s.feed.Load() == nil {
+		s.feed.Store(snapshot.NewFeed(feedRetainedBatches))
+	}
+}
+
+// SnapshotsEnabled reports whether EnableSnapshots has run.
+func (s *Store) SnapshotsEnabled() bool {
+	return s.shards[0].list.SnapshotsEnabled()
+}
+
+// Snap is one open store snapshot: a frozen, point-in-time view served
+// without blocking writers. Like a Worker, a Snap is owned by one
+// goroutine. Release it promptly — while open it pins the reclamation
+// era (retired nodes stop being freed) and grows the version log with
+// every overwrite.
+type Snap struct {
+	s       *Store
+	ctxs    []*exec.Ctx
+	snaps   []*skiplist.ListSnap
+	bit     uint // reader-slot bit in Store.snapBits
+	feedEra uint64
+
+	released bool
+}
+
+// Snapshot opens a snapshot of the store's current state.
+func (s *Store) Snapshot() (*Snap, error) {
+	if !s.SnapshotsEnabled() {
+		return nil, ErrSnapshotsDisabled
+	}
+	s.snapMu.Lock()
+	bit := uint(0)
+	for ; bit < snapReaderSlots; bit++ {
+		if s.snapBits&(1<<bit) == 0 {
+			break
+		}
+	}
+	if bit == snapReaderSlots {
+		s.snapMu.Unlock()
+		return nil, ErrTooManySnapshots
+	}
+	s.snapBits |= 1 << bit
+	s.snapMu.Unlock()
+
+	readerID := s.opts.NumThreads + int(bit)
+	sn := &Snap{s: s, bit: bit, feedEra: s.feed.Load().Era()}
+	sn.ctxs = make([]*exec.Ctx, len(s.shards))
+	sn.snaps = make([]*skiplist.ListSnap, len(s.shards))
+	for i, e := range s.shards {
+		ctx := exec.NewCtx(readerID, s.topo.NodeOf(readerID))
+		ls, err := e.list.AcquireSnapshot(ctx)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				sn.snaps[j].Release(sn.ctxs[j])
+			}
+			s.snapMu.Lock()
+			s.snapBits &^= 1 << bit
+			s.snapMu.Unlock()
+			return nil, err
+		}
+		sn.ctxs[i] = ctx
+		sn.snaps[i] = ls
+	}
+	s.snapMu.Lock()
+	s.openSnaps[sn] = time.Now()
+	s.snapMu.Unlock()
+	return sn, nil
+}
+
+// Release closes the snapshot, unpinning reclamation; the last open
+// snapshot also recycles the version log. Idempotent.
+func (sn *Snap) Release() {
+	s := sn.s
+	s.snapMu.Lock()
+	if sn.released {
+		s.snapMu.Unlock()
+		return
+	}
+	sn.released = true
+	delete(s.openSnaps, sn)
+	s.snapMu.Unlock()
+	for i, ls := range sn.snaps {
+		ls.Release(sn.ctxs[i])
+	}
+	s.snapMu.Lock()
+	s.snapBits &^= 1 << sn.bit
+	s.snapMu.Unlock()
+}
+
+// Era returns the snapshot's pinned reclamation era on shard 0
+// (diagnostics; eras are per-shard).
+func (sn *Snap) Era() uint64 { return sn.snaps[0].Era() }
+
+// FeedEra returns the change feed's high-water mark captured when the
+// snapshot opened: Changes(sn.FeedEra()) replays every batch committed
+// after (or overlapping) the snapshot, so snapshot + feed compose into
+// a full re-sync. Replay is idempotent — a batch that straddled the
+// snapshot boundary converges when re-applied.
+func (sn *Snap) FeedEra() uint64 { return sn.feedEra }
+
+// Get returns key's value in the frozen view.
+func (sn *Snap) Get(key uint64) (uint64, bool) {
+	if key < KeyMin || key > KeyMax {
+		return 0, false
+	}
+	si := sn.s.shardOf(key)
+	return sn.snaps[si].Get(sn.ctxs[si], key)
+}
+
+// Scan visits every frozen-view pair in [lo, hi] in globally ascending
+// key order until fn returns false.
+func (sn *Snap) Scan(lo, hi uint64, fn func(key, value uint64) bool) error {
+	if lo < KeyMin {
+		lo = KeyMin
+	}
+	if hi > KeyMax {
+		hi = KeyMax
+	}
+	if lo > hi {
+		return nil
+	}
+	it := sn.Iterator()
+	for ok := it.Seek(lo); ok && it.Key() <= hi; ok = it.Next() {
+		if !fn(it.Key(), it.Value()) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Iterator returns a fresh forward cursor over the frozen view — a
+// single shard's snapshot cursor, or a merge over every shard's.
+func (sn *Snap) Iterator() Iterator {
+	if len(sn.snaps) == 1 {
+		return sn.snaps[0].NewIterator(sn.ctxs[0])
+	}
+	cs := make([]skiplist.Cursor, len(sn.snaps))
+	for i, ls := range sn.snaps {
+		cs[i] = ls.NewIterator(sn.ctxs[i])
+	}
+	return skiplist.NewMergedCursors(cs)
+}
+
+// Count returns the number of live keys in the frozen view.
+func (sn *Snap) Count() int {
+	n := 0
+	sn.Scan(KeyMin, KeyMax, func(_, _ uint64) bool { n++; return true })
+	return n
+}
+
+// Changes returns every retained committed batch with feed era >
+// sinceEra, in commit order. ErrFeedTrimmed means the window has moved
+// past the cursor and the consumer must re-sync from a Snapshot (whose
+// FeedEra is a valid new cursor). The feed records group-committed
+// batches (ApplyBatch); it is volatile and restarts at era 1 after a
+// crash or reopen.
+func (s *Store) Changes(sinceEra uint64) ([]ChangeBatch, error) {
+	f := s.feed.Load()
+	if f == nil {
+		return nil, ErrSnapshotsDisabled
+	}
+	return f.Since(sinceEra)
+}
+
+// FeedEra returns the change feed's current high-water mark (0 before
+// any batch committed, or when snapshots are disabled).
+func (s *Store) FeedEra() uint64 {
+	if f := s.feed.Load(); f != nil {
+		return f.Era()
+	}
+	return 0
+}
+
+// SnapshotsOpen returns the number of currently open snapshots.
+func (s *Store) SnapshotsOpen() int {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	return len(s.openSnaps)
+}
+
+// OldestSnapshotAge returns how long the oldest open snapshot has been
+// held (0 when none is open) — the direct driver of reclaim backlog
+// and version-log growth.
+func (s *Store) OldestSnapshotAge() time.Duration {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	var oldest time.Time
+	for _, t := range s.openSnaps {
+		if oldest.IsZero() || t.Before(oldest) {
+			oldest = t
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return time.Since(oldest)
+}
+
+// SaveOnline writes a consistent logical dump of the store into dir
+// without stalling writers: the pairs stream from a snapshot while the
+// workload keeps running — no PauseReclaim, no quiesce, in contrast to
+// Save's physical pool images. The dump (a v3 meta sidecar plus a
+// pairs file) is read back by the same Load that reads Save images.
+func (s *Store) SaveOnline(dir string) error {
+	sn, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	defer sn.Release()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "pairs.upsl"))
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	var count uint64
+	var scratch [16]byte
+	binary.LittleEndian.PutUint64(scratch[:8], 0) // count backpatched below
+	if _, err := bw.Write(scratch[:8]); err != nil {
+		f.Close()
+		return err
+	}
+	serr := sn.Scan(KeyMin, KeyMax, func(k, v uint64) bool {
+		binary.LittleEndian.PutUint64(scratch[:8], k)
+		binary.LittleEndian.PutUint64(scratch[8:], v)
+		if _, werr := bw.Write(scratch[:]); werr != nil {
+			err = werr
+			return false
+		}
+		count++
+		return true
+	})
+	if err == nil {
+		err = serr
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		binary.LittleEndian.PutUint64(scratch[:8], count)
+		_, err = f.WriteAt(scratch[:8], 0)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	return saveMetaV3(dir, s.opts)
+}
+
+// saveMetaV3 writes the logical-dump sidecar: the v2 field set under a
+// v3 tag, telling Load to rebuild from pairs.upsl instead of attaching
+// pool images.
+func saveMetaV3(dir string, o Options) error {
+	f, err := os.Create(filepath.Join(dir, "meta.upsl"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sorted := 0
+	if o.SortedNodes {
+		sorted = 1
+	}
+	_, err = fmt.Fprintf(f, "v3 %d %d %d %d %d %d %d %d %d %d %d\n",
+		o.MaxHeight, o.KeysPerNode, sorted, o.NUMANodes, int(o.Placement),
+		o.PoolWords, o.ChunkWords, o.MaxChunks, o.NumArenas, o.NumThreads, o.Shards)
+	return err
+}
+
+// loadPairs rebuilds a store from a v3 logical dump: fresh pools, then
+// the dumped pairs batch-inserted in key order.
+func loadPairs(dir string, opts Options) (*Store, error) {
+	st, err := Create(opts)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, "pairs.upsl"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("upskiplist: truncated v3 dump: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[:])
+	w := st.NewWorker(0)
+	const chunk = 1024
+	ops := make([]Op, 0, chunk)
+	var rec [16]byte
+	flush := func() error {
+		if len(ops) == 0 {
+			return nil
+		}
+		for _, r := range w.ApplyBatch(ops) {
+			if r.Err != nil {
+				return r.Err
+			}
+		}
+		ops = ops[:0]
+		return nil
+	}
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("upskiplist: truncated v3 dump at pair %d/%d: %w", i, count, err)
+		}
+		ops = append(ops, Op{
+			Kind:  OpInsert,
+			Key:   binary.LittleEndian.Uint64(rec[:8]),
+			Value: binary.LittleEndian.Uint64(rec[8:]),
+		})
+		if len(ops) == chunk {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

@@ -1,0 +1,377 @@
+package upskiplist
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func snapOptions() Options {
+	o := testOptions()
+	o.Snapshots = true
+	return o
+}
+
+func waitForCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStoreSnapshotFrozenView pins a multi-shard snapshot and checks it
+// serves the exact pre-snapshot state — point reads, merged scan order,
+// count — while the live store moves on underneath it.
+func TestStoreSnapshotFrozenView(t *testing.T) {
+	o := snapOptions()
+	o.Shards = 2
+	st, err := Create(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := st.NewWorker(0)
+	for i := uint64(1); i <= 400; i++ {
+		if _, _, err := w.Insert(i, i*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.SnapshotsOpen(); got != 1 {
+		t.Fatalf("SnapshotsOpen = %d, want 1", got)
+	}
+
+	for i := uint64(1); i <= 200; i++ {
+		w.Insert(i, i*999)
+	}
+	for i := uint64(300); i <= 350; i++ {
+		w.Remove(i)
+	}
+	for i := uint64(401); i <= 500; i++ {
+		w.Insert(i, i*3)
+	}
+
+	for i := uint64(1); i <= 400; i++ {
+		v, ok := sn.Get(i)
+		if !ok || v != i*3 {
+			t.Fatalf("snap.Get(%d) = %d,%v, want %d,true", i, v, ok, i*3)
+		}
+	}
+	if _, ok := sn.Get(450); ok {
+		t.Fatal("snapshot sees a post-snapshot insert")
+	}
+	if n := sn.Count(); n != 400 {
+		t.Fatalf("snap.Count = %d, want 400", n)
+	}
+	var prev uint64
+	n := 0
+	sn.Scan(KeyMin, KeyMax, func(k, v uint64) bool {
+		if k <= prev {
+			t.Fatalf("scan order violated: %d after %d", k, prev)
+		}
+		if v != k*3 {
+			t.Fatalf("scan pair %d -> %d, want %d", k, v, k*3)
+		}
+		prev = k
+		n++
+		return true
+	})
+	if n != 400 {
+		t.Fatalf("scan visited %d pairs, want 400", n)
+	}
+	// The live view did move on.
+	if v, ok := w.Get(100); !ok || v != 100*999 {
+		t.Fatalf("live Get(100) = %d,%v", v, ok)
+	}
+
+	sn.Release()
+	sn.Release() // idempotent
+	if got := st.SnapshotsOpen(); got != 0 {
+		t.Fatalf("SnapshotsOpen after release = %d, want 0", got)
+	}
+	if c := st.BlockCensus(); c.Version != 0 {
+		t.Fatalf("%d version blocks survived release", c.Version)
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotDisabled pins the error surface on a store without the
+// subsystem enabled.
+func TestSnapshotDisabled(t *testing.T) {
+	st, err := Create(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Snapshot(); !errors.Is(err, ErrSnapshotsDisabled) {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if _, err := st.Changes(0); !errors.Is(err, ErrSnapshotsDisabled) {
+		t.Fatalf("Changes: %v", err)
+	}
+	if st.FeedEra() != 0 {
+		t.Fatal("FeedEra nonzero without snapshots")
+	}
+}
+
+// TestChangesFeedReplay checks the change-feed cursor: every committed
+// batch is recorded in era order, and replaying the changes reproduces
+// the store's final state.
+func TestChangesFeedReplay(t *testing.T) {
+	st, err := Create(snapOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := st.NewWorker(0)
+	w.ApplyBatch([]Op{
+		{Kind: OpInsert, Key: 1, Value: 10},
+		{Kind: OpInsert, Key: 2, Value: 20},
+		{Kind: OpInsert, Key: 3, Value: 30},
+	})
+	w.ApplyBatch([]Op{
+		{Kind: OpInsert, Key: 2, Value: 21},
+		{Kind: OpRemove, Key: 3},
+		{Kind: OpRemove, Key: 99}, // absent: must not be recorded
+	})
+	if got := st.FeedEra(); got != 2 {
+		t.Fatalf("FeedEra = %d, want 2", got)
+	}
+	batches, err := st.Changes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 || batches[0].Era != 1 || batches[1].Era != 2 {
+		t.Fatalf("batches = %+v", batches)
+	}
+	if len(batches[1].Changes) != 2 {
+		t.Fatalf("batch 2 changes = %+v (remove of absent key recorded?)", batches[1].Changes)
+	}
+	// Replay into a map; must match the live store.
+	replay := map[uint64]uint64{}
+	for _, b := range batches {
+		for _, c := range b.Changes {
+			if c.Kind == ChangeDel {
+				delete(replay, c.Key)
+			} else {
+				replay[c.Key] = c.Value
+			}
+		}
+	}
+	if len(replay) != 2 || replay[1] != 10 || replay[2] != 21 {
+		t.Fatalf("replayed state = %v", replay)
+	}
+	// Cursor at the high-water mark sees nothing new.
+	if more, err := st.Changes(st.FeedEra()); err != nil || len(more) != 0 {
+		t.Fatalf("Changes(head) = %v, %v", more, err)
+	}
+}
+
+// TestSnapshotChangesCompose checks the re-sync recipe: a snapshot's
+// frozen dump plus a Changes replay from the snapshot's FeedEra equals
+// the live state.
+func TestSnapshotChangesCompose(t *testing.T) {
+	st, err := Create(snapOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := st.NewWorker(0)
+	for i := uint64(1); i <= 100; i++ {
+		w.ApplyBatch([]Op{{Kind: OpInsert, Key: i, Value: i}})
+	}
+	sn, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Release()
+	for i := uint64(50); i <= 150; i++ {
+		w.ApplyBatch([]Op{{Kind: OpInsert, Key: i, Value: i * 7}, {Kind: OpRemove, Key: i - 40}})
+	}
+
+	state := map[uint64]uint64{}
+	sn.Scan(KeyMin, KeyMax, func(k, v uint64) bool { state[k] = v; return true })
+	batches, err := st.Changes(sn.FeedEra())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		for _, c := range b.Changes {
+			if c.Kind == ChangeDel {
+				delete(state, c.Key)
+			} else {
+				state[c.Key] = c.Value
+			}
+		}
+	}
+	live := map[uint64]uint64{}
+	w.Scan(KeyMin, KeyMax, func(k, v uint64) bool { live[k] = v; return true })
+	if len(state) != len(live) {
+		t.Fatalf("re-synced %d keys, live %d", len(state), len(live))
+	}
+	for k, v := range live {
+		if state[k] != v {
+			t.Fatalf("key %d: re-synced %d, live %d", k, state[k], v)
+		}
+	}
+}
+
+// TestSaveOnlineDuringWrites drives sustained writes while SaveOnline
+// streams a snapshot dump — no quiesce, no PauseReclaim — then Loads
+// the dump and checks it is a consistent cut: every key present maps to
+// its one true value, and everything written before the save started is
+// present.
+func TestSaveOnlineDuringWrites(t *testing.T) {
+	dir := t.TempDir()
+	o := snapOptions()
+	o.Shards = 2
+	st, err := Create(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = 2000
+	w := st.NewWorker(0)
+	for i := uint64(1); i <= base; i++ {
+		if _, _, err := w.Insert(i, i*7); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			ww := st.NewWorker(tid)
+			for k := uint64(base + 1 + tid); !stop.Load(); k += 2 {
+				ww.Insert(k, k*7)
+			}
+		}(g + 1)
+	}
+	if err := st.SaveOnline(dir); err != nil {
+		stop.Store(true)
+		wg.Wait()
+		t.Fatal(err)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if st.SnapshotsOpen() != 0 {
+		t.Fatal("SaveOnline leaked its snapshot")
+	}
+
+	ld, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw := ld.NewWorker(0)
+	for i := uint64(1); i <= base; i++ {
+		if v, ok := lw.Get(i); !ok || v != i*7 {
+			t.Fatalf("loaded key %d = %d,%v, want %d,true", i, v, ok, i*7)
+		}
+	}
+	// Whatever slice of the concurrent inserts made the cut must carry
+	// consistent values.
+	lw.Scan(KeyMin, KeyMax, func(k, v uint64) bool {
+		if v != k*7 {
+			t.Fatalf("loaded pair %d -> %d, want %d", k, v, k*7)
+		}
+		return true
+	})
+	if err := lw.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotCrashRecovery crashes with a snapshot open and shadowed
+// versions sitting in pmem: reopen must serve the latest committed
+// values, and the orphaned version blocks must be swept by the startup
+// rediscovery when reclamation comes back.
+func TestSnapshotCrashRecovery(t *testing.T) {
+	st, err := Create(snapOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := st.NewWorker(0)
+	for i := uint64(1); i <= 300; i++ {
+		if _, _, err := w.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sn // never released: dies with the crash
+	for r := uint64(0); r < 3; r++ {
+		for i := uint64(1); i <= 300; i++ {
+			if _, _, err := w.Insert(i, i*10+r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if c := st.BlockCensus(); c.Version == 0 {
+		t.Fatal("expected live version blocks before the crash")
+	}
+
+	st.SimulateCrash()
+	st2, err := st.Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := st2.NewWorker(0)
+	for i := uint64(1); i <= 300; i++ {
+		if v, ok := w2.Get(i); !ok || v != i*10+2 {
+			t.Fatalf("after crash Get(%d) = %d,%v, want %d,true", i, v, ok, i*10+2)
+		}
+	}
+	if c := st2.BlockCensus(); c.Version == 0 {
+		t.Fatal("version orphans should persist until swept")
+	}
+	st2.EnableOnlineReclaim()
+	waitForCond(t, "version orphans swept", func() bool {
+		return st2.BlockCensus().Version == 0
+	})
+	st2.DisableOnlineReclaim()
+	if err := w2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTooManySnapshots exhausts the reader-slot bitmap.
+func TestTooManySnapshots(t *testing.T) {
+	st, err := Create(snapOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var open []*Snap
+	defer func() {
+		for _, sn := range open {
+			sn.Release()
+		}
+	}()
+	for i := 0; i < 64; i++ {
+		sn, err := st.Snapshot()
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		open = append(open, sn)
+	}
+	if _, err := st.Snapshot(); !errors.Is(err, ErrTooManySnapshots) {
+		t.Fatalf("65th snapshot: %v", err)
+	}
+	// Releasing one frees a slot.
+	open[10].Release()
+	sn, err := st.Snapshot()
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	open[10] = sn
+}

@@ -51,6 +51,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -62,6 +63,7 @@ import (
 	"upskiplist/internal/pmem"
 	"upskiplist/internal/riv"
 	"upskiplist/internal/skiplist"
+	"upskiplist/internal/snapshot"
 )
 
 // Re-exported key/value sentinels.
@@ -166,6 +168,13 @@ type Options struct {
 	// examines (0 = 64). Together they rate-limit the sweeper.
 	ReclaimInterval  time.Duration
 	ReclaimScanNodes int
+
+	// Snapshots switches the MVCC snapshot subsystem on (see
+	// EnableSnapshots): Store.Snapshot frozen views, the change feed,
+	// and the stall-free SaveOnline. Volatile configuration like
+	// OnlineReclaim: not persisted by Save — a Load-ed store needs an
+	// explicit EnableSnapshots call.
+	Snapshots bool
 
 	// Cost enables the synthetic PMEM access-cost model (benchmarks).
 	Cost *pmem.CostModel
@@ -279,6 +288,15 @@ type Store struct {
 	// observability is off, so the hot-path cost of "metrics disabled"
 	// is one atomic pointer load.
 	met atomic.Pointer[storeMetrics]
+
+	// MVCC snapshot state (snapshot.go). feed is the committed-batch
+	// change feed, nil until EnableSnapshots; openSnaps tracks live Snap
+	// handles for the gauges; snapBits allocates the reserved reader
+	// thread-ID slots above Options.NumThreads.
+	feed      atomic.Pointer[snapshot.Feed]
+	snapMu    sync.Mutex
+	openSnaps map[*Snap]time.Time
+	snapBits  uint64
 }
 
 // newShardPools builds the pool set for one shard. An unsharded store
@@ -368,6 +386,9 @@ func Create(opts Options) (*Store, error) {
 	if opts.OnlineReclaim {
 		st.EnableOnlineReclaim()
 	}
+	if opts.Snapshots {
+		st.EnableSnapshots()
+	}
 	return st, nil
 }
 
@@ -438,6 +459,9 @@ func (s *Store) Reopen() (*Store, error) {
 	}
 	if s.opts.OnlineReclaim {
 		st.EnableOnlineReclaim()
+	}
+	if s.opts.Snapshots {
+		st.EnableSnapshots()
 	}
 	return st, nil
 }
@@ -867,12 +891,17 @@ func poolFileName(shards, shard int, poolID uint16) string {
 	return fmt.Sprintf("s%d_pool%d.upsl", shard, poolID)
 }
 
-// Load re-creates a store from images written by Save; this is a restart
-// across processes, so every shard's epoch advances.
+// Load re-creates a store from images written by Save (physical pool
+// images; a restart across processes, so every shard's epoch advances)
+// or from a SaveOnline logical dump (fresh pools rebuilt from the
+// dumped pairs).
 func Load(dir string) (*Store, error) {
-	opts, err := loadMeta(dir)
+	opts, ver, err := loadMeta(dir)
 	if err != nil {
 		return nil, err
+	}
+	if ver == "v3" {
+		return loadPairs(dir, opts)
 	}
 	st := &Store{opts: opts, topo: numa.Topology{Nodes: opts.NUMANodes}}
 	for si := 0; si < opts.Shards; si++ {
@@ -963,10 +992,10 @@ func saveMeta(dir string, o Options) error {
 	return err
 }
 
-func loadMeta(dir string) (Options, error) {
+func loadMeta(dir string) (Options, string, error) {
 	f, err := os.Open(filepath.Join(dir, "meta.upsl"))
 	if err != nil {
-		return Options{}, err
+		return Options{}, "", err
 	}
 	defer f.Close()
 	var o Options
@@ -975,22 +1004,22 @@ func loadMeta(dir string) (Options, error) {
 	_, err = fmt.Fscan(f, &ver, &o.MaxHeight, &o.KeysPerNode, &sorted, &o.NUMANodes,
 		&placement, &o.PoolWords, &o.ChunkWords, &o.MaxChunks, &o.NumArenas, &o.NumThreads)
 	if err != nil && err != io.EOF {
-		return Options{}, err
+		return Options{}, "", err
 	}
 	switch ver {
 	case "v1":
 		o.Shards = 1
-	case "v2":
+	case "v2", "v3":
 		if _, err := fmt.Fscan(f, &o.Shards); err != nil {
-			return Options{}, fmt.Errorf("upskiplist: truncated v2 meta: %w", err)
+			return Options{}, "", fmt.Errorf("upskiplist: truncated %s meta: %w", ver, err)
 		}
 		if o.Shards < 1 {
-			return Options{}, fmt.Errorf("upskiplist: bad shard count %d in meta", o.Shards)
+			return Options{}, "", fmt.Errorf("upskiplist: bad shard count %d in meta", o.Shards)
 		}
 	default:
-		return Options{}, fmt.Errorf("upskiplist: unknown meta version %q", ver)
+		return Options{}, "", fmt.Errorf("upskiplist: unknown meta version %q", ver)
 	}
 	o.SortedNodes = sorted == 1
 	o.Placement = Placement(placement)
-	return o, nil
+	return o, ver, nil
 }
