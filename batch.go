@@ -2,7 +2,9 @@ package upskiplist
 
 import (
 	"upskiplist/internal/metrics"
+	"upskiplist/internal/pmem"
 	"upskiplist/internal/skiplist"
+	"upskiplist/internal/slab"
 	"upskiplist/internal/snapshot"
 )
 
@@ -22,15 +24,17 @@ const (
 type Op struct {
 	Kind  OpKind
 	Key   uint64
-	Value uint64 // ignored for OpGet/OpRemove
+	Value []byte // ignored for OpGet/OpRemove
 }
 
 // OpResult is the outcome of one batched Op, in submission order. For
 // OpInsert, Value/Found are the previous value and whether the key
 // existed; for OpGet, the read value and whether it was found; for
-// OpRemove, the removed value and whether the key was present.
+// OpRemove, the removed value and whether the key was present. Value
+// slices alias the worker's internal buffer and are valid until the
+// worker's next operation.
 type OpResult struct {
-	Value uint64
+	Value []byte
 	Found bool
 	Err   error
 }
@@ -46,11 +50,14 @@ func (w *Worker) ApplyBatch(ops []Op) []OpResult {
 // len(ops) elements), for callers that reuse buffers across batches.
 //
 // Operations are grouped by owning shard and each shard's run is applied
-// under one traversal context in ascending key order, with per-operation
-// commit persists (value publication, key-slot claims) deferred and
-// drained by a single trailing flush-and-fence per shard — a batch of B
-// operations on one shard pays one fence rather than B. An empty batch
-// is a complete no-op (no routing, no flush, no fence).
+// under one traversal context in ascending key order. Value chunks for
+// the shard's inserts are written first with their line flushes deferred
+// into one group, drained by a single flush-and-fence BEFORE any node
+// word publishes a chunk (preserving the write-then-publish crash
+// ordering); the list's own commit persists are likewise deferred and
+// drained by a single trailing flush per shard. A batch of B operations
+// on one shard pays two fences rather than 2B. An empty batch is a
+// complete no-op (no routing, no flush, no fence).
 //
 // Ordering contract: duplicate keys within one batch are applied
 // deterministically in submission order — last-writer-wins for the final
@@ -64,6 +71,8 @@ func (w *Worker) ApplyBatch(ops []Op) []OpResult {
 // durable until ApplyBatchInto returns. A crash mid-batch may lose any
 // subset of the batch's effects — the same exposure as a crash just
 // before a lone operation's commit fence, amortized over the batch.
+// Chunks published by effects that were lost are reclaimed by the
+// startup sweep.
 func (w *Worker) ApplyBatchInto(ops []Op, res []OpResult) []OpResult {
 	if len(res) != len(ops) {
 		panic("upskiplist: ApplyBatchInto result buffer length mismatch")
@@ -85,6 +94,11 @@ func (w *Worker) ApplyBatchInto(ops []Op, res []OpResult) []OpResult {
 		w.runs[si] = w.runs[si][:0]
 	}
 	for i, op := range ops {
+		res[i] = OpResult{}
+		if op.Kind == OpInsert && len(op.Value) > MaxValueLen {
+			res[i].Err = ErrValueTooLarge
+			continue
+		}
 		si := w.s.shardOf(op.Key)
 		kind := skiplist.BatchInsert
 		switch op.Kind {
@@ -94,20 +108,18 @@ func (w *Worker) ApplyBatchInto(ops []Op, res []OpResult) []OpResult {
 			kind = skiplist.BatchRemove
 		}
 		w.runs[si] = append(w.runs[si], skiplist.BatchOp{
-			Kind: kind, Key: op.Key, Value: op.Value, Tag: i,
+			Kind: kind, Key: op.Key, Tag: i,
 		})
 	}
-	for si, run := range w.runs {
-		if len(run) == 0 {
+	w.vbuf = w.vbuf[:0]
+	for si := range w.runs {
+		if len(w.runs[si]) == 0 {
 			continue
 		}
 		if m != nil {
-			m.shardOps[si].Add(uint64(len(run)))
+			m.shardOps[si].Add(uint64(len(w.runs[si])))
 		}
-		w.s.shards[si].list.ApplyBatch(w.ctxs[si], run)
-		for j := range run {
-			res[run[j].Tag] = OpResult{Value: run[j].Old, Found: run[j].Found, Err: run[j].Err}
-		}
+		w.applyShard(si, ops, res)
 	}
 	if m != nil {
 		m.batchLat.Since(start)
@@ -117,7 +129,8 @@ func (w *Worker) ApplyBatchInto(ops []Op, res []OpResult) []OpResult {
 		// Commit to the change feed in submission order: replaying the
 		// recorded changes in order reproduces the batch's final state
 		// (last-writer-wins duplicates included). Failed ops and removes
-		// of absent keys changed nothing and are not recorded.
+		// of absent keys changed nothing and are not recorded. The feed
+		// outlives this batch, so it gets its own copy of the bytes.
 		var changes []snapshot.Change
 		for i, op := range ops {
 			if res[i].Err != nil {
@@ -125,7 +138,10 @@ func (w *Worker) ApplyBatchInto(ops []Op, res []OpResult) []OpResult {
 			}
 			switch op.Kind {
 			case OpInsert:
-				changes = append(changes, snapshot.Change{Kind: snapshot.ChangePut, Key: op.Key, Value: op.Value})
+				changes = append(changes, snapshot.Change{
+					Kind: snapshot.ChangePut, Key: op.Key,
+					Value: append([]byte(nil), op.Value...),
+				})
 			case OpRemove:
 				if res[i].Found {
 					changes = append(changes, snapshot.Change{Kind: snapshot.ChangeDel, Key: op.Key})
@@ -135,4 +151,127 @@ func (w *Worker) ApplyBatchInto(ops []Op, res []OpResult) []OpResult {
 		f.Append(changes)
 	}
 	return res
+}
+
+// applyShard runs one shard's slice of the batch: pre-write value
+// chunks (deferred flush, one fence), apply the list batch, then decode
+// results and retire superseded chunks — all under one era pin so no
+// chunk this run observes can be freed before its bytes are copied out.
+func (w *Worker) applyShard(si int, ops []Op, res []OpResult) {
+	e, ctx := w.s.shards[si], w.ctxs[si]
+	run := w.runs[si]
+	e.list.Pin(ctx)
+	defer e.list.Unpin(ctx)
+
+	// Stage every insert's value bytes into fresh chunks. Chunk data
+	// persists are deferred into fb and drained by one grouped fence
+	// before ApplyBatch can publish any of the refs.
+	//
+	// 8-byte updates of keys that already hold a slab chunk take the
+	// in-place fast path instead (the batch analogue of putInPlace): the
+	// existing chunk's payload word is overwritten directly — no
+	// allocation, no node-word CAS, so a pure-update batch costs no page
+	// grows and no structural fences. Because the node word never moves,
+	// the payload line needs no write-then-publish ordering either: its
+	// flush defers into ctx.Group and rides ApplyBatch's single trailing
+	// fence. The pre-pass runs in submission order BEFORE the list batch,
+	// so it may only consume a key's ops while doing so cannot reorder
+	// them against list-phase ops on the same key: a key is eligible when
+	// every one of its ops in this run is a read or an 8-byte insert
+	// (removes and mixed-size inserts stay on the list path, and make
+	// every op on their key ineligible), and only when no snapshot is
+	// open (the old bytes are not version-logged). When an eligible
+	// insert cannot go in place (key absent, legacy inline word, chained
+	// value), that op and the key's remaining ops fall through to the
+	// list phase — everything already consumed preceded them in
+	// submission order, so sequential equivalence holds.
+	var fb pmem.Batch
+	inPlace := e.list.OpenSnapshots() == 0
+	if inPlace {
+		if w.keyElig == nil {
+			w.keyElig = make(map[uint64]bool)
+		}
+		clear(w.keyElig)
+		for j := range run {
+			ok := run[j].Kind == skiplist.BatchGet ||
+				run[j].Kind == skiplist.BatchInsert && len(ops[run[j].Tag].Value) == 8
+			if was, seen := w.keyElig[run[j].Key]; seen {
+				ok = ok && was
+			}
+			w.keyElig[run[j].Key] = ok
+		}
+	}
+	k := 0
+	for j := range run {
+		key := run[j].Key
+		switch run[j].Kind {
+		case skiplist.BatchGet:
+			if inPlace && w.keyElig[key] {
+				if word, ok := e.list.Get(ctx, key); ok {
+					r := &res[run[j].Tag]
+					off := len(w.vbuf)
+					w.vbuf = e.decodeValue(word, w.vbuf, ctx.Mem)
+					r.Value = w.vbuf[off:len(w.vbuf):len(w.vbuf)]
+					r.Found = true
+				}
+				continue
+			}
+		case skiplist.BatchInsert:
+			val := ops[run[j].Tag].Value
+			if inPlace && w.keyElig[key] {
+				if old, ok := e.overwriteInPlace(ctx, key, val, &ctx.Group); ok {
+					r := &res[run[j].Tag]
+					off := len(w.vbuf)
+					w.vbuf = append(w.vbuf, old[:]...)
+					r.Value = w.vbuf[off:len(w.vbuf):len(w.vbuf)]
+					r.Found = true
+					continue
+				}
+				// The key's remaining ops must follow this one: route
+				// them all through the list phase.
+				w.keyElig[key] = false
+			}
+			ref, err := e.vals.Put(ctx, val, &fb)
+			if err != nil {
+				res[run[j].Tag].Err = err
+				continue
+			}
+			run[j].Value = ref.Word()
+		}
+		run[k] = run[j]
+		k++
+	}
+	run = run[:k]
+	fb.Flush(ctx.Mem)
+
+	e.list.ApplyBatch(ctx, run)
+	if len(run) == 0 {
+		// Everything went in-place: ApplyBatch was a no-op, so drain the
+		// deferred payload lines here — the batch's one commit fence.
+		ctx.Group.Flush(ctx.Mem)
+	}
+
+	for j := range run {
+		op := &run[j]
+		r := &res[op.Tag]
+		r.Found, r.Err = op.Found, op.Err
+		if op.Err != nil {
+			// The op's own chunk was written but never published.
+			if op.Kind == skiplist.BatchInsert && slab.IsRef(op.Value) {
+				e.vals.Retire(slab.FromWord(op.Value))
+			}
+			continue
+		}
+		if op.Found {
+			off := len(w.vbuf)
+			w.vbuf = e.decodeValue(op.Old, w.vbuf, ctx.Mem)
+			r.Value = w.vbuf[off:len(w.vbuf):len(w.vbuf)]
+		}
+		// Inserts over an existing key and successful removes superseded
+		// the old chunk; it retires now that the node word durably moved
+		// on (ApplyBatch's trailing flush covered the publish).
+		if op.Kind != skiplist.BatchGet && op.Found && slab.IsRef(op.Old) {
+			e.vals.Retire(slab.FromWord(op.Old))
+		}
+	}
 }

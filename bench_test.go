@@ -257,8 +257,8 @@ func benchHotPath(b *testing.B, mode string, disableHints bool) {
 		op := ops[i&(len(ops)-1)]
 		read := mode == "get" || (mode == "mixed" && i&1 == 0)
 		if read {
-			w.Get(op.Key)
-		} else if _, _, err := w.Insert(op.Key, op.Value&harness.ValueMask|1); err != nil {
+			w.GetU64(op.Key)
+		} else if _, _, err := w.PutU64(op.Key, op.Value&harness.ValueMask|1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -76,7 +76,7 @@ func churnPhase(t *testing.T, w *Worker, rng *rand.Rand, cs *churnState) float64
 	ops := 0
 	start := time.Now()
 	for i := 0; i < churnPerPhase; i++ {
-		if _, _, err := w.Insert(cs.hi, cs.hi); err != nil {
+		if _, _, err := w.PutU64(cs.hi, cs.hi); err != nil {
 			t.Fatal(err)
 		}
 		cs.alive = append(cs.alive, cs.hi)
@@ -85,11 +85,11 @@ func churnPhase(t *testing.T, w *Worker, rng *rand.Rand, cs *churnState) float64
 		victim := cs.alive[j]
 		cs.alive[j] = cs.alive[len(cs.alive)-1]
 		cs.alive = cs.alive[:len(cs.alive)-1]
-		if _, _, err := w.Remove(victim); err != nil {
+		if _, _, err := w.RemoveU64(victim); err != nil {
 			t.Fatal(err)
 		}
 		for r := 0; r < 2; r++ {
-			if _, ok := w.Get(cs.alive[rng.Intn(len(cs.alive))]); !ok {
+			if _, ok := w.GetU64(cs.alive[rng.Intn(len(cs.alive))]); !ok {
 				t.Fatal("live key missing")
 			}
 		}
@@ -108,7 +108,7 @@ func runChurn(t *testing.T, st *Store) (finalOps float64, warmupAlloc, finalAllo
 	rng := rand.New(rand.NewSource(42))
 	cs := &churnState{hi: 1}
 	for k := 0; k < churnWindow; k++ {
-		if _, _, err := w.Insert(cs.hi, cs.hi); err != nil {
+		if _, _, err := w.PutU64(cs.hi, cs.hi); err != nil {
 			t.Fatal(err)
 		}
 		cs.alive = append(cs.alive, cs.hi)

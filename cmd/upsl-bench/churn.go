@@ -59,7 +59,7 @@ func runChurnPhase(w *upskiplist.Worker, rng *rand.Rand, cs *churnLiveSet) (floa
 	ops := 0
 	start := time.Now()
 	for i := 0; i < churnPerPhase; i++ {
-		if _, _, err := w.Insert(cs.hi, cs.hi); err != nil {
+		if _, _, err := w.PutU64(cs.hi, cs.hi); err != nil {
 			return 0, err
 		}
 		cs.alive = append(cs.alive, cs.hi)
@@ -114,7 +114,7 @@ func runChurnExp(c benchConfig) {
 		rng := rand.New(rand.NewSource(42))
 		cs := &churnLiveSet{hi: 1}
 		for k := 0; k < churnWindow; k++ {
-			if _, _, err := w.Insert(cs.hi, cs.hi); err != nil {
+			if _, _, err := w.PutU64(cs.hi, cs.hi); err != nil {
 				fatalf("%s fill: %v", label, err)
 			}
 			cs.alive = append(cs.alive, cs.hi)
@@ -187,7 +187,7 @@ func runChurnWireExp(c benchConfig) {
 			Depth:   32,
 			Total:   n,
 			Next: func(_, i int) client.Op {
-				return client.Op{Kind: kind, Key: base + uint64(i), Val: 1}
+				return client.Op{Kind: kind, Key: base + uint64(i), Val: leBytes(1)}
 			},
 		})
 		if res.Errs != 0 {

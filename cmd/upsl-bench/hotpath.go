@@ -84,7 +84,7 @@ func (c benchConfig) measureHotPath(wl ycsb.Workload, dist string, kpn int, v ho
 	}
 	w0 := st.NewWorker(0)
 	for k := uint64(1); k <= c.preload; k++ {
-		if _, _, err := w0.Insert(k, k*7+1); err != nil {
+		if _, _, err := w0.PutU64(k, k*7+1); err != nil {
 			fatalf("hotpath preload: %v", err)
 		}
 	}

@@ -36,6 +36,9 @@
 //	          snapshots plus frozen-scan latency, every scan
 //	          equivalence-checked against the pre-snapshot dump
 //	          (BENCH_snap.json; excluded from "all")
+//	payload   slab value arena: insert payload sweep {8B,64B,256B,1KB}
+//	          on YCSB-A/C, ops/s + value bytes/s + fences/op
+//	          (BENCH_payload.json; excluded from "all")
 //
 // Absolute numbers will differ from the paper (its substrate was a
 // 4-socket Optane machine; ours is a simulator) — the comparisons,
@@ -43,6 +46,7 @@
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
@@ -71,12 +75,13 @@ type benchConfig struct {
 	shards     []int
 	benchJSON  string
 	serverAddr string
+	valueSize  int // bytes per insert value on UPSkipList runs; 0 = 8-byte words
 	cost       *pmem.CostModel
 }
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table5.1, fig5.1, fig5.2, fig5.3, fig5.4, fig5.5, fig5.6, table5.4, extE, shards, server, churn, churn-wire, hotpath, snap, all")
+		exp        = flag.String("exp", "all", "experiment: table5.1, fig5.1, fig5.2, fig5.3, fig5.4, fig5.5, fig5.6, table5.4, extE, shards, server, churn, churn-wire, hotpath, snap, payload, all")
 		preload    = flag.Uint64("preload", 20000, "preloaded key count (paper: 100M)")
 		ops        = flag.Int("ops", 10000, "operations per thread")
 		threadsCSV = flag.String("threads", "1,2,4,8,16", "thread counts for sweeps")
@@ -90,6 +95,7 @@ func main() {
 		shardsCSV  = flag.String("shards", "1,2,4,8", "shard counts for the sharding sweep")
 		benchJSON  = flag.String("bench-json", "", "machine-readable output path (default BENCH_shards.json / BENCH_server.json by experiment)")
 		serverAddr = flag.String("server-addr", "", "server experiment: drive an already running upsl-server at this address instead of an in-process one")
+		valueSize  = flag.Int("value-size", 0, "insert value size in bytes for UPSkipList runs (0 = 8-byte words; payload sweeps its own sizes)")
 		noCost     = flag.Bool("no-cost", false, "disable the PMEM access-cost model")
 	)
 	flag.Parse()
@@ -103,6 +109,8 @@ func main() {
 			*benchJSON = "BENCH_hotpath.json"
 		case "snap":
 			*benchJSON = "BENCH_snap.json"
+		case "payload":
+			*benchJSON = "BENCH_payload.json"
 		default:
 			*benchJSON = "BENCH_shards.json"
 		}
@@ -120,6 +128,7 @@ func main() {
 		trials:     *trials,
 		benchJSON:  *benchJSON,
 		serverAddr: *serverAddr,
+		valueSize:  *valueSize,
 	}
 	if !*noCost {
 		cfg.cost = pmem.DefaultCostModel()
@@ -155,13 +164,14 @@ func main() {
 		"churn-wire": runChurnWireExp,
 		"hotpath":    runHotPath,
 		"snap":       runSnapExp,
+		"payload":    runPayload,
 	}
 	// "server" is deliberately not in the "all" order: it opens loopback
 	// TCP sockets, which the pure in-process reproduction runs avoid
 	// ("churn-wire" additionally requires an external server).
-	// "churn", "hotpath" and "snap" are also separate: each writes its
-	// own BENCH_*.json, which an "all" run sharing one -bench-json path
-	// would clobber.
+	// "churn", "hotpath", "snap" and "payload" are also separate: each
+	// writes its own BENCH_*.json, which an "all" run sharing one
+	// -bench-json path would clobber.
 	order := []string{"table5.1", "fig5.1", "fig5.2", "fig5.3", "fig5.4", "fig5.5", "fig5.6", "table5.4", "extE", "shards"}
 	if *exp == "all" {
 		for _, name := range order {
@@ -183,6 +193,24 @@ func fatalf(format string, args ...any) {
 
 func header(title string) {
 	fmt.Printf("\n=== %s ===\n", title)
+}
+
+// leBytes is the canonical fixed-width value encoding of the u64
+// benchmarks: 8 little-endian bytes (what PutU64 stores).
+func leBytes(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+// leU64 decodes a leBytes value, zero-extending short reads.
+func leU64(b []byte) uint64 {
+	if len(b) >= 8 {
+		return binary.LittleEndian.Uint64(b)
+	}
+	var p [8]byte
+	copy(p[:], b)
+	return binary.LittleEndian.Uint64(p[:])
 }
 
 // ---------------------------------------------------------------------
@@ -207,6 +235,12 @@ func (c benchConfig) upslOptions(keysPerNode int, placement upskiplist.Placement
 		words = words/uint64(c.numaNodes) + (1 << 20)
 	}
 	o.PoolWords = words + (1 << 21)
+	if c.valueSize > 8 {
+		// Byte values live in slab pages carved from the same pools:
+		// reserve (value words + chunk header slack) per key, doubled for
+		// the retire-then-reuse churn of overwrites.
+		o.PoolWords += uint64(c.valueSize/8+2) * (c.preload + uint64(c.ops)*8) * 2
+	}
 	o.ChunkWords = 1 << 16
 	o.MaxChunks = o.PoolWords/o.ChunkWords + 16
 	return o
@@ -236,6 +270,9 @@ func (c benchConfig) newUPSL(keysPerNode int, placement upskiplist.Placement, la
 	u, err := harness.NewUPSL(c.upslOptions(keysPerNode, placement), label)
 	if err != nil {
 		fatalf("creating UPSkipList: %v", err)
+	}
+	if c.valueSize > 0 {
+		u.SetValueSize(c.valueSize)
 	}
 	return u
 }
@@ -539,6 +576,9 @@ func (c benchConfig) newShardedUPSL(shards int, label string) *harness.UPSL {
 	u, err := harness.NewUPSL(c.upslShardOptions(c.keysNode, placement, shards), label)
 	if err != nil {
 		fatalf("creating sharded UPSkipList: %v", err)
+	}
+	if c.valueSize > 0 {
+		u.SetValueSize(c.valueSize)
 	}
 	return u
 }

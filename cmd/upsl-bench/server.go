@@ -73,7 +73,7 @@ func runServerExp(c benchConfig) {
 		Total:   int(c.preload),
 		Next: func(_, i int) client.Op {
 			k := uint64(i + 1)
-			return client.Op{Kind: wire.OpPut, Key: k, Val: k*7 + 1}
+			return client.Op{Kind: wire.OpPut, Key: k, Val: leBytes(k*7 + 1)}
 		},
 	})
 	pc.Close()
@@ -107,7 +107,7 @@ func runServerExp(c benchConfig) {
 				if op.Type == ycsb.Read {
 					return client.Op{Kind: wire.OpGet, Key: op.Key}
 				}
-				return client.Op{Kind: wire.OpPut, Key: op.Key, Val: op.Value | 1}
+				return client.Op{Kind: wire.OpPut, Key: op.Key, Val: leBytes(op.Value | 1)}
 			},
 		})
 		var fencesPerOp float64
@@ -118,7 +118,7 @@ func runServerExp(c benchConfig) {
 		// acknowledgment check (acked writes must be visible).
 		verifier := clients[0]
 		for k := uint64(1); k <= 100 && k <= c.preload; k++ {
-			v, found, err := verifier.GetNoCtx(k)
+			v, found, err := verifier.GetU64NoCtx(k)
 			if err != nil {
 				fatalf("verify Get(%d): %v", k, err)
 			}

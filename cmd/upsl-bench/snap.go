@@ -55,8 +55,8 @@ type snapPair struct{ k, v uint64 }
 func snapScanOnce(sn *upskiplist.Snap, ref []snapPair) (int, error) {
 	i := 0
 	diverged := -1
-	err := sn.Scan(upskiplist.KeyMin, upskiplist.KeyMax, func(k, v uint64) bool {
-		if i >= len(ref) || ref[i] != (snapPair{k, v}) {
+	err := sn.Scan(upskiplist.KeyMin, upskiplist.KeyMax, func(k uint64, v []byte) bool {
+		if i >= len(ref) || ref[i] != (snapPair{k, leU64(v)}) {
 			diverged = i
 			return false
 		}
@@ -97,8 +97,8 @@ func runSnapExp(c benchConfig) {
 		// Quiesced reference state — what every frozen scan must return.
 		ref := make([]snapPair, 0, c.preload)
 		w := st.NewWorker(0)
-		w.Scan(upskiplist.KeyMin, upskiplist.KeyMax, func(k, v uint64) bool {
-			ref = append(ref, snapPair{k, v})
+		w.Scan(upskiplist.KeyMin, upskiplist.KeyMax, func(k uint64, v []byte) bool {
+			ref = append(ref, snapPair{k, leU64(v)})
 			return true
 		})
 

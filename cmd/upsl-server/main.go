@@ -38,6 +38,7 @@ import (
 	"upskiplist"
 	"upskiplist/internal/metrics"
 	"upskiplist/internal/server"
+	"upskiplist/internal/wire"
 )
 
 func main() {
@@ -50,6 +51,7 @@ func main() {
 		pipeline      = flag.Int("pipeline", 64, "per-connection pipeline depth limit")
 		batchMax      = flag.Int("batch-max", 64, "max ops per batcher group commit")
 		batchDelay    = flag.Duration("batch-delay", 0, "max wait for a batcher drain to fill (0 = greedy)")
+		maxValue      = flag.Int("max-value", wire.MaxValue, "max PUT value size in bytes (oversize requests get TOO_LARGE)")
 		statsInterval = flag.Duration("stats-interval", 10*time.Second, "periodic stats log interval (0 disables)")
 		metricsAddr   = flag.String("metrics-addr", "127.0.0.1:7846", "sidecar HTTP address for /metrics and /healthz (empty disables)")
 		onlineReclaim = flag.Bool("online-reclaim", false, "reclaim fully-tombstoned nodes in the background (epoch-based, concurrent with serving)")
@@ -97,6 +99,7 @@ func main() {
 		MaxConns:      *maxConns,
 		MaxPipeline:   *pipeline,
 		MaxBatch:      *batchMax,
+		MaxValue:      *maxValue,
 		MaxDelay:      *batchDelay,
 		Dir:           *dir,
 		SnapTTL:       *snapTTL,

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
@@ -38,7 +39,7 @@ func main() {
 	}
 	n := uint64(*put)
 	for k := uint64(1); k <= n; k++ {
-		if _, _, err := c.PutNoCtx(k, k*3); err != nil {
+		if _, _, err := c.PutU64NoCtx(k, k*3); err != nil {
 			fatalf("preload put %d: %v", k, err)
 		}
 	}
@@ -48,7 +49,7 @@ func main() {
 	}
 	// Rewrite the world after the cut; the lease must not see it.
 	for k := uint64(1); k <= n; k++ {
-		if _, _, err := c.PutNoCtx(k, 7); err != nil {
+		if _, _, err := c.PutU64NoCtx(k, 7); err != nil {
 			fatalf("post-snapshot put %d: %v", k, err)
 		}
 	}
@@ -61,9 +62,9 @@ func main() {
 		}
 		for _, p := range pairs {
 			want := got + 1
-			if p.Key != want || p.Value != want*3 {
+			if v := leU64(p.Value); p.Key != want || v != want*3 {
 				fatalf("frozen view diverged: pair %d = {%d %d}, want {%d %d}",
-					got, p.Key, p.Value, want, want*3)
+					got, p.Key, v, want, want*3)
 			}
 			got++
 		}
@@ -77,4 +78,15 @@ func main() {
 	}
 	fmt.Printf("upsl-snapleak: lease %d verified frozen over %d keys; abandoning it\n", sn.ID(), n)
 	// No Release, no Close: walk away and let the TTL janitor clean up.
+}
+
+// leU64 decodes an 8-byte little-endian value, zero-extending short
+// reads.
+func leU64(b []byte) uint64 {
+	if len(b) >= 8 {
+		return binary.LittleEndian.Uint64(b)
+	}
+	var p [8]byte
+	copy(p[:], b)
+	return binary.LittleEndian.Uint64(p[:])
 }

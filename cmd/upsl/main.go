@@ -56,7 +56,7 @@ func main() {
 	case "put":
 		need(args, 3)
 		k, v := parseU64(args[1]), parseU64(args[2])
-		old, existed, err := w.Insert(k, v)
+		old, existed, err := w.PutU64(k, v)
 		check(err)
 		if existed {
 			fmt.Printf("updated %d: %d -> %d\n", k, old, v)
@@ -67,7 +67,7 @@ func main() {
 	case "get":
 		need(args, 2)
 		k := parseU64(args[1])
-		if v, ok := w.Get(k); ok {
+		if v, ok := w.GetU64(k); ok {
 			fmt.Println(v)
 		} else {
 			fmt.Println("(not found)")
@@ -75,7 +75,7 @@ func main() {
 	case "del":
 		need(args, 2)
 		k := parseU64(args[1])
-		old, existed, err := w.Remove(k)
+		old, existed, err := w.RemoveU64(k)
 		check(err)
 		if existed {
 			fmt.Printf("removed %d (was %d)\n", k, old)
@@ -87,7 +87,7 @@ func main() {
 		need(args, 3)
 		lo, hi := parseU64(args[1]), parseU64(args[2])
 		n := 0
-		check(w.Scan(lo, hi, func(k, v uint64) bool {
+		check(w.ScanU64(lo, hi, func(k, v uint64) bool {
 			fmt.Printf("%d\t%d\n", k, v)
 			n++
 			return true

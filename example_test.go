@@ -13,11 +13,11 @@ func ExampleCreate() {
 		panic(err)
 	}
 	w := store.NewWorker(0)
-	w.Insert(42, 4200)
-	v, ok := w.Get(42)
+	w.PutU64(42, 4200)
+	v, ok := w.GetU64(42)
 	fmt.Println(v, ok)
-	w.Remove(42)
-	_, ok = w.Get(42)
+	w.RemoveU64(42)
+	_, ok = w.GetU64(42)
 	fmt.Println(ok)
 	// Output:
 	// 4200 true
@@ -30,13 +30,13 @@ func ExampleCreate() {
 func ExampleStore_Reopen() {
 	store, _ := upskiplist.Create(upskiplist.DefaultOptions())
 	w := store.NewWorker(0)
-	w.Insert(1, 100)
+	w.PutU64(1, 100)
 
 	recovered, err := store.Reopen() // crash boundary: epoch advances
 	if err != nil {
 		panic(err)
 	}
-	v, ok := recovered.NewWorker(0).Get(1)
+	v, ok := recovered.NewWorker(0).GetU64(1)
 	fmt.Println(v, ok)
 	// Output: 100 true
 }
@@ -46,9 +46,9 @@ func ExampleWorker_Scan() {
 	store, _ := upskiplist.Create(upskiplist.DefaultOptions())
 	w := store.NewWorker(0)
 	for k := uint64(1); k <= 5; k++ {
-		w.Insert(k*10, k)
+		w.PutU64(k*10, k)
 	}
-	w.Scan(20, 40, func(key, value uint64) bool {
+	w.ScanU64(20, 40, func(key, value uint64) bool {
 		fmt.Println(key, value)
 		return true
 	})
@@ -64,10 +64,10 @@ func ExampleStore_Compact() {
 	store, _ := upskiplist.Create(upskiplist.DefaultOptions())
 	w := store.NewWorker(0)
 	for k := uint64(1); k <= 100; k++ {
-		w.Insert(k, k)
+		w.PutU64(k, k)
 	}
 	for k := uint64(1); k <= 100; k++ {
-		w.Remove(k)
+		w.RemoveU64(k)
 	}
 	n, _ := store.Compact()
 	fmt.Println(n > 0, w.Count())
@@ -80,11 +80,11 @@ func ExampleWorker_Iterator() {
 	store, _ := upskiplist.Create(upskiplist.DefaultOptions())
 	w := store.NewWorker(0)
 	for k := uint64(1); k <= 4; k++ {
-		w.Insert(k*5, k)
+		w.PutU64(k*5, k)
 	}
 	it := w.Iterator()
 	for ok := it.Seek(10); ok; ok = it.Next() {
-		fmt.Println(it.Key(), it.Value())
+		fmt.Println(it.Key(), it.ValueU64())
 	}
 	// Output:
 	// 10 2

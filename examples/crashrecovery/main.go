@@ -25,7 +25,7 @@ func main() {
 	w := store.NewWorker(0)
 	const preload = 1000
 	for k := uint64(1); k <= preload; k++ {
-		if _, _, err := w.Insert(k, k); err != nil {
+		if _, _, err := w.PutU64(k, k); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -53,7 +53,7 @@ func main() {
 			worker := store.NewWorker(id)
 			for i := 0; ; i++ {
 				k := uint64(preload + id*100000 + i + 1)
-				if _, _, err := worker.Insert(k, k); err != nil {
+				if _, _, err := worker.PutU64(k, k); err != nil {
 					return
 				}
 				completed[id]++
@@ -84,7 +84,7 @@ func main() {
 
 	// All preloaded keys must have survived.
 	for k := uint64(1); k <= preload; k++ {
-		if v, ok := w2.Get(k); !ok || v != k {
+		if v, ok := w2.GetU64(k); !ok || v != k {
 			log.Fatalf("preloaded key %d damaged: %d %v", k, v, ok)
 		}
 	}
@@ -97,7 +97,7 @@ func main() {
 
 	// Keep operating; stale-epoch nodes get repaired on sight.
 	for k := uint64(1); k <= preload; k++ {
-		w2.Get(k)
+		w2.GetU64(k)
 	}
 	rec := store2.List().RecoveryStats()
 	fmt.Printf("lazy repairs while reading: %d nodes claimed, %d towers completed, %d splits finished\n",

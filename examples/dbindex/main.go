@@ -50,7 +50,7 @@ func main() {
 					amount: uint64(rng.Intn(90000) + 1000),
 					status: 0,
 				}
-				if _, _, err := w.Insert(o.id, encode(o)); err != nil {
+				if _, _, err := w.PutU64(o.id, encode(o)); err != nil {
 					log.Fatal(err)
 				}
 			}
@@ -61,21 +61,21 @@ func main() {
 	fmt.Printf("loaded %d orders\n", w.Count())
 
 	// Point lookup: order status check.
-	if v, ok := w.Get(4242); ok {
+	if v, ok := w.GetU64(4242); ok {
 		fmt.Printf("order 4242: amount=%d.%02d status=%d\n",
 			amount(v)/100, amount(v)%100, status(v))
 	}
 
 	// Ship a batch of orders (updates).
 	for id := uint64(100); id < 200; id++ {
-		if v, ok := w.Get(id); ok {
-			w.Insert(id, v&^uint64(0xff)|1) // status=shipped
+		if v, ok := w.GetU64(id); ok {
+			w.PutU64(id, v&^uint64(0xff)|1) // status=shipped
 		}
 	}
 
 	// Range scan: revenue report over an ID window (e.g. one shard).
 	var revenue, shipped, count uint64
-	w.Scan(100, 299, func(k, v uint64) bool {
+	w.ScanU64(100, 299, func(k, v uint64) bool {
 		revenue += amount(v)
 		if status(v) == 1 {
 			shipped++
@@ -87,7 +87,7 @@ func main() {
 		count, shipped, revenue/100, revenue%100)
 
 	// Cancel an order (delete from the index).
-	w.Remove(150)
+	w.RemoveU64(150)
 
 	// Mid-day crash: the index needs no rebuild — reattach and continue.
 	store2, err := store.Reopen()
@@ -95,15 +95,15 @@ func main() {
 		log.Fatal(err)
 	}
 	w2 := store2.NewWorker(0)
-	if _, ok := w2.Get(150); ok {
+	if _, ok := w2.GetU64(150); ok {
 		log.Fatal("cancelled order came back")
 	}
-	if v, ok := w2.Get(101); !ok || status(v) != 1 {
+	if v, ok := w2.GetU64(101); !ok || status(v) != 1 {
 		log.Fatal("shipped order lost its status")
 	}
 	fmt.Printf("after crash+reopen: %d orders still indexed, no rebuild needed\n", w2.Count())
 
 	// Business continues immediately.
-	w2.Insert(orders+1, encode(order{id: orders + 1, amount: 5000}))
+	w2.PutU64(orders+1, encode(order{id: orders + 1, amount: 5000}))
 	fmt.Println("new order accepted post-recovery")
 }

@@ -35,7 +35,7 @@ func runLayout(placement upskiplist.Placement) {
 	// Preload.
 	w := store.NewWorker(0)
 	for k := uint64(1); k <= keys; k++ {
-		if _, _, err := w.Insert(k, k); err != nil {
+		if _, _, err := w.PutU64(k, k); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -51,9 +51,9 @@ func runLayout(placement upskiplist.Placement) {
 			for i := 0; i < opsEach; i++ {
 				k := uint64((id*2654435761+i*40503)%keys) + 1
 				if i%2 == 0 {
-					worker.Get(k)
+					worker.GetU64(k)
 				} else {
-					worker.Insert(k, uint64(i))
+					worker.PutU64(k, uint64(i))
 				}
 			}
 		}(id)

@@ -26,26 +26,26 @@ func main() {
 	// Insert is an upsert: it reports the previous value if the key
 	// already existed.
 	for key := uint64(1); key <= 10; key++ {
-		if _, _, err := w.Insert(key, key*100); err != nil {
+		if _, _, err := w.PutU64(key, key*100); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if old, existed, _ := w.Insert(7, 777); existed {
+	if old, existed, _ := w.PutU64(7, 777); existed {
 		fmt.Printf("updated key 7: %d -> 777\n", old)
 	}
 
-	if v, ok := w.Get(7); ok {
+	if v, ok := w.GetU64(7); ok {
 		fmt.Printf("get 7 = %d\n", v)
 	}
 
 	// Remove tombstones the value (§4.6 of the paper).
-	if old, existed, _ := w.Remove(3); existed {
+	if old, existed, _ := w.RemoveU64(3); existed {
 		fmt.Printf("removed key 3 (was %d)\n", old)
 	}
 
 	// Range scan over the bottom level.
 	fmt.Print("scan [1,10]:")
-	w.Scan(1, 10, func(k, v uint64) bool {
+	w.ScanU64(1, 10, func(k, v uint64) bool {
 		fmt.Printf(" %d=%d", k, v)
 		return true
 	})
@@ -60,6 +60,6 @@ func main() {
 	w2 := store2.NewWorker(0)
 	fmt.Printf("after reopen (epoch %d): %d live keys, get 7 = ",
 		store2.Epoch(), w2.Count())
-	v, _ := w2.Get(7)
+	v, _ := w2.GetU64(7)
 	fmt.Println(v)
 }

@@ -43,21 +43,21 @@ func runMirrored(t *testing.T, wa, wb *Worker, rng *rand.Rand, ops, keyspace int
 		switch rng.Intn(5) {
 		case 0, 1:
 			v := uint64(rng.Intn(1 << 30))
-			oldA, exA, errA := wa.Insert(k, v)
-			oldB, exB, errB := wb.Insert(k, v)
+			oldA, exA, errA := wa.PutU64(k, v)
+			oldB, exB, errB := wb.PutU64(k, v)
 			if oldA != oldB || exA != exB || (errA == nil) != (errB == nil) {
 				t.Fatalf("op %d: Insert(%d,%d) diverged: (%d,%v,%v) vs (%d,%v,%v)",
 					i, k, v, oldA, exA, errA, oldB, exB, errB)
 			}
 		case 2:
-			vA, okA := wa.Get(k)
-			vB, okB := wb.Get(k)
+			vA, okA := wa.GetU64(k)
+			vB, okB := wb.GetU64(k)
 			if vA != vB || okA != okB {
 				t.Fatalf("op %d: Get(%d) diverged: (%d,%v) vs (%d,%v)", i, k, vA, okA, vB, okB)
 			}
 		case 3:
-			oldA, exA, errA := wa.Remove(k)
-			oldB, exB, errB := wb.Remove(k)
+			oldA, exA, errA := wa.RemoveU64(k)
+			oldB, exB, errB := wb.RemoveU64(k)
 			if oldA != oldB || exA != exB || (errA == nil) != (errB == nil) {
 				t.Fatalf("op %d: Remove(%d) diverged: (%d,%v,%v) vs (%d,%v,%v)",
 					i, k, oldA, exA, errA, oldB, exB, errB)
@@ -66,8 +66,8 @@ func runMirrored(t *testing.T, wa, wb *Worker, rng *rand.Rand, ops, keyspace int
 			lo := k
 			hi := lo + uint64(rng.Intn(32))
 			var sa, sb []uint64
-			wa.Scan(lo, hi, func(key, val uint64) bool { sa = append(sa, key, val); return true })
-			wb.Scan(lo, hi, func(key, val uint64) bool { sb = append(sb, key, val); return true })
+			wa.ScanU64(lo, hi, func(key, val uint64) bool { sa = append(sa, key, val); return true })
+			wb.ScanU64(lo, hi, func(key, val uint64) bool { sb = append(sb, key, val); return true })
 			if fmt.Sprint(sa) != fmt.Sprint(sb) {
 				t.Fatalf("op %d: Scan(%d,%d) diverged:\n%v\nvs\n%v", i, lo, hi, sa, sb)
 			}
@@ -82,8 +82,8 @@ func compareState(t *testing.T, wa, wb *Worker) {
 		t.Fatalf("Count diverged: %d vs %d", ca, cb)
 	}
 	var sa, sb []uint64
-	wa.Scan(KeyMin, KeyMax, func(k, v uint64) bool { sa = append(sa, k, v); return true })
-	wb.Scan(KeyMin, KeyMax, func(k, v uint64) bool { sb = append(sb, k, v); return true })
+	wa.ScanU64(KeyMin, KeyMax, func(k, v uint64) bool { sa = append(sa, k, v); return true })
+	wb.ScanU64(KeyMin, KeyMax, func(k, v uint64) bool { sb = append(sb, k, v); return true })
 	if fmt.Sprint(sa) != fmt.Sprint(sb) {
 		t.Fatal("full Scan diverged between hinted and unhinted stores")
 	}
@@ -159,11 +159,11 @@ func TestHintEquivalenceConcurrent(t *testing.T) {
 					k := base + uint64(rng.Intn(perRange))
 					switch rng.Intn(3) {
 					case 0:
-						wk.Insert(k, uint64(rng.Intn(1<<30)))
+						wk.PutU64(k, uint64(rng.Intn(1<<30)))
 					case 1:
-						wk.Get(k)
+						wk.GetU64(k)
 					case 2:
-						wk.Remove(k)
+						wk.RemoveU64(k)
 					}
 				}
 			}(st, w)

@@ -106,7 +106,7 @@ func TestForesightBatchPrefetch(t *testing.T) {
 			k := uint64(rng.Intn(keyspace)) + 1
 			switch rng.Intn(3) {
 			case 0:
-				ops[i] = Op{Kind: OpInsert, Key: k, Value: uint64(rng.Intn(1 << 20))}
+				ops[i] = Op{Kind: OpInsert, Key: k, Value: u64v(uint64(rng.Intn(1 << 20)))}
 			case 1:
 				ops[i] = Op{Kind: OpGet, Key: k}
 			default:
@@ -117,7 +117,8 @@ func TestForesightBatchPrefetch(t *testing.T) {
 		ra := wa.ApplyBatch(ops)
 		rb := wb.ApplyBatch(mirror)
 		for i := range ra {
-			if ra[i] != rb[i] {
+			if leU64(ra[i].Value) != leU64(rb[i].Value) || ra[i].Found != rb[i].Found ||
+				(ra[i].Err == nil) != (rb[i].Err == nil) {
 				t.Fatalf("round %d op %d: batch results diverged: %+v vs %+v", round, i, ra[i], rb[i])
 			}
 		}

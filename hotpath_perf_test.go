@@ -76,7 +76,7 @@ func runYCSBC(t *testing.T, st *Store, wl ycsb.Workload, n uint64, opsPerWorker 
 	const workers = 8
 	w0 := st.NewWorker(0)
 	for k := uint64(1); k <= n; k++ {
-		if _, _, err := w0.Insert(k, k*7+1); err != nil {
+		if _, _, err := w0.PutU64(k, k*7+1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -93,7 +93,7 @@ func runYCSBC(t *testing.T, st *Store, wl ycsb.Workload, n uint64, opsPerWorker 
 			defer wg.Done()
 			w := st.NewWorker(i)
 			for _, op := range streams[i] {
-				w.Get(op.Key)
+				w.GetU64(op.Key)
 			}
 		}(i)
 	}

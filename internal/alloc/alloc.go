@@ -83,6 +83,12 @@ const (
 	hdrRootWords  = 8
 	// EpochOff is the pool word holding the failure-free epoch clock.
 	EpochOff = 9
+	// hdrSlabDir caches a riv.Ptr to the slab arena's directory block
+	// (internal/slab). The word sits in the header area that version 1
+	// always reserved (two cache lines, words 10–15 unused), so pools
+	// formatted before slabs existed read 0 here — "no directory yet" —
+	// and the format version does not change.
+	hdrSlabDir = 10
 
 	hdrLines = 2 // header occupies two cache lines (16 words)
 )
@@ -124,6 +130,12 @@ const (
 	// DRAM state) and are swept by VersionBlocks or reclaimed through the
 	// allocation log like any other lost block.
 	KindVersion = 3
+	// KindSlab marks a block carved into variable-size value chunks by the
+	// slab arena (internal/slab), or the arena's directory block. Slab
+	// pages are owned by the directory's per-class page lists, never by the
+	// structure's nodes, so the allocation-log reachability walk does not
+	// apply to them: recovery defers to the SlabCheck callback instead.
+	KindSlab = 4
 )
 
 // Log entry word layout (one cache line per thread ID).
@@ -389,6 +401,12 @@ func (pa *PoolAllocator) currentEpochWord() uint64 {
 // Installed by the client; see Function 3 lines 15–22 of the paper.
 type ReachabilityCheck func(ctx *exec.Ctx, pred riv.Ptr, key uint64, block riv.Ptr) bool
 
+// SlabCheck reports whether a KindSlab block named by a stale log entry
+// is owned by the slab arena (linked into its directory or page lists).
+// A block that is not owned leaked between allocation and page linking
+// and is freed. Installed by the slab arena.
+type SlabCheck func(block riv.Ptr) bool
+
 // Allocator is the multi-pool facade combining per-pool allocators with
 // the shared riv address space and the epoch clock.
 type Allocator struct {
@@ -397,6 +415,7 @@ type Allocator struct {
 	pools      map[uint16]*PoolAllocator
 	nodePool   map[int]uint16 // NUMA node -> pool ID for allocation
 	reachCheck ReachabilityCheck
+	slabCheck  SlabCheck
 }
 
 // New creates an allocator over the given address space and clock.
@@ -437,6 +456,30 @@ func (a *Allocator) AttachPool(pa *PoolAllocator, node int) {
 // SetReachabilityCheck installs the client callback used by deferred
 // allocation recovery.
 func (a *Allocator) SetReachabilityCheck(f ReachabilityCheck) { a.reachCheck = f }
+
+// SetSlabCheck installs the slab arena's ownership callback used when a
+// stale allocation log names a KindSlab block (see recoverLoggedAlloc).
+func (a *Allocator) SetSlabCheck(f SlabCheck) { a.slabCheck = f }
+
+// SlabDir returns the slab directory pointer cached in pool 0's header
+// (Null when no slab arena has ever been created in this store).
+func (a *Allocator) SlabDir() riv.Ptr {
+	pa := a.PoolByID(0)
+	if pa == nil {
+		return riv.Null
+	}
+	return riv.FromWord(pa.pool.Load(hdrSlabDir, nil))
+}
+
+// SetSlabDir persists the slab directory pointer into pool 0's header.
+func (a *Allocator) SetSlabDir(p riv.Ptr) {
+	pa := a.PoolByID(0)
+	if pa == nil {
+		panic("alloc: SetSlabDir without pool 0")
+	}
+	pa.pool.Store(hdrSlabDir, p.Word(), nil)
+	pa.pool.Persist(hdrSlabDir, 1, nil)
+}
 
 // Space returns the shared address space.
 func (a *Allocator) Space() *riv.Space { return a.space }
@@ -583,6 +626,17 @@ func (a *Allocator) recoverLoggedAlloc(ctx *exec.Ctx, block, pred riv.Ptr, key u
 		a.Free(ctx, block)
 		return
 	}
+	if kind == KindSlab {
+		// The log named this block before it became a slab page (block
+		// reuse) or while the arena was still linking it. The node-oriented
+		// reachability walk below cannot judge it; the arena's ownership
+		// check can — a page on the directory's lists is live no matter
+		// what the log says, anything else leaked mid-link.
+		if a.slabCheck == nil || !a.slabCheck(block) {
+			a.Free(ctx, block)
+		}
+		return
+	}
 	if a.reachCheck != nil && a.reachCheck(ctx, pred, key, block) {
 		return // insertion had committed; node is live
 	}
@@ -599,7 +653,7 @@ func (a *Allocator) Free(ctx *exec.Ctx, obj riv.Ptr) {
 	}
 	arena := ctx.ThreadID % pa.cfg.NumArenas
 	oPool, oOff := a.resolve(obj)
-	if k := oPool.Load(oOff+BlockKind, ctx.Mem); k == KindNode || k == KindRetired || k == KindVersion {
+	if k := oPool.Load(oOff+BlockKind, ctx.Mem); k == KindNode || k == KindRetired || k == KindVersion || k == KindSlab {
 		a.convertToBlock(ctx, oPool, oOff)
 	} else {
 		// Already a free block: if it is visibly linked (it is some
@@ -744,6 +798,28 @@ func (a *Allocator) VersionBlocks() []riv.Ptr {
 	return out
 }
 
+// SlabBlocks scans every provisioned chunk for blocks stamped KindSlab
+// and returns their pointers. The slab arena's startup sweep uses it to
+// find pages that leaked between allocation and page-list linking; like
+// the other kind scans it only reads kind words.
+func (a *Allocator) SlabBlocks() []riv.Ptr {
+	var out []riv.Ptr
+	for _, pa := range a.pools {
+		nChunks := pa.pool.Load(hdrChunkCount, nil)
+		for c := uint64(0); c < nChunks; c++ {
+			base := pa.chunkSpace + c*pa.cfg.ChunkWords
+			nBlocks := pa.cfg.ChunkWords / pa.cfg.BlockWords
+			for b := uint64(0); b < nBlocks; b++ {
+				off := base + b*pa.cfg.BlockWords
+				if pa.pool.Load(off+BlockKind, nil) == KindSlab {
+					out = append(out, riv.Make(pa.pool.ID(), uint16(c), uint32(b*pa.cfg.BlockWords)))
+				}
+			}
+		}
+	}
+	return out
+}
+
 // BlockCensus counts every provisioned block by kind. Node+Retired is
 // the store's allocated footprint; a churn workload with reclamation
 // should hold it near the live set while one without grows it without
@@ -751,7 +827,7 @@ func (a *Allocator) VersionBlocks() []riv.Ptr {
 // approximate (off by the handful of blocks in transition) — exactly
 // good enough for capacity accounting.
 type BlockCensus struct {
-	Free, Node, Retired, Version, Total int
+	Free, Node, Retired, Version, Slab, Total int
 }
 
 // Census scans all provisioned chunks and tallies block kinds.
@@ -772,6 +848,8 @@ func (a *Allocator) Census() BlockCensus {
 					c.Retired++
 				case KindVersion:
 					c.Version++
+				case KindSlab:
+					c.Slab++
 				}
 				c.Total++
 			}

@@ -21,6 +21,7 @@ package client
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -188,33 +189,69 @@ func (c *Client) abandon(call *Call) {
 	c.mu.Unlock()
 }
 
-// Get reads key, reporting its value and whether it exists.
-func (c *Client) Get(ctx context.Context, key uint64) (uint64, bool, error) {
+// Get reads key, reporting its value and whether it exists. The
+// returned slice is the caller's to keep (a private decode copy).
+func (c *Client) Get(ctx context.Context, key uint64) ([]byte, bool, error) {
 	r, err := c.call(ctx, &wire.Request{Op: wire.OpGet, Key: key})
 	if err != nil {
-		return 0, false, err
+		return nil, false, err
 	}
 	return r.Value, r.Found, nil
 }
 
 // Put upserts key=val, reporting the previous value and whether the key
-// existed.
-func (c *Client) Put(ctx context.Context, key, val uint64) (uint64, bool, error) {
+// existed. val longer than the server's -max-value (wire.MaxValue at
+// most) fails with wire.ErrTooLarge. val is not retained past the call.
+func (c *Client) Put(ctx context.Context, key uint64, val []byte) ([]byte, bool, error) {
 	r, err := c.call(ctx, &wire.Request{Op: wire.OpPut, Key: key, Val: val})
 	if err != nil {
-		return 0, false, err
+		return nil, false, err
 	}
 	return r.Value, r.Found, nil
 }
 
 // Del removes key, reporting the removed value and whether the key was
 // present.
-func (c *Client) Del(ctx context.Context, key uint64) (uint64, bool, error) {
+func (c *Client) Del(ctx context.Context, key uint64) ([]byte, bool, error) {
 	r, err := c.call(ctx, &wire.Request{Op: wire.OpDel, Key: key})
 	if err != nil {
-		return 0, false, err
+		return nil, false, err
 	}
 	return r.Value, r.Found, nil
+}
+
+// GetU64 is Get for fixed 8-byte little-endian values (the PutU64
+// representation). Shorter stored values read back zero-extended.
+func (c *Client) GetU64(ctx context.Context, key uint64) (uint64, bool, error) {
+	v, found, err := c.Get(ctx, key)
+	return leU64(v), found, err
+}
+
+// PutU64 upserts key to the 8-byte little-endian encoding of val — the
+// compatibility shim for pre-bytes callers and for v1/v2 images whose
+// values were raw words.
+func (c *Client) PutU64(ctx context.Context, key, val uint64) (uint64, bool, error) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], val)
+	old, found, err := c.Put(ctx, key, b[:])
+	return leU64(old), found, err
+}
+
+// DelU64 is Del decoding the removed value as 8-byte little-endian.
+func (c *Client) DelU64(ctx context.Context, key uint64) (uint64, bool, error) {
+	v, found, err := c.Del(ctx, key)
+	return leU64(v), found, err
+}
+
+// leU64 decodes up to 8 little-endian bytes, zero-extending short
+// values and ignoring bytes past the eighth.
+func leU64(b []byte) uint64 {
+	if len(b) >= 8 {
+		return binary.LittleEndian.Uint64(b)
+	}
+	var p [8]byte
+	copy(p[:], b)
+	return binary.LittleEndian.Uint64(p[:])
 }
 
 // Scan returns up to limit pairs with keys in [lo, hi] (inclusive, like
@@ -287,8 +324,8 @@ func (s *Snapshot) Scan(ctx context.Context, lo, hi uint64, limit int) ([]wire.P
 
 // ScanAll streams every frozen pair in [lo, hi] to fn in ascending key
 // order, paging with maximum-size requests until the range is exhausted
-// or fn returns false.
-func (s *Snapshot) ScanAll(ctx context.Context, lo, hi uint64, fn func(key, value uint64) bool) error {
+// or fn returns false. Value slices are private copies fn may keep.
+func (s *Snapshot) ScanAll(ctx context.Context, lo, hi uint64, fn func(key uint64, value []byte) bool) error {
 	for {
 		page, err := s.Scan(ctx, lo, hi, wire.MaxScanLimit)
 		if err != nil {
@@ -331,18 +368,33 @@ func (s *Snapshot) ReleaseNoCtx() (bool, error) {
 // exactly its namesake with context.Background().
 
 // GetNoCtx is Get with context.Background().
-func (c *Client) GetNoCtx(key uint64) (uint64, bool, error) {
+func (c *Client) GetNoCtx(key uint64) ([]byte, bool, error) {
 	return c.Get(context.Background(), key)
 }
 
 // PutNoCtx is Put with context.Background().
-func (c *Client) PutNoCtx(key, val uint64) (uint64, bool, error) {
+func (c *Client) PutNoCtx(key uint64, val []byte) ([]byte, bool, error) {
 	return c.Put(context.Background(), key, val)
 }
 
 // DelNoCtx is Del with context.Background().
-func (c *Client) DelNoCtx(key uint64) (uint64, bool, error) {
+func (c *Client) DelNoCtx(key uint64) ([]byte, bool, error) {
 	return c.Del(context.Background(), key)
+}
+
+// GetU64NoCtx is GetU64 with context.Background().
+func (c *Client) GetU64NoCtx(key uint64) (uint64, bool, error) {
+	return c.GetU64(context.Background(), key)
+}
+
+// PutU64NoCtx is PutU64 with context.Background().
+func (c *Client) PutU64NoCtx(key, val uint64) (uint64, bool, error) {
+	return c.PutU64(context.Background(), key, val)
+}
+
+// DelU64NoCtx is DelU64 with context.Background().
+func (c *Client) DelU64NoCtx(key uint64) (uint64, bool, error) {
+	return c.DelU64(context.Background(), key)
 }
 
 // ScanNoCtx is Scan with context.Background().

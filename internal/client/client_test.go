@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"net"
 	"strings"
@@ -46,11 +47,11 @@ func TestClientCloseFailsPending(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.PutNoCtx(1, 10); err != nil {
+	if _, _, err := c.PutU64NoCtx(1, 10); err != nil {
 		t.Fatal(err)
 	}
 	c.Close()
-	if _, _, err := c.GetNoCtx(1); err != ErrClosed {
+	if _, _, err := c.GetU64NoCtx(1); err != ErrClosed {
 		t.Fatalf("Get after Close = %v, want ErrClosed", err)
 	}
 	// Close again is a no-op.
@@ -71,7 +72,7 @@ func TestClientSharedDoneChannel(t *testing.T) {
 	const n = 100
 	done := make(chan *Call, n)
 	for i := 1; i <= n; i++ {
-		c.Go(&wire.Request{Op: wire.OpPut, Key: uint64(i), Val: uint64(i) * 3}, done)
+		c.Go(&wire.Request{Op: wire.OpPut, Key: uint64(i), Val: leBytes(uint64(i) * 3)}, done)
 	}
 	seen := map[uint64]bool{}
 	for i := 0; i < n; i++ {
@@ -91,7 +92,7 @@ func TestClientSharedDoneChannel(t *testing.T) {
 		seen[call.Req.ID] = true
 	}
 	for i := 1; i <= n; i++ {
-		v, found, err := c.GetNoCtx(uint64(i))
+		v, found, err := c.GetU64NoCtx(uint64(i))
 		if err != nil || !found || v != uint64(i)*3 {
 			t.Fatalf("Get(%d) = (%d, %v, %v), want (%d, true, nil)", i, v, found, err, i*3)
 		}
@@ -121,7 +122,7 @@ func TestClientServerShutdownFailsCleanly(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, _, err := c.PutNoCtx(5, 50); err != nil {
+	if _, _, err := c.PutU64NoCtx(5, 50); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Shutdown(); err != nil {
@@ -129,7 +130,7 @@ func TestClientServerShutdownFailsCleanly(t *testing.T) {
 	}
 	// The connection is gone; calls fail with a transport error rather
 	// than hanging.
-	if _, _, err := c.GetNoCtx(5); err == nil {
+	if _, _, err := c.GetU64NoCtx(5); err == nil {
 		t.Fatal("Get succeeded after server shutdown")
 	}
 }
@@ -153,7 +154,7 @@ func TestLoadgenClosedLoop(t *testing.T) {
 		Total:   total,
 		Next: func(conn, i int) Op {
 			k := uint64(1 + conn*total + i)
-			return Op{Kind: wire.OpPut, Key: k, Val: k + 7}
+			return Op{Kind: wire.OpPut, Key: k, Val: leBytes(k + 7)}
 		},
 		OnResult: func(conn int, call *Call) { completions.Add(1) },
 	})
@@ -204,12 +205,12 @@ func TestClientContextStalledServer(t *testing.T) {
 		name string
 		do   func(ctx context.Context) error
 	}{
-		{"Get", func(ctx context.Context) error { _, _, err := c.Get(ctx, 1); return err }},
-		{"Put", func(ctx context.Context) error { _, _, err := c.Put(ctx, 1, 2); return err }},
-		{"Del", func(ctx context.Context) error { _, _, err := c.Del(ctx, 1); return err }},
+		{"Get", func(ctx context.Context) error { _, _, err := c.GetU64(ctx, 1); return err }},
+		{"Put", func(ctx context.Context) error { _, _, err := c.PutU64(ctx, 1, 2); return err }},
+		{"Del", func(ctx context.Context) error { _, _, err := c.DelU64(ctx, 1); return err }},
 		{"Scan", func(ctx context.Context) error { _, err := c.Scan(ctx, 1, 9, 4); return err }},
 		{"Batch", func(ctx context.Context) error {
-			_, err := c.Batch(ctx, []wire.BatchOp{{Kind: wire.OpPut, Key: 1, Value: 2}})
+			_, err := c.Batch(ctx, []wire.BatchOp{{Kind: wire.OpPut, Key: 1, Value: []byte{2}}})
 			return err
 		}},
 	}
@@ -229,7 +230,7 @@ func TestClientContextStalledServer(t *testing.T) {
 	// Explicit cancellation releases a waiting caller too.
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { _, _, err := c.Get(ctx, 1); done <- err }()
+	go func() { _, _, err := c.GetU64(ctx, 1); done <- err }()
 	cancel()
 	select {
 	case err := <-done:
@@ -278,7 +279,7 @@ func TestClientTypedErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c1.Close()
-	if _, _, err := c1.PutNoCtx(1, 1); err != nil {
+	if _, _, err := c1.PutU64NoCtx(1, 1); err != nil {
 		t.Fatal(err)
 	}
 	c2, err := Dial(ln.Addr().String())
@@ -286,11 +287,11 @@ func TestClientTypedErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	if _, _, err := c2.GetNoCtx(1); !errors.Is(err, wire.ErrBusy) {
+	if _, _, err := c2.GetU64NoCtx(1); !errors.Is(err, wire.ErrBusy) {
 		t.Fatalf("conn-limited Get = %v, want wire.ErrBusy", err)
 	}
 	// Out-of-range keys are operation errors, not sentinel statuses.
-	if _, _, err := c1.PutNoCtx(0, 1); err == nil || errors.Is(err, wire.ErrBusy) ||
+	if _, _, err := c1.PutU64NoCtx(0, 1); err == nil || errors.Is(err, wire.ErrBusy) ||
 		errors.Is(err, wire.ErrMalformed) {
 		t.Fatalf("out-of-range Put = %v, want a plain operation error", err)
 	}
@@ -308,11 +309,11 @@ func TestClientRTTMetrics(t *testing.T) {
 	reg := metrics.NewRegistry()
 	c.EnableMetrics(reg)
 	for i := uint64(1); i <= 10; i++ {
-		if _, _, err := c.PutNoCtx(i, i); err != nil {
+		if _, _, err := c.PutU64NoCtx(i, i); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := c.GetNoCtx(3); err != nil {
+	if _, _, err := c.GetU64NoCtx(3); err != nil {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
@@ -327,4 +328,11 @@ func TestClientRTTMetrics(t *testing.T) {
 			t.Errorf("exposition missing %q:\n%s", want, sb.String())
 		}
 	}
+}
+
+// leBytes is the 8-byte little-endian encoding PutU64 sends.
+func leBytes(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
 }

@@ -13,11 +13,13 @@ func newBufReader(r io.Reader) *bufio.Reader { return bufio.NewReaderSize(r, 64<
 
 func newBufWriter(w io.Writer) *bufio.Writer { return bufio.NewWriterSize(w, 64<<10) }
 
-// Op is one generated operation of a load-generator stream.
+// Op is one generated operation of a load-generator stream. Val (PUT
+// only) is encoded at issue time; generators may reuse the backing
+// array between calls on the same connection.
 type Op struct {
 	Kind wire.Opcode // OpGet, OpPut or OpDel
 	Key  uint64
-	Val  uint64
+	Val  []byte
 }
 
 // LoadConfig drives Run: a closed-loop workload over a set of pipelined

@@ -127,7 +127,7 @@ func RunTrial(cfg TrialConfig) (*TrialResult, error) {
 	for k := uint64(1); k <= cfg.Preload; k++ {
 		start := h.Now()
 		v := uint64(start)
-		old, existed, err := w0.Insert(k, v)
+		old, existed, err := w0.PutU64(k, v)
 		if err != nil {
 			return nil, err
 		}
@@ -244,7 +244,7 @@ func runWorker(st *upskiplist.Store, h *lincheck.History, cfg TrialConfig, id in
 				}
 			}()
 			if read {
-				v, ok := w.Get(key)
+				v, ok := w.GetU64(key)
 				obs := lincheck.Absent
 				if ok {
 					obs = v
@@ -254,7 +254,7 @@ func runWorker(st *upskiplist.Store, h *lincheck.History, cfg TrialConfig, id in
 					Observed: obs, Start: start, End: h.Now(),
 				})
 			} else {
-				old, existed, err := w.Insert(key, value)
+				old, existed, err := w.PutU64(key, value)
 				if err != nil {
 					panic(fmt.Sprintf("crash trial insert error: %v", err))
 				}
@@ -278,7 +278,7 @@ func runWorker(st *upskiplist.Store, h *lincheck.History, cfg TrialConfig, id in
 func doInsert(h *lincheck.History, w *upskiplist.Worker, id int, key uint64) {
 	start := h.Now()
 	value := uint64(start)
-	old, existed, err := w.Insert(key, value)
+	old, existed, err := w.PutU64(key, value)
 	if err != nil {
 		panic(fmt.Sprintf("post-crash insert error: %v", err))
 	}
@@ -294,7 +294,7 @@ func doInsert(h *lincheck.History, w *upskiplist.Worker, id int, key uint64) {
 
 func doRead(h *lincheck.History, w *upskiplist.Worker, id int, key uint64) {
 	start := h.Now()
-	v, ok := w.Get(key)
+	v, ok := w.GetU64(key)
 	obs := lincheck.Absent
 	if ok {
 		obs = v

@@ -76,7 +76,7 @@ func RunDurableTrial(cfg TrialConfig) (*TrialResult, error) {
 		if err := logBegin(preID, seq, uint64(lincheck.KindWrite), k, v, start); err != nil {
 			return nil, err
 		}
-		old, existed, err := w0.Insert(k, v)
+		old, existed, err := w0.PutU64(k, v)
 		if err != nil {
 			return nil, err
 		}
@@ -131,12 +131,12 @@ func RunDurableTrial(cfg TrialConfig) (*TrialResult, error) {
 					}()
 					var obs, okf uint64
 					if read {
-						v, ok := w.Get(key)
+						v, ok := w.GetU64(key)
 						if ok {
 							obs, okf = v, 1
 						}
 					} else {
-						old, existed, err := w.Insert(key, value)
+						old, existed, err := w.PutU64(key, value)
 						if err != nil {
 							panic(fmt.Sprintf("durable trial insert: %v", err))
 						}
@@ -219,12 +219,12 @@ func RunDurableTrial(cfg TrialConfig) (*TrialResult, error) {
 				}
 				var obs, okf uint64
 				if read {
-					v, ok := w.Get(key)
+					v, ok := w.GetU64(key)
 					if ok {
 						obs, okf = v, 1
 					}
 				} else {
-					old, existed, err := w.Insert(key, value)
+					old, existed, err := w.PutU64(key, value)
 					if err != nil {
 						panic(fmt.Sprintf("durable post insert: %v", err))
 					}

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"encoding/binary"
 	"fmt"
 	"runtime"
 	"sync"
@@ -61,7 +62,15 @@ type Index interface {
 type UPSL struct {
 	store *upskiplist.Store
 	label string
+	// valueSize > 8 makes every insert carry a payload of that many
+	// bytes (first 8 = the generated value, rest a fixed pattern) — the
+	// payload experiment's knob. 0 or 8 keeps fixed 8-byte values.
+	valueSize int
 }
+
+// SetValueSize configures the byte size of inserted values (payload
+// experiment). Must be set before handles are created.
+func (u *UPSL) SetValueSize(n int) { u.valueSize = n }
 
 // NewUPSL creates a store for benchmarking.
 func NewUPSL(opts upskiplist.Options, label string) (*UPSL, error) {
@@ -100,27 +109,44 @@ func (u *UPSL) PoolStats() pmem.StatsSnapshot {
 
 type upslHandle struct {
 	w *upskiplist.Worker
-	// batch/results are reusable buffers for ApplyBatch replays.
+	// vsz/vbuf carry the configured insert payload: the generated uint64
+	// lands in the first 8 bytes, the remainder is a fixed pattern laid
+	// down once at handle creation.
+	vsz  int
+	vbuf []byte
+	// batch/results/bvals are reusable buffers for ApplyBatch replays;
+	// bvals is the flat per-op payload arena (every op needs its bytes
+	// live at once).
 	batch   []upskiplist.Op
 	results []upskiplist.OpResult
+	bvals   []byte
 }
 
 // NewHandle implements Index.
 func (u *UPSL) NewHandle(threadID int) Handle {
-	return &upslHandle{w: u.store.NewWorker(threadID)}
+	vsz := u.valueSize
+	if vsz < 8 {
+		vsz = 8
+	}
+	h := &upslHandle{w: u.store.NewWorker(threadID), vsz: vsz, vbuf: make([]byte, vsz)}
+	for i := 8; i < vsz; i++ {
+		h.vbuf[i] = byte(i)
+	}
+	return h
 }
 
 func (h *upslHandle) Insert(key, value uint64) error {
-	_, _, err := h.w.Insert(key, value)
+	binary.LittleEndian.PutUint64(h.vbuf[:8], value)
+	_, _, err := h.w.Put(key, h.vbuf)
 	return err
 }
 
-func (h *upslHandle) Read(key uint64) (uint64, bool) { return h.w.Get(key) }
+func (h *upslHandle) Read(key uint64) (uint64, bool) { return h.w.GetU64(key) }
 
 // Scan implements Scanner via the bottom-level range query.
 func (h *upslHandle) Scan(start uint64, n int) int {
 	seen := 0
-	h.w.Scan(start, ^uint64(0)-1, func(k, v uint64) bool {
+	h.w.Scan(start, ^uint64(0)-1, func(k uint64, v []byte) bool {
 		seen++
 		return seen < n
 	})
@@ -133,13 +159,20 @@ func (h *upslHandle) Scan(start uint64, n int) int {
 // not batchable and must be routed by the caller through Scanner.
 func (h *upslHandle) ApplyBatch(ops []ycsb.Op) error {
 	h.batch = h.batch[:0]
+	if need := len(ops) * h.vsz; cap(h.bvals) < need {
+		h.bvals = make([]byte, need)
+	}
+	bvals := h.bvals[:0]
 	for _, op := range ops {
 		switch op.Type {
 		case ycsb.Read:
 			h.batch = append(h.batch, upskiplist.Op{Kind: upskiplist.OpGet, Key: op.Key})
 		default:
+			off := len(bvals)
+			bvals = append(bvals, h.vbuf...)
+			binary.LittleEndian.PutUint64(bvals[off:off+8], op.Value&ValueMask|1)
 			h.batch = append(h.batch, upskiplist.Op{
-				Kind: upskiplist.OpInsert, Key: op.Key, Value: op.Value&ValueMask | 1,
+				Kind: upskiplist.OpInsert, Key: op.Key, Value: bvals[off : off+h.vsz : off+h.vsz],
 			})
 		}
 	}

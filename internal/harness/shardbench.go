@@ -54,6 +54,11 @@ type BenchRecord struct {
 	// Snapshots is the number of MVCC snapshots held open for the whole
 	// run (the snap experiment). Zero (omitted) elsewhere.
 	Snapshots int `json:"snapshots,omitempty"`
+	// Payload-sweep fields (the payload experiment): the fixed insert
+	// value size in bytes and the resulting value-byte bandwidth
+	// (OpsPerSec x ValueSize). Zero (omitted) elsewhere.
+	ValueSize   int     `json:"value_size,omitempty"`
+	BytesPerSec float64 `json:"bytes_per_sec,omitempty"`
 	// Traversal-locality fields (the hotpath experiment): mean nodes a
 	// descent inspected per op, mean key comparisons per op, and mean
 	// charged prefetch issues per op. Zero (omitted) elsewhere.

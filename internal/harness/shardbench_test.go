@@ -50,7 +50,7 @@ func TestShardedWorkloadEMergedScan(t *testing.T) {
 		w := idx.Store().NewWorker(0)
 		prev := uint64(0)
 		n := 0
-		err = w.Scan(upskiplist.KeyMin, upskiplist.KeyMax, func(k, v uint64) bool {
+		err = w.ScanU64(upskiplist.KeyMin, upskiplist.KeyMax, func(k, v uint64) bool {
 			if k <= prev {
 				t.Fatalf("shards=%d: scan out of order: key %d after %d", shards, k, prev)
 			}

@@ -17,7 +17,7 @@ type request struct {
 	id   uint64
 	kind wire.Opcode
 	key  uint64
-	val  uint64
+	val  []byte
 	enq  int64 // metrics.Now() at enqueue; 0 when metrics are off
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/binary"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -97,7 +98,7 @@ func TestServerCrashRestart(t *testing.T) {
 					keys := make([]uint64, batchOps)
 					for i := range ops {
 						k := next + uint64(i)
-						ops[i] = wire.BatchOp{Kind: wire.OpPut, Key: k, Value: val(k)}
+						ops[i] = wire.BatchOp{Kind: wire.OpPut, Key: k, Value: leBytes(val(k))}
 						keys[i] = k
 					}
 					next += batchOps
@@ -107,7 +108,7 @@ func TestServerCrashRestart(t *testing.T) {
 				} else {
 					k := next
 					next++
-					call := c.Go(&wire.Request{Op: wire.OpPut, Key: k, Val: val(k)}, ch)
+					call := c.Go(&wire.Request{Op: wire.OpPut, Key: k, Val: leBytes(val(k))}, ch)
 					tags[call] = tagged{key: k}
 					lg.issuedSingles = append(lg.issuedSingles, k)
 				}
@@ -162,7 +163,7 @@ func TestServerCrashRestart(t *testing.T) {
 		lg := &logs[ci]
 		for _, k := range lg.ackedSingles {
 			ackedS++
-			v, found := w.Get(k)
+			v, found := w.GetU64(k)
 			if !found || v != val(k) {
 				t.Fatalf("acked PUT %d lost or corrupt after crash: (%d, %v), want (%d, true)", k, v, found, val(k))
 			}
@@ -170,7 +171,7 @@ func TestServerCrashRestart(t *testing.T) {
 		for _, keys := range lg.ackedBatches {
 			ackedB++
 			for _, k := range keys {
-				v, found := w.Get(k)
+				v, found := w.GetU64(k)
 				if !found || v != val(k) {
 					t.Fatalf("key %d of acked BATCH lost or corrupt after crash: (%d, %v)", k, v, found)
 				}
@@ -179,14 +180,14 @@ func TestServerCrashRestart(t *testing.T) {
 		// Unacked writes may or may not be present, but present ones
 		// carry the exact value, and batches are all-or-nothing.
 		for _, k := range lg.issuedSingles {
-			if v, found := w.Get(k); found && v != val(k) {
+			if v, found := w.GetU64(k); found && v != val(k) {
 				t.Fatalf("unacked PUT %d present with wrong value %d, want %d", k, v, val(k))
 			}
 		}
 		for _, keys := range lg.issuedBatches {
 			present := 0
 			for _, k := range keys {
-				if v, found := w.Get(k); found {
+				if v, found := w.GetU64(k); found {
 					present++
 					if v != val(k) {
 						t.Fatalf("key %d of BATCH present with wrong value %d", k, v)
@@ -204,7 +205,7 @@ func TestServerCrashRestart(t *testing.T) {
 			issued += uint64(len(b))
 		}
 		for k := base + issued; k < base+keysPerConn; k++ {
-			if _, found := w.Get(k); found {
+			if _, found := w.GetU64(k); found {
 				t.Fatalf("key %d was never submitted but is present after crash", k)
 			}
 		}
@@ -226,10 +227,27 @@ func TestServerCrashRestart(t *testing.T) {
 	defer s2.Shutdown()
 	c := dialT(t, ln2.Addr().String())
 	k0 := logs[0].ackedSingles[0]
-	if v, found, err := c.GetNoCtx(k0); err != nil || !found || v != val(k0) {
+	if v, found, err := c.GetU64NoCtx(k0); err != nil || !found || v != val(k0) {
 		t.Fatalf("restarted server Get(%d) = (%d, %v, %v), want (%d, true, nil)", k0, v, found, err, val(k0))
 	}
-	if _, _, err := c.PutNoCtx(k0, 1); err != nil {
+	if _, _, err := c.PutU64NoCtx(k0, 1); err != nil {
 		t.Fatalf("restarted server rejects writes: %v", err)
 	}
+}
+
+// leBytes is the 8-byte little-endian value encoding PutU64 sends.
+func leBytes(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+// leU64 decodes a leBytes value, zero-extending short reads.
+func leU64(b []byte) uint64 {
+	if len(b) >= 8 {
+		return binary.LittleEndian.Uint64(b)
+	}
+	var p [8]byte
+	copy(p[:], b)
+	return binary.LittleEndian.Uint64(p[:])
 }

@@ -18,23 +18,23 @@ func TestServerMetricsExposition(t *testing.T) {
 	c := dialT(t, addr)
 
 	for i := uint64(1); i <= 20; i++ {
-		if _, _, err := c.PutNoCtx(i, i*10); err != nil {
+		if _, _, err := c.PutU64NoCtx(i, i*10); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := uint64(1); i <= 5; i++ {
-		if _, _, err := c.GetNoCtx(i); err != nil {
+		if _, _, err := c.GetU64NoCtx(i); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := c.DelNoCtx(3); err != nil {
+	if _, _, err := c.DelU64NoCtx(3); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.ScanNoCtx(1, 20, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.BatchNoCtx([]wire.BatchOp{
-		{Kind: wire.OpPut, Key: 100, Value: 1},
+		{Kind: wire.OpPut, Key: 100, Value: leBytes(1)},
 		{Kind: wire.OpGet, Key: 100},
 	}); err != nil {
 		t.Fatal(err)
@@ -103,7 +103,7 @@ func TestServerReadyLive(t *testing.T) {
 		t.Fatalf("serving: Ready=%v Live=%v, want true/true", s.Ready(), s.Live())
 	}
 	c := dialT(t, addr)
-	if _, _, err := c.PutNoCtx(1, 1); err != nil {
+	if _, _, err := c.PutU64NoCtx(1, 1); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Shutdown(); err != nil {
@@ -126,7 +126,7 @@ func TestServerUninstrumentedNoTimestamps(t *testing.T) {
 		t.Fatal("srvMetrics allocated without Config.Metrics")
 	}
 	c := dialT(t, addr)
-	if _, _, err := c.PutNoCtx(7, 70); err != nil {
+	if _, _, err := c.PutU64NoCtx(7, 70); err != nil {
 		t.Fatal(err)
 	}
 	if snap := s.Snapshot(); snap.Puts != 1 || snap.Ops != 1 {

@@ -36,7 +36,7 @@ func runServerYCSBA(t *testing.T, depth, n, totalOps int) (float64, float64) {
 	}
 	w0 := st.NewWorker(st.NumShards())
 	for k := uint64(1); k <= uint64(n); k++ {
-		if _, _, err := w0.Insert(k, k*7+1); err != nil {
+		if _, _, err := w0.PutU64(k, k*7+1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -63,7 +63,7 @@ func runServerYCSBA(t *testing.T, depth, n, totalOps int) (float64, float64) {
 	run := ycsb.NewRun(ycsb.WorkloadA, uint64(n))
 	streams := make([][]ycsb.Op, conns)
 	for i := range streams {
-		streams[i] = run.NewStream(int64(i) + 1).Fill(nil, (totalOps+conns-1)/conns)
+		streams[i] = run.NewStream(int64(i)+1).Fill(nil, (totalOps+conns-1)/conns)
 	}
 	fences0 := st.Stats().Fences()
 	res := client.Run(client.LoadConfig{
@@ -75,7 +75,7 @@ func runServerYCSBA(t *testing.T, depth, n, totalOps int) (float64, float64) {
 			if op.Type == ycsb.Read {
 				return client.Op{Kind: wire.OpGet, Key: op.Key}
 			}
-			return client.Op{Kind: wire.OpPut, Key: op.Key, Val: op.Value | 1}
+			return client.Op{Kind: wire.OpPut, Key: op.Key, Val: leBytes(op.Value | 1)}
 		},
 	})
 	if res.Errs != 0 || res.Ops != totalOps {

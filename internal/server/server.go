@@ -71,6 +71,11 @@ type Config struct {
 	// wire.MaxBatchOps).
 	MaxBatch int
 
+	// MaxValue bounds the byte length of a single PUT value (default and
+	// ceiling wire.MaxValue). Oversize values are rejected with
+	// StatusTooLarge before touching the engine.
+	MaxValue int
+
 	// MaxDelay is how long a batcher waits for its drain to fill once
 	// the first request arrived. 0 (default) drains greedily: take
 	// what's queued now, never stall a lone request for riders that may
@@ -127,6 +132,9 @@ func (c *Config) setDefaults() error {
 	}
 	if c.MaxBatch > wire.MaxBatchOps {
 		c.MaxBatch = wire.MaxBatchOps
+	}
+	if c.MaxValue <= 0 || c.MaxValue > wire.MaxValue {
+		c.MaxValue = wire.MaxValue
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
@@ -513,12 +521,14 @@ type conn struct {
 	pending    sync.WaitGroup
 	readerDone chan struct{}
 
-	// Reader-private scratch.
+	// Reader-private scratch. scanVals is the flat arena behind the
+	// value slices in scanBuf (valid until the next scan on this conn).
 	frameBuf []byte
 	req      wire.Request
 	batchOps []upskiplist.Op
 	batchRes []upskiplist.OpResult
 	scanBuf  []wire.Pair
+	scanVals []byte
 }
 
 func (s *Server) startConn(nc net.Conn, threadID int) {
@@ -602,9 +612,17 @@ func (c *conn) dispatch() {
 			c.srv.ctr.gets.Inc()
 		case wire.OpPut:
 			c.srv.ctr.puts.Inc()
+			if len(q.Val) > c.srv.cfg.MaxValue {
+				c.respond(&wire.Response{
+					Op: q.Op, Status: wire.StatusTooLarge, ID: q.ID,
+					Msg: fmt.Sprintf("value of %d bytes exceeds server max %d", len(q.Val), c.srv.cfg.MaxValue),
+				})
+				return
+			}
 		default:
 			c.srv.ctr.dels.Inc()
 		}
+		// q.Val is a decode-time copy, safe to hand to another goroutine.
 		r := request{c: c, id: q.ID, kind: q.Op, key: q.Key, val: q.Val}
 		if c.srv.met != nil {
 			r.enq = metrics.Now() // queue-wait clock starts at enqueue
@@ -632,9 +650,13 @@ func (c *conn) runScan(q *wire.Request) {
 	if limit <= 0 || limit > wire.MaxScanLimit {
 		limit = wire.MaxScanLimit
 	}
-	c.scanBuf = c.scanBuf[:0]
-	c.w.Scan(q.Lo, q.Hi, func(k, v uint64) bool {
-		c.scanBuf = append(c.scanBuf, wire.Pair{Key: k, Value: v})
+	c.scanBuf, c.scanVals = c.scanBuf[:0], c.scanVals[:0]
+	c.w.Scan(q.Lo, q.Hi, func(k uint64, v []byte) bool {
+		// The callback's value slice dies with the callback; park a copy
+		// in the conn's flat arena until the response is encoded.
+		off := len(c.scanVals)
+		c.scanVals = append(c.scanVals, v...)
+		c.scanBuf = append(c.scanBuf, wire.Pair{Key: k, Value: c.scanVals[off:len(c.scanVals):len(c.scanVals)]})
 		return len(c.scanBuf) < limit
 	})
 	c.respond(&wire.Response{Op: wire.OpScan, ID: q.ID, Pairs: c.scanBuf})
@@ -676,10 +698,12 @@ func (c *conn) runSnapScan(q *wire.Request) {
 	if limit <= 0 || limit > wire.MaxScanLimit {
 		limit = wire.MaxScanLimit
 	}
-	c.scanBuf = c.scanBuf[:0]
+	c.scanBuf, c.scanVals = c.scanBuf[:0], c.scanVals[:0]
 	l.mu.Lock()
-	err := l.snap.Scan(q.Lo, q.Hi, func(k, v uint64) bool {
-		c.scanBuf = append(c.scanBuf, wire.Pair{Key: k, Value: v})
+	err := l.snap.Scan(q.Lo, q.Hi, func(k uint64, v []byte) bool {
+		off := len(c.scanVals)
+		c.scanVals = append(c.scanVals, v...)
+		c.scanBuf = append(c.scanBuf, wire.Pair{Key: k, Value: c.scanVals[off:len(c.scanVals):len(c.scanVals)]})
 		return len(c.scanBuf) < limit
 	})
 	l.mu.Unlock()
@@ -704,13 +728,20 @@ func (c *conn) runSnapRelease(q *wire.Request) {
 // latency without saving fences.
 func (c *conn) runBatch(q *wire.Request) {
 	c.batchOps = c.batchOps[:0]
-	for _, op := range q.Batch {
+	for i, op := range q.Batch {
 		kind := upskiplist.OpInsert
 		switch op.Kind {
 		case wire.OpGet:
 			kind = upskiplist.OpGet
 		case wire.OpDel:
 			kind = upskiplist.OpRemove
+		}
+		if kind == upskiplist.OpInsert && len(op.Value) > c.srv.cfg.MaxValue {
+			c.respond(&wire.Response{
+				Op: wire.OpBatch, Status: wire.StatusTooLarge, ID: q.ID,
+				Msg: fmt.Sprintf("op %d: value of %d bytes exceeds server max %d", i, len(op.Value), c.srv.cfg.MaxValue),
+			})
+			return
 		}
 		c.batchOps = append(c.batchOps, upskiplist.Op{Kind: kind, Key: op.Key, Value: op.Value})
 	}

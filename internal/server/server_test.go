@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"net"
 	"sync"
 	"testing"
@@ -67,25 +68,25 @@ func TestServerBasicOps(t *testing.T) {
 	_, addr := newTestServer(t, Config{})
 	c := dialT(t, addr)
 
-	if _, found, err := c.GetNoCtx(1); err != nil || found {
+	if _, found, err := c.GetU64NoCtx(1); err != nil || found {
 		t.Fatalf("Get(1) on empty store = (%v, %v), want (false, nil)", found, err)
 	}
-	if old, existed, err := c.PutNoCtx(1, 100); err != nil || existed || old != 0 {
+	if old, existed, err := c.PutU64NoCtx(1, 100); err != nil || existed || old != 0 {
 		t.Fatalf("Put(1,100) = (%d, %v, %v), want (0, false, nil)", old, existed, err)
 	}
-	if old, existed, err := c.PutNoCtx(1, 101); err != nil || !existed || old != 100 {
+	if old, existed, err := c.PutU64NoCtx(1, 101); err != nil || !existed || old != 100 {
 		t.Fatalf("Put(1,101) = (%d, %v, %v), want (100, true, nil)", old, existed, err)
 	}
-	if v, found, err := c.GetNoCtx(1); err != nil || !found || v != 101 {
+	if v, found, err := c.GetU64NoCtx(1); err != nil || !found || v != 101 {
 		t.Fatalf("Get(1) = (%d, %v, %v), want (101, true, nil)", v, found, err)
 	}
-	if v, found, err := c.DelNoCtx(1); err != nil || !found || v != 101 {
+	if v, found, err := c.DelU64NoCtx(1); err != nil || !found || v != 101 {
 		t.Fatalf("Del(1) = (%d, %v, %v), want (101, true, nil)", v, found, err)
 	}
-	if _, found, err := c.GetNoCtx(1); err != nil || found {
+	if _, found, err := c.GetU64NoCtx(1); err != nil || found {
 		t.Fatalf("Get(1) after Del = found=%v err=%v, want (false, nil)", found, err)
 	}
-	if _, found, err := c.DelNoCtx(1); err != nil || found {
+	if _, found, err := c.DelU64NoCtx(1); err != nil || found {
 		t.Fatalf("Del(1) of absent key = found=%v err=%v, want (false, nil)", found, err)
 	}
 }
@@ -95,7 +96,7 @@ func TestServerScan(t *testing.T) {
 	c := dialT(t, addr)
 
 	for k := uint64(10); k < 30; k++ {
-		if _, _, err := c.PutNoCtx(k, k*2); err != nil {
+		if _, _, err := c.PutU64NoCtx(k, k*2); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -108,8 +109,8 @@ func TestServerScan(t *testing.T) {
 	}
 	for i, p := range pairs {
 		want := uint64(15 + i)
-		if p.Key != want || p.Value != want*2 {
-			t.Fatalf("pair %d = (%d,%d), want (%d,%d)", i, p.Key, p.Value, want, want*2)
+		if v := leU64(p.Value); p.Key != want || v != want*2 {
+			t.Fatalf("pair %d = (%d,%d), want (%d,%d)", i, p.Key, v, want, want*2)
 		}
 	}
 	// Limit truncates.
@@ -129,34 +130,64 @@ func TestServerBatch(t *testing.T) {
 	// Duplicate keys in one batch follow the engine's contract:
 	// submission order, last-writer-wins.
 	res, err := c.BatchNoCtx([]wire.BatchOp{
-		{Kind: wire.OpPut, Key: 7, Value: 1},
+		{Kind: wire.OpPut, Key: 7, Value: leBytes(1)},
 		{Kind: wire.OpGet, Key: 7},
-		{Kind: wire.OpPut, Key: 7, Value: 2},
+		{Kind: wire.OpPut, Key: 7, Value: leBytes(2)},
 		{Kind: wire.OpDel, Key: 7},
-		{Kind: wire.OpPut, Key: 7, Value: 3},
-		{Kind: wire.OpPut, Key: 9, Value: 90},
+		{Kind: wire.OpPut, Key: 7, Value: leBytes(3)},
+		{Kind: wire.OpPut, Key: 9, Value: leBytes(90)},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []wire.OpResult{
-		{Found: false, Value: 0}, // insert
-		{Found: true, Value: 1},  // get sees first put
-		{Found: true, Value: 1},  // update sees old value
-		{Found: true, Value: 2},  // delete removes updated value
-		{Found: false, Value: 0}, // reinsert after delete
-		{Found: false, Value: 0},
+	want := []struct {
+		found bool
+		val   uint64
+	}{
+		{false, 0}, // insert
+		{true, 1},  // get sees first put
+		{true, 1},  // update sees old value
+		{true, 2},  // delete removes updated value
+		{false, 0}, // reinsert after delete
+		{false, 0},
 	}
 	if len(res) != len(want) {
 		t.Fatalf("batch returned %d results, want %d", len(res), len(want))
 	}
 	for i := range want {
-		if res[i] != want[i] {
+		if res[i].Found != want[i].found || leU64(res[i].Value) != want[i].val {
 			t.Fatalf("batch result %d = %+v, want %+v", i, res[i], want[i])
 		}
 	}
-	if v, found, err := c.GetNoCtx(7); err != nil || !found || v != 3 {
+	if v, found, err := c.GetU64NoCtx(7); err != nil || !found || v != 3 {
 		t.Fatalf("Get(7) after batch = (%d, %v, %v), want (3, true, nil)", v, found, err)
+	}
+}
+
+// TestServerValueTooLarge: a PUT (lone or batched) past the server's
+// MaxValue bound gets StatusTooLarge back on a healthy connection —
+// rejected before touching the engine, not a dropped conn.
+func TestServerValueTooLarge(t *testing.T) {
+	_, addr := newTestServer(t, Config{MaxValue: 64})
+	c := dialT(t, addr)
+
+	fat := make([]byte, 65)
+	if _, _, err := c.PutNoCtx(1, fat); !errors.Is(err, wire.ErrTooLarge) {
+		t.Fatalf("oversize Put err = %v, want wire.ErrTooLarge", err)
+	}
+	res, err := c.BatchNoCtx([]wire.BatchOp{{Kind: wire.OpPut, Key: 2, Value: fat}})
+	if !errors.Is(err, wire.ErrTooLarge) {
+		t.Fatalf("oversize batched Put = (%v, %v), want wire.ErrTooLarge", res, err)
+	}
+	// The connection survives and the bound is exact.
+	if _, _, err := c.PutNoCtx(3, make([]byte, 64)); err != nil {
+		t.Fatalf("at-bound Put after rejection: %v", err)
+	}
+	if v, found, err := c.GetNoCtx(3); err != nil || !found || len(v) != 64 {
+		t.Fatalf("Get(3) = (%d bytes, %v, %v), want 64 bytes", len(v), found, err)
+	}
+	if _, found, err := c.GetNoCtx(1); err != nil || found {
+		t.Fatalf("rejected value landed: Get(1) found=%v err=%v", found, err)
 	}
 }
 
@@ -180,7 +211,7 @@ func TestServerPipelinedConcurrentClients(t *testing.T) {
 			done := make(chan *client.Call, perConn)
 			for i := 0; i < perConn; i++ {
 				key := uint64(1 + ci*perConn + i)
-				c.Go(&wire.Request{Op: wire.OpPut, Key: key, Val: key * 10}, done)
+				c.Go(&wire.Request{Op: wire.OpPut, Key: key, Val: leBytes(key * 10)}, done)
 			}
 			for i := 0; i < perConn; i++ {
 				call := <-done
@@ -199,7 +230,7 @@ func TestServerPipelinedConcurrentClients(t *testing.T) {
 
 	c := dialT(t, addr)
 	for k := uint64(1); k <= conns*perConn; k++ {
-		v, found, err := c.GetNoCtx(k)
+		v, found, err := c.GetU64NoCtx(k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -219,7 +250,7 @@ func TestServerPipelinedConcurrentClients(t *testing.T) {
 func TestServerConnLimit(t *testing.T) {
 	_, addr := newTestServer(t, Config{MaxConns: 1})
 	c1 := dialT(t, addr)
-	if _, _, err := c1.PutNoCtx(1, 1); err != nil {
+	if _, _, err := c1.PutU64NoCtx(1, 1); err != nil {
 		t.Fatal(err)
 	}
 	// Second connection must be rejected with BUSY. The rejection races
@@ -229,7 +260,7 @@ func TestServerConnLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c2.Close()
-	_, _, err = c2.GetNoCtx(1)
+	_, _, err = c2.GetU64NoCtx(1)
 	if err == nil {
 		t.Fatal("second connection served beyond MaxConns=1")
 	}
@@ -243,7 +274,7 @@ func TestServerConnLimit(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if v, found, err := c3.GetNoCtx(1); err == nil {
+		if v, found, err := c3.GetU64NoCtx(1); err == nil {
 			if !found || v != 1 {
 				t.Fatalf("Get(1) = (%d, %v), want (1, true)", v, found)
 			}
@@ -295,7 +326,7 @@ func TestServerGracefulShutdownSaves(t *testing.T) {
 	c := dialT(t, addr)
 	const n = 200
 	for k := uint64(1); k <= n; k++ {
-		if _, _, err := c.PutNoCtx(k, k+1000); err != nil {
+		if _, _, err := c.PutU64NoCtx(k, k+1000); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -313,7 +344,7 @@ func TestServerGracefulShutdownSaves(t *testing.T) {
 	}
 	w := st.NewWorker(0)
 	for k := uint64(1); k <= n; k++ {
-		v, found := w.Get(k)
+		v, found := w.GetU64(k)
 		if !found || v != k+1000 {
 			t.Fatalf("after Load: Get(%d) = (%d, %v), want (%d, true)", k, v, found, k+1000)
 		}
@@ -328,7 +359,7 @@ func TestServerShutdownAnswersInFlight(t *testing.T) {
 	const n = 300
 	done := make(chan *client.Call, n)
 	for i := 0; i < n; i++ {
-		c.Go(&wire.Request{Op: wire.OpPut, Key: uint64(1 + i), Val: uint64(i)}, done)
+		c.Go(&wire.Request{Op: wire.OpPut, Key: uint64(1 + i), Val: leBytes(uint64(i))}, done)
 	}
 	shutdownErr := make(chan error, 1)
 	go func() { shutdownErr <- s.Shutdown() }()
@@ -348,7 +379,7 @@ func TestServerShutdownAnswersInFlight(t *testing.T) {
 	w := s.Store().NewWorker(0)
 	found := 0
 	for i := 0; i < n; i++ {
-		if _, ok := w.Get(uint64(1 + i)); ok {
+		if _, ok := w.GetU64(uint64(1 + i)); ok {
 			found++
 		}
 	}

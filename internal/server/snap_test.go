@@ -17,7 +17,7 @@ func TestServerSnapshotFrozenPaging(t *testing.T) {
 
 	const n = 500
 	for i := uint64(1); i <= n; i++ {
-		if _, _, err := c.PutNoCtx(i, i*3); err != nil {
+		if _, _, err := c.PutU64NoCtx(i, i*3); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -30,11 +30,11 @@ func TestServerSnapshotFrozenPaging(t *testing.T) {
 	}
 	// Rewrite the world after the snapshot.
 	for i := uint64(1); i <= n; i++ {
-		if _, _, err := c.PutNoCtx(i, 7); err != nil {
+		if _, _, err := c.PutU64NoCtx(i, 7); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := c.PutNoCtx(n+50, 1); err != nil {
+	if _, _, err := c.PutU64NoCtx(n+50, 1); err != nil {
 		t.Fatal(err)
 	}
 
@@ -57,13 +57,13 @@ func TestServerSnapshotFrozenPaging(t *testing.T) {
 	}
 	for i, p := range got {
 		want := uint64(i + 1)
-		if p.Key != want || p.Value != want*3 {
+		if p.Key != want || leU64(p.Value) != want*3 {
 			t.Fatalf("pair %d = %+v, want {%d %d}", i, p, want, want*3)
 		}
 	}
 	// ScanAll agrees.
 	m := 0
-	if err := sn.ScanAll(context.Background(), 1, ^uint64(0)-1, func(k, v uint64) bool {
+	if err := sn.ScanAll(context.Background(), 1, ^uint64(0)-1, func(k uint64, v []byte) bool {
 		m++
 		return true
 	}); err != nil {
@@ -92,7 +92,7 @@ func TestServerSnapshotLeaseExpiry(t *testing.T) {
 	s, addr := newTestServer(t, Config{SnapTTL: time.Second})
 	c := dialT(t, addr)
 	for i := uint64(1); i <= 100; i++ {
-		if _, _, err := c.PutNoCtx(i, i); err != nil {
+		if _, _, err := c.PutU64NoCtx(i, i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -128,7 +128,7 @@ func TestServerSnapshotUnknownLease(t *testing.T) {
 		t.Fatalf("status = %v, want ERR", cl.Resp.Status)
 	}
 	// Connection still usable.
-	if _, _, err := c.PutNoCtx(1, 1); err != nil {
+	if _, _, err := c.PutU64NoCtx(1, 1); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -35,9 +35,15 @@ type Iterator struct {
 	resume uint64  // largest key the buffer could have yielded
 	pairs  []kv    // live pairs of that node, sorted
 	idx    int     // position in pairs; idx == len(pairs) means exhausted
+	vbuf   []byte  // decoded value bytes (when a decoder is installed)
 }
 
-type kv struct{ k, v uint64 }
+type kv struct {
+	k, v uint64
+	// voff/vlen locate the decoded bytes in the iterator's vbuf; only
+	// populated when the list has a value decoder installed.
+	voff, vlen int
+}
 
 // NewIterator returns an unpositioned iterator; call Seek before Next.
 func (s *SkipList) NewIterator(ctx *exec.Ctx) *Iterator {
@@ -97,8 +103,19 @@ func (it *Iterator) Valid() bool {
 // Key returns the current key; only meaningful when Valid.
 func (it *Iterator) Key() uint64 { return it.pairs[it.idx].k }
 
-// Value returns the current value; only meaningful when Valid.
+// Value returns the current raw value word; only meaningful when Valid.
 func (it *Iterator) Value() uint64 { return it.pairs[it.idx].v }
+
+// ValueBytes returns the current value's decoded bytes; only meaningful
+// when Valid and a decoder is installed (SetValueDecoder). The bytes
+// were materialized under the era pin at node-snapshot time, so they
+// remain correct even if the backing chunk has since been retired; the
+// slice aliases the iterator's buffer and is valid until the cursor
+// leaves the current node.
+func (it *Iterator) ValueBytes() []byte {
+	p := it.pairs[it.idx]
+	return it.vbuf[p.voff : p.voff+p.vlen : p.voff+p.vlen]
+}
 
 // loadNode snapshots a node's live pairs with keys >= lo.
 func (it *Iterator) loadNode(p riv.Ptr, lo uint64) {
@@ -138,7 +155,7 @@ func (it *Iterator) loadNode(p riv.Ptr, lo uint64) {
 				if k == keyEmpty || k < lo || vb[i] == Tombstone {
 					continue
 				}
-				it.pairs = append(it.pairs, kv{k, vb[i]})
+				it.pairs = append(it.pairs, kv{k: k, v: vb[i]})
 			}
 			it.ctx.PutBlock(buf)
 		} else {
@@ -151,11 +168,22 @@ func (it *Iterator) loadNode(p riv.Ptr, lo uint64) {
 				if v == Tombstone {
 					continue
 				}
-				it.pairs = append(it.pairs, kv{k, v})
+				it.pairs = append(it.pairs, kv{k: k, v: v})
 			}
 		}
 		if !n.isWriteLocked(it.ctx.Mem) && n.splitCount(it.ctx.Mem) == sc {
 			break
+		}
+	}
+	// Materialize value bytes NOW, under the caller's era pin: by the
+	// next Seek/Next call the backing chunks may have been retired and
+	// freed, but the DRAM copy keeps the node snapshot self-contained.
+	if s.decode != nil {
+		it.vbuf = it.vbuf[:0]
+		for i := range it.pairs {
+			off := len(it.vbuf)
+			it.vbuf = s.decode(it.pairs[i].v, it.vbuf, it.ctx.Mem)
+			it.pairs[i].voff, it.pairs[i].vlen = off, len(it.vbuf)-off
 		}
 	}
 	sort.Slice(it.pairs, func(a, b int) bool { return it.pairs[a].k < it.pairs[b].k })

@@ -77,3 +77,7 @@ func (m *Merged) Key() uint64 { return m.its[m.cur].Key() }
 
 // Value returns the current value; only meaningful when Valid.
 func (m *Merged) Value() uint64 { return m.its[m.cur].Value() }
+
+// ValueBytes returns the current value's decoded bytes (see
+// Cursor.ValueBytes); only meaningful when Valid.
+func (m *Merged) ValueBytes() []byte { return m.its[m.cur].ValueBytes() }

@@ -508,6 +508,7 @@ type SnapIterator struct {
 
 	curK, curV uint64
 	valid      bool
+	vbuf       []byte // ValueBytes scratch
 }
 
 // NewIterator returns an unpositioned frozen-view cursor; Seek before
@@ -551,6 +552,19 @@ func (si *SnapIterator) Key() uint64 { return si.curK }
 
 // Value returns the current value; only meaningful when Valid.
 func (si *SnapIterator) Value() uint64 { return si.curV }
+
+// ValueBytes returns the current value's decoded bytes (empty without a
+// decoder installed). Unlike the live Iterator, decoding lazily here is
+// safe: the open snapshot pins its acquisition era for its whole
+// lifetime, so no chunk a frozen value references can be freed before
+// Release. The slice is valid until the next cursor call.
+func (si *SnapIterator) ValueBytes() []byte {
+	if si.snap.s.decode == nil {
+		return nil
+	}
+	si.vbuf = si.snap.s.decode(si.curV, si.vbuf[:0], si.ctx.Mem)
+	return si.vbuf
+}
 
 // settle advances to the next frozen-view pair: the smaller of the live
 // cursor's key and the pending overlay heap's top, with the overlay
@@ -677,6 +691,10 @@ type Cursor interface {
 	Valid() bool
 	Key() uint64
 	Value() uint64
+	// ValueBytes returns the current value decoded to bytes when the
+	// list has a value decoder installed (SetValueDecoder); empty
+	// otherwise. The slice is valid until the next cursor call.
+	ValueBytes() []byte
 }
 
 var (

@@ -189,6 +189,11 @@ type SkipList struct {
 	// version-log work beyond one field test.
 	vlog *versionLog
 
+	// decode materializes a value word into bytes (resolving slab
+	// references); installed by the engine, used by the iterator at
+	// node-snapshot time while the era pin is held.
+	decode func(word uint64, dst []byte, acc *pmem.Acc) []byte
+
 	// stats
 	recoveries recoveryCounters
 }
@@ -214,6 +219,46 @@ func (s *SkipList) unpin(ctx *exec.Ctx) {
 	if ctx.Pins--; ctx.Pins == 0 {
 		s.dom.Exit(ctx.ThreadID)
 	}
+}
+
+// Pin enters the grace-period domain on behalf of a caller that reads
+// era-protected state outside a single list operation — the engine's
+// value decode after Get, for instance. Reentrant via ctx.Pins: nested
+// list operations share the outermost pin. No-op without a domain.
+func (s *SkipList) Pin(ctx *exec.Ctx) { s.pin(ctx) }
+
+// Unpin releases a Pin.
+func (s *SkipList) Unpin(ctx *exec.Ctx) { s.unpin(ctx) }
+
+// Domain returns the grace-period domain, or nil while neither online
+// reclamation nor snapshots are attached. Value-chunk retirement tags
+// its limbo batches with this domain's eras.
+func (s *SkipList) Domain() *epoch.Domain { return s.dom }
+
+// ForEachValueWord walks the bottom level and invokes fn with every
+// value word of every node, tombstones and empty slots included. It
+// takes no locks and performs no validation: callers run it quiesced
+// (startup, before workers exist) — it is the liveness scan the slab
+// sweep builds its referenced-chunk set from.
+func (s *SkipList) ForEachValueWord(ctx *exec.Ctx, fn func(word uint64)) {
+	for p := s.head; !p.IsNull() && p != s.tail; {
+		n := s.node(p)
+		for i := 0; i < s.keysPerNode; i++ {
+			if n.key(s, i, ctx.Mem) == keyEmpty {
+				continue
+			}
+			fn(n.value(s, i, ctx.Mem))
+		}
+		p = n.next(s, 0, ctx.Mem)
+	}
+}
+
+// SetValueDecoder installs the hook the engine uses to materialize a
+// value word into bytes (resolving slab references). The iterator calls
+// it at node-snapshot time, under the era pin, so the decoded bytes stay
+// valid even after the referenced chunk is retired and freed.
+func (s *SkipList) SetValueDecoder(fn func(word uint64, dst []byte, acc *pmem.Acc) []byte) {
+	s.decode = fn
 }
 
 // Recoveries is a snapshot of repair actions performed during

@@ -1,0 +1,817 @@
+// Package slab implements the variable-size value arena layered on top
+// of the block allocator: a slab-class allocator inside the pmem pools.
+//
+// # Layout
+//
+// Values are stored out-of-place in chunks carved from allocator blocks
+// stamped alloc.KindSlab ("pages"). Chunk sizes are power-of-two word
+// classes (4, 8, 16, ... words, bounded by the block payload); values too
+// large for the largest class are stored as a chain of largest-class
+// segments — the large-object path. A persistent directory block (found
+// through the allocator's cached header word, alloc.SlabDir) holds one
+// free-list head and one page-list head per class:
+//
+//	word 0   kind (KindSlab)
+//	word 1   epoch
+//	word 2   dirMagic
+//	word 3   class count (sanity)
+//	word 4+2i  class i free-list head (riv.Ptr word, 0 = empty)
+//	word 5+2i  class i page-list head
+//
+// A page block:
+//
+//	word 0   kind (KindSlab)
+//	word 1   epoch
+//	word 2   pageMagic | classID
+//	word 3   next page in this class's page list (riv.Ptr word)
+//	word 4.. chunks, each classWords(class) words
+//
+// A chunk's first word is its header. While free it holds the raw
+// riv.Ptr word of the next free chunk (bit 63 is clear — pool IDs are
+// far below 2^15). While in use it holds hdrUsed | byte length, plus
+// hdrChained on chain segments; a chain segment's second word is the
+// riv.Ptr of the next segment and its payload starts at word 2, while a
+// single-segment chunk's payload starts at word 1.
+//
+// # References
+//
+// A published value is named by a Ref packed into one node value word:
+//
+//	bit 63      tag (distinguishes refs from the all-ones tombstone and
+//	            from the all-zero empty slot)
+//	bits 48-62  value byte length, or lenChained for chained values
+//	            (true length then lives in the head segment's header)
+//	bits 40-47  pool ID
+//	bits 24-39  chunk index, biased +1 exactly like riv.Ptr
+//	bits 0-23   word offset within the riv chunk
+//
+// The packing is validated against the attached pools' geometry at
+// Attach time.
+//
+// # Crash consistency
+//
+// The publish protocol is: pop a chunk (the free-list head is persisted
+// before the chunk is handed out), write header + payload, persist them
+// (fence), and only then CAS the node's value word. A crash at any point
+// leaves the node word holding the complete old or complete new value —
+// never a torn one. Chunks whose publishing CAS never landed are in-use
+// but unreferenced; Sweep relinks them at the next startup, mirroring
+// the retired-block rediscovery scan. Free-list pushes write the chunk's
+// next header and persist it before swinging (and persisting) the head,
+// so a crash mid-push leaks the chunk to the sweep instead of ever
+// double-linking it.
+//
+// # Retirement
+//
+// Overwriting or removing a value retires its chunks through a volatile
+// epoch limbo (the same grace-period domain online node reclamation
+// uses), so in-flight readers and open MVCC snapshots keep a stable view
+// of the old bytes. Without a domain, retired chunks are held until
+// DrainQuiesced (save/compact/close time) — no grace periods, no frees,
+// matching the store's no-reclaim default.
+package slab
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"upskiplist/internal/alloc"
+	"upskiplist/internal/epoch"
+	"upskiplist/internal/exec"
+	"upskiplist/internal/pmem"
+	"upskiplist/internal/riv"
+)
+
+const (
+	dirMagic  = 0x5550534C534C4142 // "UPSLSLAB"
+	pageMagic = uint64(0x5347) << 16
+
+	pageMetaOff = 2
+	pageNextOff = 3
+	pageHdrLen  = 4
+
+	dirMagicOff   = 2
+	dirClassesOff = 3
+	dirHeadsOff   = 4
+
+	// hdrUsed marks an in-use chunk header; hdrChained additionally marks
+	// a chain segment. The low 32 bits carry the byte length (remaining
+	// length, on chain segments).
+	hdrUsed    = uint64(1) << 63
+	hdrChained = uint64(1) << 62
+	hdrLenMask = uint64(1)<<32 - 1
+
+	// minClassWords is the smallest chunk class; its payload (3 words)
+	// covers the 8-byte compat values with room to spare.
+	minClassWords = 4
+	// maxClassWords bounds the largest class so single-segment byte
+	// lengths always fit the Ref's 15-bit length field.
+	maxClassWords = 4096
+
+	// lenChained in the Ref length field marks a chained value.
+	lenChained = 0x7FFF
+
+	refLenShift   = 48
+	refPoolShift  = 40
+	refChunkShift = 24
+	refOffMask    = uint64(1)<<24 - 1
+
+	// limboBatchSize is how many retired refs accumulate before a batch
+	// closes and the era advances.
+	limboBatchSize = 64
+)
+
+// Errors.
+var (
+	ErrBadGeometry  = errors.New("slab: pool geometry does not fit the ref packing")
+	ErrValueTooLong = errors.New("slab: value exceeds the arena's maximum length")
+)
+
+// MaxValueLen is the largest value the chain encoding supports (the
+// header length field is 32 bits; engines bound values far below this).
+const MaxValueLen = int(hdrLenMask)
+
+// Ref is a packed reference to a stored value: length + chunk address in
+// one CAS-able word. The zero Ref is invalid (bit 63 is always set).
+type Ref uint64
+
+// IsRef reports whether a node value word is a slab reference (as
+// opposed to the all-ones tombstone or a zero empty slot).
+func IsRef(w uint64) bool { return w>>63 == 1 && w != ^uint64(0) }
+
+// Word returns the node-value-word encoding.
+func (r Ref) Word() uint64 { return uint64(r) }
+
+// FromWord reinterprets a node value word.
+func FromWord(w uint64) Ref { return Ref(w) }
+
+// Chained reports whether the value is stored as a chain of segments.
+func (r Ref) Chained() bool { return uint64(r)>>refLenShift&lenChained == lenChained }
+
+// ptr unpacks the chunk address.
+func (r Ref) ptr() riv.Ptr {
+	pool := uint16(uint64(r) >> refPoolShift & 0xff)
+	chunkBiased := uint64(r) >> refChunkShift & 0xffff
+	off := uint32(uint64(r) & refOffMask)
+	return riv.FromWord(uint64(pool)<<48 | chunkBiased<<32 | uint64(off))
+}
+
+func makeRef(length int, p riv.Ptr) Ref {
+	w := uint64(1)<<63 |
+		uint64(length)<<refLenShift |
+		uint64(p.Pool())<<refPoolShift |
+		(p.Word()>>32&0xffff)<<refChunkShift |
+		uint64(p.Offset())
+	return Ref(w)
+}
+
+// limboBatch is one closed group of retired refs, freeable once every
+// worker and snapshot pin has moved past era.
+type limboBatch struct {
+	era  uint64
+	refs []Ref
+}
+
+// Stats is a snapshot of the arena's volatile counters.
+type Stats struct {
+	ChunksAlloced uint64 // chunks handed out
+	ChunksFreed   uint64 // chunks returned to free lists
+	ChunksRetired uint64 // chunks placed in limbo
+	LimboChunks   uint64 // retired, not yet freed
+	Pages         uint64 // pages grown by this handle
+	SweepRelinked uint64 // chunks reclaimed by the last Sweep
+	SweepPages    uint64 // leaked pages freed by the last Sweep
+}
+
+// Arena is a volatile handle onto the persistent slab structures of one
+// allocator (one store shard). Safe for concurrent use.
+type Arena struct {
+	a     *alloc.Allocator
+	space *riv.Space
+
+	dir     riv.Ptr
+	dirPool *pmem.Pool
+	dirOff  uint64
+
+	blockWords uint64
+	classes    []uint64 // chunk words per class, ascending
+	mu         []sync.Mutex
+
+	// dom returns the grace-period domain to tag limbo batches with, or
+	// nil when the store runs without reclamation or snapshots. Looked up
+	// per close because the engine may attach a domain (EnableSnapshots,
+	// StartReclaim) after the arena exists.
+	dom func() *epoch.Domain
+
+	limboMu sync.Mutex
+	open    []Ref
+	batches []limboBatch
+
+	alloced atomic.Uint64
+	freed   atomic.Uint64
+	retired atomic.Uint64
+	inLimbo atomic.Uint64
+	pages   atomic.Uint64
+
+	sweepRelinked atomic.Uint64
+	sweepPages    atomic.Uint64
+}
+
+// classesFor derives the chunk classes from a block size: powers of two
+// from minClassWords up to whatever fits a page's chunk space.
+func classesFor(blockWords uint64) []uint64 {
+	avail := blockWords - pageHdrLen
+	var out []uint64
+	for w := uint64(minClassWords); w <= avail && w <= maxClassWords; w *= 2 {
+		out = append(out, w)
+	}
+	return out
+}
+
+// Attach opens (or lazily creates) the slab arena of an allocator. ctx
+// is used for the one-time directory allocation; pass any worker ctx.
+// The arena installs itself as the allocator's SlabCheck.
+func Attach(a *alloc.Allocator, ctx *exec.Ctx) (*Arena, error) {
+	bw := a.BlockWords()
+	if bw < pageHdrLen+minClassWords {
+		return nil, fmt.Errorf("%w: block size %d words is below the minimum slab page", ErrBadGeometry, bw)
+	}
+	classes := classesFor(bw)
+	if bw < dirHeadsOff+2*uint64(len(classes)) {
+		return nil, fmt.Errorf("%w: block size %d words cannot hold the directory", ErrBadGeometry, bw)
+	}
+	for _, pa := range a.Pools() {
+		cfg := pa.Config()
+		p := pa.Pool()
+		if p.ID() >= 0xff || cfg.MaxChunks > 0xfffe || cfg.ChunkWords > refOffMask {
+			return nil, fmt.Errorf("%w: pool %d (chunkWords=%d maxChunks=%d)", ErrBadGeometry, p.ID(), cfg.ChunkWords, cfg.MaxChunks)
+		}
+	}
+	ar := &Arena{
+		a: a, space: a.Space(),
+		blockWords: bw,
+		classes:    classes,
+		mu:         make([]sync.Mutex, len(classes)),
+	}
+	dir := a.SlabDir()
+	if dir.IsNull() {
+		ptr, err := a.Alloc(ctx, riv.Null, 0)
+		if err != nil {
+			return nil, err
+		}
+		pool, off := a.Space().Resolve(ptr)
+		pool.Store(off+alloc.BlockKind, alloc.KindSlab, ctx.Mem)
+		pool.Store(off+dirMagicOff, dirMagic, ctx.Mem)
+		pool.Store(off+dirClassesOff, uint64(len(classes)), ctx.Mem)
+		for i := range classes {
+			pool.Store(off+dirHeadsOff+2*uint64(i), 0, ctx.Mem)
+			pool.Store(off+dirHeadsOff+2*uint64(i)+1, 0, ctx.Mem)
+		}
+		pool.Persist(off, bw, ctx.Mem)
+		// The directory pointer lands in the header only after the block
+		// is fully formatted: a crash in between leaks the block to the
+		// allocation log / startup sweep, never a torn directory.
+		a.SetSlabDir(ptr)
+		dir = ptr
+	}
+	pool, off := a.Space().Resolve(dir)
+	if pool.Load(off+dirMagicOff, nil) != dirMagic {
+		return nil, errors.New("slab: directory block is corrupt")
+	}
+	ar.dir, ar.dirPool, ar.dirOff = dir, pool, off
+	a.SetSlabCheck(ar.ownsBlock)
+	return ar, nil
+}
+
+// SetDomain installs the grace-period domain lookup used to tag limbo
+// batches. fn may return nil (no domain yet).
+func (ar *Arena) SetDomain(fn func() *epoch.Domain) { ar.dom = fn }
+
+// Classes returns the chunk classes in words (for tests).
+func (ar *Arena) Classes() []uint64 { return append([]uint64(nil), ar.classes...) }
+
+// MaxSingle returns the largest byte length stored without chaining.
+func (ar *Arena) MaxSingle() int {
+	return int((ar.classes[len(ar.classes)-1] - 1) * 8)
+}
+
+func (ar *Arena) freeHeadOff(class int) uint64 { return ar.dirOff + dirHeadsOff + 2*uint64(class) }
+func (ar *Arena) pageHeadOff(class int) uint64 { return ar.dirOff + dirHeadsOff + 2*uint64(class) + 1 }
+
+// classFor returns the smallest class whose single-segment payload holds
+// n bytes, or -1 when n needs the chain path.
+func (ar *Arena) classFor(n int) int {
+	for i, w := range ar.classes {
+		if int((w-1)*8) >= n {
+			return i
+		}
+	}
+	return -1
+}
+
+// pop hands out one free chunk of a class, growing a fresh page when the
+// class free list is empty. Free-list durability is advisory — the
+// startup sweep rebuilds every class list from page reachability, so a
+// stale head after a crash can never double-allocate. The head persist
+// therefore only buys exact leak accounting: on the one-op path
+// (grouped=false) it is worth a fence so a torn publish shows up as
+// exactly one relinked chunk; on the group-commit path it is skipped
+// entirely, which is what lets a batch of B inserts pay O(1) fences
+// instead of O(B).
+func (ar *Arena) pop(ctx *exec.Ctx, class int, grouped bool) (riv.Ptr, error) {
+	ar.mu[class].Lock()
+	defer ar.mu[class].Unlock()
+	headOff := ar.freeHeadOff(class)
+	head := riv.FromWord(ar.dirPool.Load(headOff, ctx.Mem))
+	if head.IsNull() {
+		if err := ar.grow(ctx, class); err != nil {
+			return riv.Null, err
+		}
+		head = riv.FromWord(ar.dirPool.Load(headOff, ctx.Mem))
+	}
+	pool, off := ar.space.Resolve(head)
+	next := pool.Load(off, ctx.Mem) // free chunk header = next free ptr
+	ar.dirPool.Store(headOff, next, ctx.Mem)
+	if !grouped {
+		ar.dirPool.Persist(headOff, 1, ctx.Mem)
+	}
+	ar.alloced.Add(1)
+	return head, nil
+}
+
+// push returns one chunk to its class free list with plain stores — no
+// persists, no fences. Crash-durability of the free lists comes from
+// the startup sweep's rebuild (a retired chunk is unreferenced, so the
+// rebuild relinks it no matter what the old list said); skipping the
+// persists makes freeing fence-free, which matters because the epoch
+// reclaimer returns chunks in large expired batches.
+func (ar *Arena) push(class int, chunk riv.Ptr, acc *pmem.Acc) {
+	ar.mu[class].Lock()
+	defer ar.mu[class].Unlock()
+	headOff := ar.freeHeadOff(class)
+	headW := ar.dirPool.Load(headOff, acc)
+	pool, off := ar.space.Resolve(chunk)
+	pool.Store(off, headW, acc)
+	ar.dirPool.Store(headOff, chunk.Word(), acc)
+	ar.freed.Add(1)
+}
+
+// grow allocates one block, stamps it as a page of the class, links it
+// into the class page list, and carves its chunks onto the (empty) free
+// list. Called with the class mutex held.
+func (ar *Arena) grow(ctx *exec.Ctx, class int) error {
+	page, err := ar.a.Alloc(ctx, riv.Null, 0)
+	if err != nil {
+		return err
+	}
+	pool, off := ar.space.Resolve(page)
+	cw := ar.classes[class]
+	// Stamp + link the page before carving: from here on the allocation
+	// log's slab check (and the sweep) treat the block as arena-owned.
+	pool.Store(off+alloc.BlockKind, alloc.KindSlab, ctx.Mem)
+	pool.Store(off+pageMetaOff, pageMagic|uint64(class), ctx.Mem)
+	pool.Store(off+pageNextOff, ar.dirPool.Load(ar.pageHeadOff(class), ctx.Mem), ctx.Mem)
+	pool.Persist(off, pageHdrLen, ctx.Mem)
+	ar.dirPool.Store(ar.pageHeadOff(class), page.Word(), ctx.Mem)
+	ar.dirPool.Persist(ar.pageHeadOff(class), 1, ctx.Mem)
+	// Carve chunks into a chain ending at null (grow only runs when the
+	// free list is empty), then publish it as the new head.
+	n := (ar.blockWords - pageHdrLen) / cw
+	for i := uint64(0); i < n; i++ {
+		cOff := off + pageHdrLen + i*cw
+		next := uint64(0)
+		if i+1 < n {
+			next = riv.Make(page.Pool(), page.Chunk(), page.Offset()+uint32(pageHdrLen+(i+1)*cw)).Word()
+		}
+		pool.Store(cOff, next, ctx.Mem)
+	}
+	pool.Persist(off+pageHdrLen, n*cw, ctx.Mem)
+	first := riv.Make(page.Pool(), page.Chunk(), page.Offset()+pageHdrLen)
+	ar.dirPool.Store(ar.freeHeadOff(class), first.Word(), ctx.Mem)
+	ar.dirPool.Persist(ar.freeHeadOff(class), 1, ctx.Mem)
+	ar.pages.Add(1)
+	return nil
+}
+
+// storeBytes packs val little-endian into words starting at off.
+func storeBytes(pool *pmem.Pool, off uint64, val []byte, acc *pmem.Acc) {
+	for i := 0; i < len(val); i += 8 {
+		var w uint64
+		for j := 0; j < 8 && i+j < len(val); j++ {
+			w |= uint64(val[i+j]) << (8 * j)
+		}
+		pool.Store(off+uint64(i/8), w, acc)
+	}
+}
+
+// loadBytes unpacks n little-endian bytes from words at off into dst.
+func loadBytes(pool *pmem.Pool, off uint64, n int, dst []byte, acc *pmem.Acc) []byte {
+	for i := 0; i < n; i += 8 {
+		w := pool.Load(off+uint64(i/8), acc)
+		for j := 0; j < 8 && i+j < n; j++ {
+			dst = append(dst, byte(w>>(8*j)))
+		}
+	}
+	return dst
+}
+
+// Put writes val out-of-place and returns its Ref. When flush is nil the
+// chunk contents are persisted (with a fence) before Put returns — the
+// caller may publish the ref immediately. With a non-nil flush the dirty
+// lines are deferred into it instead; the caller MUST Flush before any
+// store that publishes the ref (the batch write path's single grouped
+// fence). Free-list head updates are always persisted inline either way.
+func (ar *Arena) Put(ctx *exec.Ctx, val []byte, flush *pmem.Batch) (Ref, error) {
+	if len(val) > MaxValueLen {
+		return 0, ErrValueTooLong
+	}
+	if class := ar.classFor(len(val)); class >= 0 {
+		chunk, err := ar.pop(ctx, class, flush != nil)
+		if err != nil {
+			return 0, err
+		}
+		pool, off := ar.space.Resolve(chunk)
+		pool.Store(off, hdrUsed|uint64(len(val)), ctx.Mem)
+		storeBytes(pool, off+1, val, ctx.Mem)
+		n := uint64(1 + (len(val)+7)/8)
+		if flush != nil {
+			flush.Add(pool, off, n, ctx.Mem)
+		} else {
+			pool.Persist(off, n, ctx.Mem)
+		}
+		return makeRef(len(val), chunk), nil
+	}
+	return ar.putChained(ctx, val, flush)
+}
+
+// putChained stores val as a chain of largest-class segments. Segments
+// are written back to front so every next pointer lands before the
+// segment holding it is (deferred-)persisted.
+func (ar *Arena) putChained(ctx *exec.Ctx, val []byte, flush *pmem.Batch) (Ref, error) {
+	class := len(ar.classes) - 1
+	segCap := int((ar.classes[class] - 2) * 8)
+	nSegs := (len(val) + segCap - 1) / segCap
+	if nSegs == 0 {
+		nSegs = 1
+	}
+	segs := make([]riv.Ptr, nSegs)
+	for i := range segs {
+		c, err := ar.pop(ctx, class, flush != nil)
+		if err != nil {
+			// Roll the partial chain straight back to the free list: the
+			// chunks were never published anywhere.
+			for _, s := range segs[:i] {
+				ar.push(class, s, ctx.Mem)
+				ar.alloced.Add(^uint64(0))
+			}
+			return 0, err
+		}
+		segs[i] = c
+	}
+	for i := nSegs - 1; i >= 0; i-- {
+		pool, off := ar.space.Resolve(segs[i])
+		start := i * segCap
+		end := start + segCap
+		if end > len(val) {
+			end = len(val)
+		}
+		remaining := len(val) - start
+		next := uint64(0)
+		if i+1 < nSegs {
+			next = segs[i+1].Word()
+		}
+		pool.Store(off, hdrUsed|hdrChained|uint64(remaining), ctx.Mem)
+		pool.Store(off+1, next, ctx.Mem)
+		storeBytes(pool, off+2, val[start:end], ctx.Mem)
+		n := uint64(2 + (end-start+7)/8)
+		if flush != nil {
+			flush.Add(pool, off, n, ctx.Mem)
+		} else {
+			pool.Persist(off, n, ctx.Mem)
+		}
+	}
+	return makeRef(lenChained, segs[0]), nil
+}
+
+// Len returns the byte length of the value behind ref.
+func (ar *Arena) Len(ref Ref, acc *pmem.Acc) int {
+	l := int(uint64(ref) >> refLenShift & lenChained)
+	if l != lenChained {
+		return l
+	}
+	pool, off := ar.space.Resolve(ref.ptr())
+	return int(pool.Load(off, acc) & hdrLenMask)
+}
+
+// Get appends the value behind ref to dst and returns the result. The
+// caller must hold whatever pin protects the ref from reclamation.
+func (ar *Arena) Get(ref Ref, dst []byte, acc *pmem.Acc) []byte {
+	l := int(uint64(ref) >> refLenShift & lenChained)
+	if l != lenChained {
+		pool, off := ar.space.Resolve(ref.ptr())
+		return loadBytes(pool, off+1, l, dst, acc)
+	}
+	p := ref.ptr()
+	for !p.IsNull() {
+		pool, off := ar.space.Resolve(p)
+		hdr := pool.Load(off, acc)
+		remaining := int(hdr & hdrLenMask)
+		segCap := int((ar.classes[len(ar.classes)-1] - 2) * 8)
+		n := remaining
+		if n > segCap {
+			n = segCap
+		}
+		dst = loadBytes(pool, off+2, n, dst, acc)
+		p = riv.FromWord(pool.Load(off+1, acc))
+	}
+	return dst
+}
+
+// PayloadOff resolves the single payload word of an 8-byte single-
+// segment value for the engine's in-place overwrite fast path. ok is
+// false for chained refs or lengths other than 8.
+func (ar *Arena) PayloadOff(ref Ref) (pool *pmem.Pool, off uint64, ok bool) {
+	if uint64(ref)>>refLenShift&lenChained != 8 {
+		return nil, 0, false
+	}
+	pool, off = ar.space.Resolve(ref.ptr())
+	return pool, off + 1, true
+}
+
+// classOf determines a chunk's class from the page that carries it. The
+// page base is recovered by rounding the chunk's offset down to a block
+// boundary within its riv chunk.
+func (ar *Arena) classOf(p riv.Ptr) int {
+	blockOff := uint64(p.Offset()) / ar.blockWords * ar.blockWords
+	pool, off := ar.space.Resolve(riv.Make(p.Pool(), p.Chunk(), uint32(blockOff)))
+	meta := pool.Load(off+pageMetaOff, nil)
+	return int(meta &^ pageMagic)
+}
+
+// Retire places every chunk of ref's value into the limbo: the bytes
+// stay readable until every pin taken before the retire has been
+// released. Callers retire a ref exactly once, after the node word that
+// named it has durably moved on.
+func (ar *Arena) Retire(ref Ref) {
+	ar.retired.Add(1)
+	ar.inLimbo.Add(1)
+	ar.limboMu.Lock()
+	ar.open = append(ar.open, ref)
+	shouldClose := len(ar.open) >= limboBatchSize
+	ar.limboMu.Unlock()
+	if shouldClose {
+		ar.Tick(nil)
+	}
+}
+
+// Tick closes the open limbo batch (tagging it with a fresh era) and
+// frees every closed batch whose grace period has expired. With no
+// domain attached nothing is freed — DrainQuiesced is then the only
+// path that returns retired chunks.
+func (ar *Arena) Tick(acc *pmem.Acc) {
+	var dom *epoch.Domain
+	if ar.dom != nil {
+		dom = ar.dom()
+	}
+	if dom == nil {
+		return
+	}
+	ar.limboMu.Lock()
+	if len(ar.open) > 0 {
+		era := dom.Era()
+		ar.batches = append(ar.batches, limboBatch{era: era, refs: ar.open})
+		ar.open = nil
+		dom.Advance()
+	}
+	min := dom.MinActive()
+	var free []limboBatch
+	keep := ar.batches[:0]
+	for _, b := range ar.batches {
+		if b.era < min {
+			free = append(free, b)
+		} else {
+			keep = append(keep, b)
+		}
+	}
+	ar.batches = keep
+	ar.limboMu.Unlock()
+	for _, b := range free {
+		for _, r := range b.refs {
+			ar.freeRef(r, acc)
+		}
+	}
+}
+
+// DrainQuiesced frees every retired chunk immediately. Callers must
+// guarantee no reader can still hold a ref (store quiesced, or every
+// snapshot closed and workers parked).
+func (ar *Arena) DrainQuiesced(acc *pmem.Acc) {
+	ar.limboMu.Lock()
+	all := ar.batches
+	ar.batches = nil
+	if len(ar.open) > 0 {
+		all = append(all, limboBatch{refs: ar.open})
+		ar.open = nil
+	}
+	ar.limboMu.Unlock()
+	for _, b := range all {
+		for _, r := range b.refs {
+			ar.freeRef(r, acc)
+		}
+	}
+}
+
+// freeRef pushes every segment of a retired value back onto its class
+// free list.
+func (ar *Arena) freeRef(ref Ref, acc *pmem.Acc) {
+	ar.inLimbo.Add(^uint64(0))
+	if !ref.Chained() {
+		p := ref.ptr()
+		ar.push(ar.classOf(p), p, acc)
+		return
+	}
+	class := len(ar.classes) - 1
+	p := ref.ptr()
+	for !p.IsNull() {
+		pool, off := ar.space.Resolve(p)
+		next := riv.FromWord(pool.Load(off+1, acc))
+		ar.push(class, p, acc)
+		p = next
+	}
+}
+
+// ownsBlock implements alloc.SlabCheck: the directory and every page
+// reachable from its page lists are arena-owned. Page lists only grow,
+// so the racy walk is safe.
+func (ar *Arena) ownsBlock(block riv.Ptr) bool {
+	if block == ar.dir {
+		return true
+	}
+	for class := range ar.classes {
+		p := riv.FromWord(ar.dirPool.Load(ar.pageHeadOff(class), nil))
+		for !p.IsNull() {
+			if p == block {
+				return true
+			}
+			pool, off := ar.space.Resolve(p)
+			p = riv.FromWord(pool.Load(off+pageNextOff, nil))
+		}
+	}
+	return false
+}
+
+// Stats returns a snapshot of the arena counters.
+func (ar *Arena) Stats() Stats {
+	return Stats{
+		ChunksAlloced: ar.alloced.Load(),
+		ChunksFreed:   ar.freed.Load(),
+		ChunksRetired: ar.retired.Load(),
+		LimboChunks:   ar.inLimbo.Load(),
+		Pages:         ar.pages.Load(),
+		SweepRelinked: ar.sweepRelinked.Load(),
+		SweepPages:    ar.sweepPages.Load(),
+	}
+}
+
+// Sweep is the startup crash-leak scan. live must call its argument
+// with every node value word currently published in the structure (the
+// engine walks the bottom level); Sweep follows refs (and their chains)
+// to build the referenced set, then REBUILDS every class free list from
+// page reachability: each page chunk that no live ref reaches goes onto
+// a freshly-carved chain, and the old list is only consulted (with full
+// validation, since a crash can leave a head pointing at a handed-out
+// chunk whose header is payload bytes) to tell genuine leaks from
+// chunks that were already free — the relinked count reports only the
+// former. The rebuild is what makes allocation-time free-list persists
+// unnecessary: no head that survived a crash is ever trusted. KindSlab
+// blocks unreachable from the directory's page lists (a crash between
+// block allocation and page linking) are returned to the block
+// allocator whole.
+//
+// Must run quiesced (no concurrent operations), which is the state at
+// Reopen/Load time. Idempotent: a clean store sweeps zero chunks.
+func (ar *Arena) Sweep(ctx *exec.Ctx, live func(emit func(word uint64))) (relinked, pagesFreed int) {
+	referenced := make(map[riv.Ptr]bool)
+	live(func(w uint64) {
+		if !IsRef(w) {
+			return
+		}
+		ref := Ref(w)
+		p := ref.ptr()
+		if !ref.Chained() {
+			referenced[p] = true
+			return
+		}
+		for !p.IsNull() {
+			referenced[p] = true
+			pool, off := ar.space.Resolve(p)
+			p = riv.FromWord(pool.Load(off+1, ctx.Mem))
+		}
+	})
+
+	// Refs still sitting in this handle's limbo are owned (they will be
+	// freed through Tick/DrainQuiesced); at startup the limbo is empty,
+	// so this only matters for mid-run sweeps in tests.
+	ar.limboMu.Lock()
+	for _, b := range append(append([]limboBatch(nil), ar.batches...), limboBatch{refs: ar.open}) {
+		for _, r := range b.refs {
+			p := r.ptr()
+			if !r.Chained() {
+				referenced[p] = true
+				continue
+			}
+			for !p.IsNull() {
+				referenced[p] = true
+				pool, off := ar.space.Resolve(p)
+				p = riv.FromWord(pool.Load(off+1, ctx.Mem))
+			}
+		}
+	}
+	ar.limboMu.Unlock()
+
+	// Page census first: the old free lists can only be interpreted
+	// against the set of pages each class actually owns.
+	linkedPages := map[riv.Ptr]bool{ar.dir: true}
+	pagesByClass := make([][]riv.Ptr, len(ar.classes))
+	chunkClass := make(map[riv.Ptr]int) // every carvable chunk slot, by owning class
+	for class := range ar.classes {
+		cw := ar.classes[class]
+		n := (ar.blockWords - pageHdrLen) / cw
+		page := riv.FromWord(ar.dirPool.Load(ar.pageHeadOff(class), ctx.Mem))
+		for !page.IsNull() {
+			linkedPages[page] = true
+			pagesByClass[class] = append(pagesByClass[class], page)
+			for i := uint64(0); i < n; i++ {
+				chunkClass[riv.Make(page.Pool(), page.Chunk(), page.Offset()+uint32(pageHdrLen+i*cw))] = class
+			}
+			pool, off := ar.space.Resolve(page)
+			page = riv.FromWord(pool.Load(off+pageNextOff, ctx.Mem))
+		}
+	}
+
+	// Walk the old free lists defensively to learn which unreferenced
+	// chunks were already free (so they don't count as leaks). After a
+	// crash a stale head may point at a handed-out chunk whose header is
+	// payload, so every step is validated — a real chunk slot of this
+	// class, unreferenced, unseen — and the walk stops at the first entry
+	// that fails (everything past it is reconstructed below anyway).
+	onList := make(map[riv.Ptr]bool)
+	for class := range ar.classes {
+		p := riv.FromWord(ar.dirPool.Load(ar.freeHeadOff(class), ctx.Mem))
+		for !p.IsNull() {
+			if c, ok := chunkClass[p]; !ok || c != class || referenced[p] || onList[p] {
+				break
+			}
+			onList[p] = true
+			pool, off := ar.space.Resolve(p)
+			p = riv.FromWord(pool.Load(off, ctx.Mem))
+		}
+	}
+
+	// Rebuild each class list from scratch: carve a fresh chain through
+	// every unreferenced chunk and publish it as the new head. Chunks
+	// absent from the validated old list are the crash leaks; they are
+	// linked last so they come off the list first — the next allocation
+	// reuses recovered space before touching the long-free tail.
+	for class := range ar.classes {
+		cw := ar.classes[class]
+		n := (ar.blockWords - pageHdrLen) / cw
+		newHead := uint64(0)
+		link := func(leaks bool) {
+			for _, page := range pagesByClass[class] {
+				pool, off := ar.space.Resolve(page)
+				for i := uint64(0); i < n; i++ {
+					chunk := riv.Make(page.Pool(), page.Chunk(), page.Offset()+uint32(pageHdrLen+i*cw))
+					if referenced[chunk] || onList[chunk] == leaks {
+						continue
+					}
+					pool.Store(off+pageHdrLen+i*cw, newHead, ctx.Mem)
+					newHead = chunk.Word()
+					if leaks {
+						relinked++
+					}
+				}
+			}
+		}
+		link(false)
+		link(true)
+		for _, page := range pagesByClass[class] {
+			pool, off := ar.space.Resolve(page)
+			pool.Persist(off+pageHdrLen, n*cw, ctx.Mem)
+		}
+		ar.dirPool.Store(ar.freeHeadOff(class), newHead, ctx.Mem)
+		ar.dirPool.Persist(ar.freeHeadOff(class), 1, ctx.Mem)
+	}
+
+	for _, b := range ar.a.SlabBlocks() {
+		if !linkedPages[b] {
+			ar.a.Free(ctx, b)
+			pagesFreed++
+		}
+	}
+	ar.sweepRelinked.Store(uint64(relinked))
+	ar.sweepPages.Store(uint64(pagesFreed))
+	return relinked, pagesFreed
+}

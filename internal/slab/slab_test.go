@@ -1,0 +1,481 @@
+package slab
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"upskiplist/internal/alloc"
+	"upskiplist/internal/epoch"
+	"upskiplist/internal/exec"
+	"upskiplist/internal/pmem"
+	"upskiplist/internal/riv"
+)
+
+type testEnv struct {
+	pool  *pmem.Pool
+	pa    *alloc.PoolAllocator
+	space *riv.Space
+	clock *epoch.Clock
+	a     *alloc.Allocator
+	ar    *Arena
+	ctx   *exec.Ctx
+}
+
+func smallConfig() alloc.Config {
+	return alloc.Config{
+		ChunkWords: 2048,
+		MaxChunks:  64,
+		BlockWords: 128,
+		NumArenas:  2,
+		NumLogs:    16,
+		RootWords:  64,
+	}
+}
+
+func newEnv(t testing.TB, cfg alloc.Config) *testEnv {
+	t.Helper()
+	pool, err := pmem.NewPool(pmem.Config{ID: 0, Words: alloc.MinPoolWords(cfg, cfg.MaxChunks), HomeNode: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := alloc.Format(pool, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := riv.NewSpace()
+	space.AddPool(pool)
+	clock := epoch.Attach(pool, alloc.EpochOff)
+	clock.InitIfZero()
+	a := alloc.New(space, clock)
+	a.AttachPool(pa, -1)
+	ctx := exec.NewCtx(0, 0)
+	ar, err := Attach(a, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testEnv{pool: pool, pa: pa, space: space, clock: clock, a: a, ar: ar, ctx: ctx}
+}
+
+// reattach simulates a process restart over the same pool image.
+func (env *testEnv) reattach(t testing.TB) *testEnv {
+	t.Helper()
+	pa, err := alloc.Attach(env.pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := riv.NewSpace()
+	space.AddPool(env.pool)
+	clock := epoch.Attach(env.pool, alloc.EpochOff)
+	clock.Advance() // reopen bumps the failure-free epoch
+	a := alloc.New(space, clock)
+	a.AttachPool(pa, -1)
+	ctx := exec.NewCtx(0, 0)
+	ar, err := Attach(a, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testEnv{pool: env.pool, pa: pa, space: space, clock: clock, a: a, ar: ar, ctx: ctx}
+}
+
+func TestClassGeometry(t *testing.T) {
+	env := newEnv(t, smallConfig())
+	classes := env.ar.Classes()
+	if len(classes) == 0 {
+		t.Fatal("no classes")
+	}
+	if classes[0] != minClassWords {
+		t.Fatalf("smallest class %d, want %d", classes[0], minClassWords)
+	}
+	for i := 1; i < len(classes); i++ {
+		if classes[i] != classes[i-1]*2 {
+			t.Fatalf("classes not doubling: %v", classes)
+		}
+	}
+	if classes[len(classes)-1] > smallConfig().BlockWords-pageHdrLen {
+		t.Fatalf("largest class %d exceeds page space", classes[len(classes)-1])
+	}
+	if env.ar.MaxSingle() != int((classes[len(classes)-1]-1)*8) {
+		t.Fatalf("MaxSingle %d inconsistent with classes %v", env.ar.MaxSingle(), classes)
+	}
+}
+
+func TestClassRounding(t *testing.T) {
+	env := newEnv(t, smallConfig())
+	for n := 0; n <= env.ar.MaxSingle(); n++ {
+		c := env.ar.classFor(n)
+		if c < 0 {
+			t.Fatalf("classFor(%d) = -1 inside single-segment range", n)
+		}
+		if int((env.ar.classes[c]-1)*8) < n {
+			t.Fatalf("classFor(%d) = %d words, too small", n, env.ar.classes[c])
+		}
+		if c > 0 && int((env.ar.classes[c-1]-1)*8) >= n {
+			t.Fatalf("classFor(%d) = class %d, but class %d already fits", n, c, c-1)
+		}
+	}
+	if env.ar.classFor(env.ar.MaxSingle()+1) != -1 {
+		t.Fatal("oversize length mapped to a single-segment class")
+	}
+}
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*7 + seed
+	}
+	return b
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	env := newEnv(t, smallConfig())
+	sizes := []int{0, 1, 7, 8, 9, 15, 16, 24, 100, 500,
+		env.ar.MaxSingle(), env.ar.MaxSingle() + 1, 4000, 9000}
+	refs := make([]Ref, len(sizes))
+	for i, n := range sizes {
+		ref, err := env.ar.Put(env.ctx, pattern(n, byte(i)), nil)
+		if err != nil {
+			t.Fatalf("Put(%d bytes): %v", n, err)
+		}
+		if !IsRef(ref.Word()) {
+			t.Fatalf("Put(%d bytes) produced non-ref word %#x", n, ref)
+		}
+		refs[i] = ref
+	}
+	for i, n := range sizes {
+		if got := env.ar.Len(refs[i], nil); got != n {
+			t.Fatalf("Len(ref %d) = %d, want %d", i, got, n)
+		}
+		got := env.ar.Get(refs[i], nil, nil)
+		if !bytes.Equal(got, pattern(n, byte(i))) {
+			t.Fatalf("Get(ref %d, %d bytes) mismatch", i, n)
+		}
+	}
+}
+
+func TestRefNeverTombstoneOrZero(t *testing.T) {
+	env := newEnv(t, smallConfig())
+	for _, n := range []int{0, 8, 100, 9000} {
+		ref, err := env.ar.Put(env.ctx, pattern(n, 1), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Word() == 0 || ref.Word() == ^uint64(0) {
+			t.Fatalf("ref for %d-byte value collides with sentinel: %#x", n, ref)
+		}
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	env := newEnv(t, smallConfig())
+	ref1, err := env.ar.Put(env.ctx, pattern(20, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.ar.Retire(ref1)
+	env.ar.DrainQuiesced(nil)
+	ref2, err := env.ar.Put(env.ctx, pattern(20, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref1.ptr() != ref2.ptr() {
+		t.Fatalf("freed chunk not reused: %v then %v", ref1.ptr(), ref2.ptr())
+	}
+	if got := env.ar.Get(ref2, nil, nil); !bytes.Equal(got, pattern(20, 2)) {
+		t.Fatal("reused chunk returned stale bytes")
+	}
+}
+
+func TestNoOverlap(t *testing.T) {
+	env := newEnv(t, smallConfig())
+	rng := rand.New(rand.NewSource(42))
+	type span struct{ lo, hi uint64 } // absolute word offsets, in-use words
+	var spans []span
+	vals := make(map[int][]byte)
+	var refs []Ref
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(env.ar.MaxSingle() * 2)
+		v := pattern(n, byte(i))
+		ref, err := env.ar.Put(env.ctx, v, nil)
+		if err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		refs = append(refs, ref)
+		vals[i] = v
+		p := ref.ptr()
+		for !p.IsNull() {
+			_, off := env.space.Resolve(p)
+			pool, o := env.space.Resolve(p)
+			hdr := pool.Load(o, nil)
+			words := uint64(1 + (int(hdr&hdrLenMask)+7)/8)
+			if hdr&hdrChained != 0 {
+				segCap := int((env.ar.classes[len(env.ar.classes)-1] - 2) * 8)
+				seg := int(hdr & hdrLenMask)
+				if seg > segCap {
+					seg = segCap
+				}
+				words = uint64(2 + (seg+7)/8)
+			}
+			spans = append(spans, span{off, off + words})
+			if hdr&hdrChained != 0 {
+				p = riv.FromWord(pool.Load(o+1, nil))
+			} else {
+				p = riv.Null
+			}
+		}
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+				t.Fatalf("chunk overlap: [%d,%d) vs [%d,%d)", spans[i].lo, spans[i].hi, spans[j].lo, spans[j].hi)
+			}
+		}
+	}
+	// Every value still reads back after all the allocation churn.
+	for i, ref := range refs {
+		if got := env.ar.Get(ref, nil, nil); !bytes.Equal(got, vals[i]) {
+			t.Fatalf("value %d corrupted", i)
+		}
+	}
+}
+
+// TestCrashLeakSweep simulates the torn-publish crash: a value is
+// written and persisted but the node word naming it never lands. After
+// the crash the chunk is in-use yet unreferenced; the startup sweep must
+// relink it.
+func TestCrashLeakSweep(t *testing.T) {
+	env := newEnv(t, smallConfig())
+
+	// A published (live) value that must survive.
+	keep, err := env.ar.Put(env.ctx, pattern(40, 9), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env.pool.EnableTracking()
+	// The doomed publish: Put persists the chunk itself, then the crash
+	// hits before any node word is written.
+	leaked, err := env.ar.Put(env.ctx, pattern(40, 5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.pool.Crash()
+	env.pool.DisableTracking()
+
+	env2 := env.reattach(t)
+	relinked, pagesFreed := env2.ar.Sweep(env2.ctx, func(emit func(uint64)) {
+		emit(keep.Word())
+	})
+	if relinked != 1 {
+		t.Fatalf("sweep relinked %d chunks, want 1", relinked)
+	}
+	if pagesFreed != 0 {
+		t.Fatalf("sweep freed %d pages, want 0", pagesFreed)
+	}
+	if got := env2.ar.Get(keep, nil, nil); !bytes.Equal(got, pattern(40, 9)) {
+		t.Fatal("live value damaged by sweep")
+	}
+	// The reclaimed chunk is at the head of its free list again.
+	again, err := env2.ar.Put(env2.ctx, pattern(40, 6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ptr() != leaked.ptr() {
+		t.Fatalf("leaked chunk %v not reused, got %v", leaked.ptr(), again.ptr())
+	}
+}
+
+// TestCrashMidPush covers the free-side leak window: push is entirely
+// volatile (no persists — free-list durability is advisory), so a crash
+// right after a retired chunk was pushed reverts both its next-header
+// and the list head. The chunk then looks used but no node references
+// it — exactly the shape of a leaked allocation — and the sweep's
+// rebuild must relink it.
+func TestCrashMidPush(t *testing.T) {
+	env := newEnv(t, smallConfig())
+	ref, err := env.ar.Put(env.ctx, pattern(20, 3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env.pool.EnableTracking()
+	env.ar.Retire(ref)
+	env.ar.DrainQuiesced(nil)
+	env.pool.Crash()
+	env.pool.DisableTracking()
+
+	env2 := env.reattach(t)
+	relinked, _ := env2.ar.Sweep(env2.ctx, func(emit func(uint64)) {})
+	if relinked != 1 {
+		t.Fatalf("sweep relinked %d chunks, want 1", relinked)
+	}
+}
+
+// TestSweepFreesUnlinkedPage: a crash between block allocation and page
+// linking leaves a KindSlab block reachable from nowhere; the sweep
+// returns it to the block allocator and BlockCensus balances.
+func TestSweepFreesUnlinkedPage(t *testing.T) {
+	env := newEnv(t, smallConfig())
+	if _, err := env.ar.Put(env.ctx, pattern(8, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Forge the crash artifact: a block stamped KindSlab that never made
+	// it into a page list.
+	blk, err := env.a.Alloc(env.ctx, riv.Null, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, off := env.space.Resolve(blk)
+	pool.Store(off+alloc.BlockKind, alloc.KindSlab, nil)
+	pool.Persist(off+alloc.BlockKind, 1, nil)
+
+	before := env.a.Census()
+	env2 := env.reattach(t)
+	_, pagesFreed := env2.ar.Sweep(env2.ctx, func(emit func(uint64)) {})
+	if pagesFreed != 1 {
+		t.Fatalf("sweep freed %d pages, want 1", pagesFreed)
+	}
+	after := env2.a.Census()
+	if after.Slab != before.Slab-1 {
+		t.Fatalf("census slab %d -> %d, want one fewer", before.Slab, after.Slab)
+	}
+	if after.Free != before.Free+1 {
+		t.Fatalf("census free %d -> %d, want one more", before.Free, after.Free)
+	}
+	if after.Total != before.Total {
+		t.Fatalf("census total changed: %d -> %d", before.Total, after.Total)
+	}
+}
+
+// TestSweepCleanStoreIsNoop: sweeping a healthy store must reclaim
+// nothing.
+func TestSweepCleanStoreIsNoop(t *testing.T) {
+	env := newEnv(t, smallConfig())
+	var words []uint64
+	for i := 0; i < 50; i++ {
+		ref, err := env.ar.Put(env.ctx, pattern(i*13%300, byte(i)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		words = append(words, ref.Word())
+	}
+	env2 := env.reattach(t)
+	relinked, pagesFreed := env2.ar.Sweep(env2.ctx, func(emit func(uint64)) {
+		for _, w := range words {
+			emit(w)
+		}
+	})
+	if relinked != 0 || pagesFreed != 0 {
+		t.Fatalf("clean sweep reclaimed %d chunks, %d pages; want 0, 0", relinked, pagesFreed)
+	}
+}
+
+// TestRetireGracePeriod: with a domain attached, retired bytes stay
+// readable until every pin taken before the retire is released.
+func TestRetireGracePeriod(t *testing.T) {
+	env := newEnv(t, smallConfig())
+	dom := epoch.NewDomain(4)
+	env.ar.SetDomain(func() *epoch.Domain { return dom })
+
+	ref, err := env.ar.Put(env.ctx, pattern(64, 7), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, ok := dom.PinCurrent()
+	if !ok {
+		t.Fatal("PinCurrent failed")
+	}
+	env.ar.Retire(ref)
+	env.ar.Tick(nil)
+	env.ar.Tick(nil)
+	if got := env.ar.Get(ref, nil, nil); !bytes.Equal(got, pattern(64, 7)) {
+		t.Fatal("retired bytes mutated while a pin was held")
+	}
+	if env.ar.Stats().LimboChunks != 1 {
+		t.Fatalf("limbo drained under an active pin: %+v", env.ar.Stats())
+	}
+	dom.Unpin(id)
+	env.ar.Tick(nil)
+	if env.ar.Stats().LimboChunks != 0 {
+		t.Fatalf("limbo not drained after unpin: %+v", env.ar.Stats())
+	}
+	// Freed chunk is reusable now.
+	if _, err := env.ar.Put(env.ctx, pattern(64, 8), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchedPutDeferredFlush: Put with a pmem.Batch defers the data
+// persists; the caller's single Flush makes everything durable.
+func TestBatchedPutDeferredFlush(t *testing.T) {
+	env := newEnv(t, smallConfig())
+	env.pool.EnableTracking()
+	var b pmem.Batch
+	var refs []Ref
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		v := pattern(30+i, byte(i))
+		ref, err := env.ar.Put(env.ctx, v, &b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+		want = append(want, v)
+	}
+	b.Flush(nil)
+	env.pool.Crash()
+	env.pool.DisableTracking()
+	for i, ref := range refs {
+		if got := env.ar.Get(ref, nil, nil); !bytes.Equal(got, want[i]) {
+			t.Fatalf("value %d torn after crash despite Flush", i)
+		}
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	env := newEnv(t, alloc.Config{
+		ChunkWords: 4096,
+		MaxChunks:  256,
+		BlockWords: 128,
+		NumArenas:  4,
+		NumLogs:    16,
+		RootWords:  64,
+	})
+	const workers = 4
+	const perWorker = 300
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			ctx := exec.NewCtx(w, 0)
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				n := rng.Intn(600)
+				v := pattern(n, byte(w*31+i))
+				ref, err := env.ar.Put(ctx, v, nil)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d put %d: %w", w, i, err)
+					return
+				}
+				if got := env.ar.Get(ref, nil, nil); !bytes.Equal(got, v) {
+					errs <- fmt.Errorf("worker %d value %d mismatch", w, i)
+					return
+				}
+				if i%3 == 0 {
+					env.ar.Retire(ref)
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	env.ar.DrainQuiesced(nil)
+	if env.ar.Stats().LimboChunks != 0 {
+		t.Fatalf("limbo not empty after drain: %+v", env.ar.Stats())
+	}
+}

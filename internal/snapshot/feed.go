@@ -26,11 +26,13 @@ const (
 	ChangeDel
 )
 
-// Change is one committed mutation.
+// Change is one committed mutation. Value is owned by the feed once
+// appended: producers hand over a private copy (the feed outlives the
+// batch buffers the bytes came from), and consumers must not mutate it.
 type Change struct {
 	Kind  ChangeKind
 	Key   uint64
-	Value uint64
+	Value []byte
 }
 
 // Batch is one committed group of changes, stamped with the feed era

@@ -1,10 +1,19 @@
 package snapshot
 
 import (
+	"encoding/binary"
 	"errors"
 	"testing"
 	"time"
 )
+
+// leVal encodes v as the 8-byte little-endian payload the engine's
+// compatibility shims use.
+func leVal(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
 
 func TestFeedErasAndSince(t *testing.T) {
 	f := NewFeed(8)
@@ -16,7 +25,7 @@ func TestFeedErasAndSince(t *testing.T) {
 		t.Fatalf("empty append era = %d", era)
 	}
 	for i := 1; i <= 3; i++ {
-		era := f.Append([]Change{{Kind: ChangePut, Key: uint64(i), Value: uint64(i * 10)}})
+		era := f.Append([]Change{{Kind: ChangePut, Key: uint64(i), Value: leVal(uint64(i * 10))}})
 		if era != uint64(i) {
 			t.Fatalf("append %d stamped era %d", i, era)
 		}

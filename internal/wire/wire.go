@@ -25,6 +25,14 @@
 // flight on one connection, and the server may interleave responses of
 // different requests (responses to one request are never split). IDs are
 // opaque to the server; clients typically assign them from a counter.
+//
+// Protocol version 2 (this revision) carries values as length-prefixed
+// byte strings (uint32 length + bytes) everywhere a version-1 frame
+// carried a fixed uint64 value: PUT requests, batch PUT ops, and the
+// value fields of GET/PUT/DEL/SCAN/SNAP_SCAN/BATCH responses. The two
+// versions are not wire-compatible; a version-1 peer misparses every
+// value-bearing frame, so deployments must upgrade server and clients
+// together.
 package wire
 
 import (
@@ -36,6 +44,11 @@ import (
 
 // Opcode selects the operation of a request frame.
 type Opcode uint8
+
+// ProtocolVersion identifies the frame layout this package speaks.
+// Version 2 introduced variable-size byte values (see the package doc);
+// version 1 carried fixed uint64 values.
+const ProtocolVersion = 2
 
 // Protocol opcodes.
 const (
@@ -117,13 +130,19 @@ func (s Status) String() string {
 // cannot make it allocate unboundedly.
 const MaxFrame = 1 << 20
 
-// MaxBatchOps is the largest op count a BATCH request may carry
-// (17 bytes per op keeps the frame comfortably under MaxFrame).
+// MaxBatchOps is the largest op count a BATCH request may carry. Since
+// values are variable-size, MaxFrame is the binding bound for batches of
+// large values; this caps the op count alone.
 const MaxBatchOps = 4096
 
-// MaxScanLimit is the largest pair count a SCAN may request (16 bytes
-// per pair in the response).
+// MaxScanLimit is the largest pair count a SCAN may request; as with
+// batches, MaxFrame bounds the response bytes.
 const MaxScanLimit = 4096
+
+// MaxValue bounds a single value's byte length on the wire. It equals
+// the engine's MaxValueLen; servers may impose a lower bound via their
+// -max-value flag (rejected with StatusTooLarge).
+const MaxValue = 1 << 20
 
 // Sentinel errors. Clients match on these with errors.Is instead of
 // sniffing status codes or message strings: every non-OK response the
@@ -196,13 +215,13 @@ func StatusOf(err error) Status {
 type BatchOp struct {
 	Kind  Opcode
 	Key   uint64
-	Value uint64
+	Value []byte
 }
 
 // Pair is one key/value result of a SCAN.
 type Pair struct {
 	Key   uint64
-	Value uint64
+	Value []byte
 }
 
 // OpResult is one per-op result inside a BATCH response: for a PUT,
@@ -210,7 +229,7 @@ type Pair struct {
 // (found, removed value).
 type OpResult struct {
 	Found bool
-	Value uint64
+	Value []byte
 }
 
 // Request is a decoded request frame. Exactly the fields implied by Op
@@ -219,7 +238,7 @@ type Request struct {
 	Op  Opcode
 	ID  uint64
 	Key uint64 // GET/PUT/DEL
-	Val uint64 // PUT
+	Val []byte // PUT
 
 	Lo, Hi uint64 // SCAN / SNAP_SCAN
 	Limit  uint32 // SCAN / SNAP_SCAN
@@ -238,7 +257,7 @@ type Response struct {
 	ID     uint64
 
 	Found bool   // GET/PUT/DEL: found / existed; SNAP_RELEASE: lease existed
-	Value uint64 // GET value, PUT old value, DEL removed value
+	Value []byte // GET value, PUT old value, DEL removed value
 
 	// Snap is the snapshot lease id a SNAP_SCAN page belongs to (newly
 	// minted when the request opened with Snap = 0).
@@ -329,8 +348,11 @@ func AppendRequest(dst []byte, q *Request) ([]byte, error) {
 	case OpGet, OpDel:
 		dst = binary.BigEndian.AppendUint64(dst, q.Key)
 	case OpPut:
+		if len(q.Val) > MaxValue {
+			return nil, fmt.Errorf("%w: value of %d bytes exceeds MaxValue (%d)", ErrTooLarge, len(q.Val), MaxValue)
+		}
 		dst = binary.BigEndian.AppendUint64(dst, q.Key)
-		dst = binary.BigEndian.AppendUint64(dst, q.Val)
+		dst = appendValue(dst, q.Val)
 	case OpScan:
 		dst = binary.BigEndian.AppendUint64(dst, q.Lo)
 		dst = binary.BigEndian.AppendUint64(dst, q.Hi)
@@ -353,9 +375,14 @@ func AppendRequest(dst []byte, q *Request) ([]byte, error) {
 			default:
 				return nil, fmt.Errorf("%w: batch op kind %s not batchable", ErrMalformed, op.Kind)
 			}
+			if op.Kind == OpPut && len(op.Value) > MaxValue {
+				return nil, fmt.Errorf("%w: batch value of %d bytes exceeds MaxValue (%d)", ErrTooLarge, len(op.Value), MaxValue)
+			}
 			dst = append(dst, byte(op.Kind))
 			dst = binary.BigEndian.AppendUint64(dst, op.Key)
-			dst = binary.BigEndian.AppendUint64(dst, op.Value)
+			if op.Kind == OpPut {
+				dst = appendValue(dst, op.Value)
+			}
 		}
 	default:
 		return nil, fmt.Errorf("%w: unknown opcode %s", ErrMalformed, q.Op)
@@ -375,7 +402,7 @@ func DecodeRequest(p []byte, q *Request) error {
 		q.Key = d.u64()
 	case OpPut:
 		q.Key = d.u64()
-		q.Val = d.u64()
+		q.Val = d.value()
 	case OpScan:
 		q.Lo = d.u64()
 		q.Hi = d.u64()
@@ -407,7 +434,11 @@ func DecodeRequest(p []byte, q *Request) error {
 					return fmt.Errorf("%w: batch op kind %d not batchable", ErrMalformed, uint8(kind))
 				}
 			}
-			q.Batch = append(q.Batch, BatchOp{Kind: kind, Key: d.u64(), Value: d.u64()})
+			op := BatchOp{Kind: kind, Key: d.u64()}
+			if kind == OpPut {
+				op.Value = d.value()
+			}
+			q.Batch = append(q.Batch, op)
 		}
 	default:
 		return fmt.Errorf("%w: unknown opcode %d", ErrMalformed, uint8(op))
@@ -433,19 +464,19 @@ func AppendResponse(dst []byte, r *Response) []byte {
 	switch r.Op {
 	case OpGet, OpPut, OpDel:
 		dst = append(dst, b2u8(r.Found))
-		dst = binary.BigEndian.AppendUint64(dst, r.Value)
+		dst = appendValue(dst, r.Value)
 	case OpScan:
 		dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Pairs)))
 		for _, pr := range r.Pairs {
 			dst = binary.BigEndian.AppendUint64(dst, pr.Key)
-			dst = binary.BigEndian.AppendUint64(dst, pr.Value)
+			dst = appendValue(dst, pr.Value)
 		}
 	case OpSnapScan:
 		dst = binary.BigEndian.AppendUint64(dst, r.Snap)
 		dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Pairs)))
 		for _, pr := range r.Pairs {
 			dst = binary.BigEndian.AppendUint64(dst, pr.Key)
-			dst = binary.BigEndian.AppendUint64(dst, pr.Value)
+			dst = appendValue(dst, pr.Value)
 		}
 	case OpSnapRelease:
 		dst = append(dst, b2u8(r.Found))
@@ -453,7 +484,7 @@ func AppendResponse(dst []byte, r *Response) []byte {
 		dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Results)))
 		for _, res := range r.Results {
 			dst = append(dst, b2u8(res.Found))
-			dst = binary.BigEndian.AppendUint64(dst, res.Value)
+			dst = appendValue(dst, res.Value)
 		}
 	}
 	return dst
@@ -478,14 +509,14 @@ func DecodeResponse(p []byte, r *Response) error {
 	switch op {
 	case OpGet, OpPut, OpDel:
 		r.Found = d.u8() != 0
-		r.Value = d.u64()
+		r.Value = d.value()
 	case OpScan:
 		n := d.u32()
 		if n > MaxScanLimit {
 			return fmt.Errorf("%w: scan response of %d pairs exceeds MaxScanLimit (%d)", ErrTooLarge, n, MaxScanLimit)
 		}
 		for i := uint32(0); i < n && d.err == nil; i++ {
-			r.Pairs = append(r.Pairs, Pair{Key: d.u64(), Value: d.u64()})
+			r.Pairs = append(r.Pairs, Pair{Key: d.u64(), Value: d.value()})
 		}
 	case OpSnapScan:
 		r.Snap = d.u64()
@@ -494,7 +525,7 @@ func DecodeResponse(p []byte, r *Response) error {
 			return fmt.Errorf("%w: scan response of %d pairs exceeds MaxScanLimit (%d)", ErrTooLarge, n, MaxScanLimit)
 		}
 		for i := uint32(0); i < n && d.err == nil; i++ {
-			r.Pairs = append(r.Pairs, Pair{Key: d.u64(), Value: d.u64()})
+			r.Pairs = append(r.Pairs, Pair{Key: d.u64(), Value: d.value()})
 		}
 	case OpSnapRelease:
 		r.Found = d.u8() != 0
@@ -504,12 +535,18 @@ func DecodeResponse(p []byte, r *Response) error {
 			return fmt.Errorf("%w: batch response of %d results exceeds MaxBatchOps (%d)", ErrTooLarge, n, MaxBatchOps)
 		}
 		for i := uint32(0); i < n && d.err == nil; i++ {
-			r.Results = append(r.Results, OpResult{Found: d.u8() != 0, Value: d.u64()})
+			r.Results = append(r.Results, OpResult{Found: d.u8() != 0, Value: d.value()})
 		}
 	default:
 		return fmt.Errorf("%w: unknown opcode %d", ErrMalformed, uint8(op))
 	}
 	return d.finish()
+}
+
+// appendValue appends a length-prefixed byte string.
+func appendValue(dst, v []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(v)))
+	return append(dst, v...)
 }
 
 func b2u8(b bool) byte {
@@ -573,6 +610,27 @@ func (d *decoder) u64() uint64 {
 }
 
 func (d *decoder) bytes(n int) []byte { return d.take(n) }
+
+// value reads a length-prefixed byte string, returning a private copy
+// (decode results must alias nothing in the input payload). A nil/empty
+// value round-trips as an empty non-nil slice when present.
+func (d *decoder) value() []byte {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if n > MaxValue {
+		d.err = fmt.Errorf("%w: value of %d bytes exceeds MaxValue (%d)", ErrTooLarge, n, MaxValue)
+		return nil
+	}
+	b := d.take(int(n))
+	if d.err != nil || n == 0 {
+		// Empty values decode to nil so they round-trip (and cost no
+		// allocation); len is the contract, nil-ness is not.
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
 
 func (d *decoder) finish() error {
 	if d.err != nil {

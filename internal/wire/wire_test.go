@@ -34,11 +34,13 @@ func roundTripRequest(t *testing.T, q Request) Request {
 func TestRequestRoundTrip(t *testing.T) {
 	cases := []Request{
 		{Op: OpGet, ID: 1, Key: 42},
-		{Op: OpPut, ID: 2, Key: 42, Val: 1000},
+		{Op: OpPut, ID: 2, Key: 42, Val: []byte("ten-hundred")},
+		{Op: OpPut, ID: 3, Key: 43, Val: nil}, // empty value round-trips as nil
 		{Op: OpDel, ID: 1 << 60, Key: 7},
 		{Op: OpScan, ID: 9, Lo: 10, Hi: 50, Limit: 100},
 		{Op: OpBatch, ID: 77, Batch: []BatchOp{
-			{Kind: OpPut, Key: 1, Value: 10},
+			{Kind: OpPut, Key: 1, Value: []byte{10}},
+			{Kind: OpPut, Key: 3, Value: bytes.Repeat([]byte{0xAB}, 300)},
 			{Kind: OpGet, Key: 1},
 			{Kind: OpDel, Key: 2},
 		}},
@@ -73,16 +75,16 @@ func roundTripResponse(t *testing.T, r Response) Response {
 
 func TestResponseRoundTrip(t *testing.T) {
 	cases := []Response{
-		{Op: OpGet, ID: 1, Found: true, Value: 99},
+		{Op: OpGet, ID: 1, Found: true, Value: []byte{99}},
 		{Op: OpGet, ID: 2, Found: false},
-		{Op: OpPut, ID: 3, Found: true, Value: 5},
+		{Op: OpPut, ID: 3, Found: true, Value: []byte("five")},
 		{Op: OpDel, ID: 4, Found: false},
-		{Op: OpScan, ID: 5, Pairs: []Pair{{1, 10}, {2, 20}}},
+		{Op: OpScan, ID: 5, Pairs: []Pair{{1, []byte{10}}, {2, []byte{20, 21}}}},
 		{Op: OpScan, ID: 6, Pairs: []Pair{}},
-		{Op: OpBatch, ID: 7, Results: []OpResult{{true, 1}, {false, 0}}},
+		{Op: OpBatch, ID: 7, Results: []OpResult{{true, []byte{1}}, {false, nil}}},
 		{Op: OpPut, ID: 8, Status: StatusErr, Msg: "key out of range"},
 		{Op: OpGet, ID: 9, Status: StatusShutdown},
-		{Op: OpSnapScan, ID: 10, Snap: 7, Pairs: []Pair{{1, 10}, {2, 20}}},
+		{Op: OpSnapScan, ID: 10, Snap: 7, Pairs: []Pair{{1, []byte{10}}, {2, []byte{20}}}},
 		{Op: OpSnapScan, ID: 11, Snap: 7, Pairs: []Pair{}},
 		{Op: OpSnapRelease, ID: 12, Found: true},
 		{Op: OpSnapScan, ID: 13, Status: StatusErr, Msg: "unknown or expired snapshot lease 9"},
@@ -108,7 +110,7 @@ func TestResponseRoundTrip(t *testing.T) {
 }
 
 func TestDecodeRequestReusesBatch(t *testing.T) {
-	q := Request{Op: OpBatch, ID: 1, Batch: []BatchOp{{Kind: OpPut, Key: 1, Value: 2}}}
+	q := Request{Op: OpBatch, ID: 1, Batch: []BatchOp{{Kind: OpPut, Key: 1, Value: []byte{2}}}}
 	payload, err := AppendRequest(nil, &q)
 	if err != nil {
 		t.Fatal(err)
@@ -119,13 +121,13 @@ func TestDecodeRequestReusesBatch(t *testing.T) {
 	if err := DecodeRequest(payload, &out); err != nil {
 		t.Fatal(err)
 	}
-	if len(out.Batch) != 1 || out.Batch[0] != q.Batch[0] {
+	if len(out.Batch) != 1 || !reflect.DeepEqual(out.Batch[0], q.Batch[0]) {
 		t.Fatalf("got batch %+v", out.Batch)
 	}
 }
 
 func TestMalformedRequests(t *testing.T) {
-	good, err := AppendRequest(nil, &Request{Op: OpPut, ID: 1, Key: 2, Val: 3})
+	good, err := AppendRequest(nil, &Request{Op: OpPut, ID: 1, Key: 2, Val: []byte{3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,9 +250,19 @@ func TestDecodeErrorsWrapSentinels(t *testing.T) {
 	// Oversized batch on the encode side -> too large.
 	big := &Request{Op: OpBatch, ID: 1, Batch: make([]BatchOp, MaxBatchOps+1)}
 	for i := range big.Batch {
-		big.Batch[i] = BatchOp{Kind: OpPut, Key: uint64(i), Value: 1}
+		big.Batch[i] = BatchOp{Kind: OpPut, Key: uint64(i), Value: []byte{1}}
 	}
 	if _, err := AppendRequest(nil, big); !errors.Is(err, ErrTooLarge) {
 		t.Errorf("oversized batch encode: got %v, want ErrTooLarge", err)
+	}
+	// Oversized value on the encode side -> too large, both for a lone
+	// PUT and for a batched one.
+	fat := make([]byte, MaxValue+1)
+	if _, err := AppendRequest(nil, &Request{Op: OpPut, ID: 1, Key: 2, Val: fat}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized put encode: got %v, want ErrTooLarge", err)
+	}
+	bq := &Request{Op: OpBatch, ID: 1, Batch: []BatchOp{{Kind: OpPut, Key: 1, Value: fat}}}
+	if _, err := AppendRequest(nil, bq); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized batch value encode: got %v, want ErrTooLarge", err)
 	}
 }

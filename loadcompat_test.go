@@ -1,0 +1,139 @@
+package upskiplist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Cross-version Load coverage: the v4 sidecar (dump kind + options) is
+// current, but Load must keep reading the two prior on-disk formats —
+// v2 metas over physical pool images and v3 logical pair dumps with
+// fixed 8-byte values — alongside both v4 dump kinds.
+
+// writeMetaLine replaces dir's meta sidecar with an explicit
+// older-version line built from o.
+func writeMetaLine(t *testing.T, dir, ver string, o Options) {
+	t.Helper()
+	sorted := 0
+	if o.SortedNodes {
+		sorted = 1
+	}
+	line := fmt.Sprintf("%s %d %d %d %d %d %d %d %d %d %d %d\n",
+		ver, o.MaxHeight, o.KeysPerNode, sorted, o.NUMANodes, int(o.Placement),
+		o.PoolWords, o.ChunkWords, o.MaxChunks, o.NumArenas, o.NumThreads, o.Shards)
+	if err := os.WriteFile(filepath.Join(dir, "meta.upsl"), []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadV2PhysicalMeta: a physical dump whose sidecar carries the v2
+// header (no dump-kind token) must load as pool images.
+func TestLoadV2PhysicalMeta(t *testing.T) {
+	st, err := Create(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := st.NewWorker(0)
+	const n = 50
+	for k := uint64(1); k <= n; k++ {
+		if _, _, err := w.PutU64(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	if err := st.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	writeMetaLine(t, dir, "v2", st.Options())
+
+	st2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := st2.NewWorker(0)
+	for k := uint64(1); k <= n; k++ {
+		if v, ok := w2.GetU64(k); !ok || v != k*3 {
+			t.Fatalf("v2 load: key %d got (%d,%v), want %d", k, v, ok, k*3)
+		}
+	}
+}
+
+// TestLoadV3PairsDump: a hand-built v3 logical dump (count header, then
+// fixed 16-byte key/value records) must load with every value decoding
+// as its 8 little-endian bytes — the PutU64 representation.
+func TestLoadV3PairsDump(t *testing.T) {
+	o := testOptions()
+	o.Shards = 1 // Create normally resolves this; the sidecar needs it explicit
+	dir := t.TempDir()
+	const n = 40
+	var buf bytes.Buffer
+	var rec [16]byte
+	binary.LittleEndian.PutUint64(rec[:8], n)
+	buf.Write(rec[:8])
+	for k := uint64(1); k <= n; k++ {
+		binary.LittleEndian.PutUint64(rec[:8], k)
+		binary.LittleEndian.PutUint64(rec[8:], k+1000)
+		buf.Write(rec[:])
+	}
+	if err := os.WriteFile(filepath.Join(dir, "pairs.upsl"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeMetaLine(t, dir, "v3", o)
+
+	st, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := st.NewWorker(0)
+	for k := uint64(1); k <= n; k++ {
+		if v, ok := w.GetU64(k); !ok || v != k+1000 {
+			t.Fatalf("v3 load: key %d got (%d,%v), want %d", k, v, ok, k+1000)
+		}
+		b, ok := w.Get(k)
+		if !ok || len(b) != 8 || binary.LittleEndian.Uint64(b) != k+1000 {
+			t.Fatalf("v3 load: key %d bytes %x, want 8 LE bytes of %d", k, b, k+1000)
+		}
+	}
+}
+
+// TestLoadV4BothKinds round-trips mixed-size byte values through both
+// v4 dump kinds — Save's physical pool images and SaveOnline's logical
+// pairs — and requires byte-exact recovery from each.
+func TestLoadV4BothKinds(t *testing.T) {
+	st, err := Create(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.EnableSnapshots() // SaveOnline streams from a snapshot
+	w := st.NewWorker(0)
+	const n = 60
+	for k := uint64(1); k <= n; k++ {
+		if _, _, err := w.Put(k, genVal(k, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	physDir, pairsDir := t.TempDir(), t.TempDir()
+	if err := st.Save(physDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveOnline(pairsDir); err != nil {
+		t.Fatal(err)
+	}
+	for name, dir := range map[string]string{"phys": physDir, "pairs": pairsDir} {
+		st2, err := Load(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		w2 := st2.NewWorker(0)
+		for k := uint64(1); k <= n; k++ {
+			got, ok := w2.Get(k)
+			if !ok || !bytes.Equal(got, genVal(k, 0)) {
+				t.Fatalf("%s load: key %d wrong bytes (found=%v)", name, k, ok)
+			}
+		}
+	}
+}

@@ -19,24 +19,24 @@ func TestStoreMetricsRecording(t *testing.T) {
 
 	w := st.NewWorker(0)
 	for k := uint64(KeyMin); k < KeyMin+100; k++ {
-		if _, _, err := w.Insert(k, k*10); err != nil {
+		if _, _, err := w.PutU64(k, k*10); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for k := uint64(KeyMin); k < KeyMin+100; k++ {
-		if _, ok := w.Get(k); !ok {
+		if _, ok := w.GetU64(k); !ok {
 			t.Fatalf("key %d missing", k)
 		}
 	}
 	w.Contains(KeyMin)
-	if _, _, err := w.Remove(KeyMin); err != nil {
+	if _, _, err := w.RemoveU64(KeyMin); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Scan(KeyMin, KeyMin+50, func(_, _ uint64) bool { return true }); err != nil {
+	if err := w.ScanU64(KeyMin, KeyMin+50, func(_, _ uint64) bool { return true }); err != nil {
 		t.Fatal(err)
 	}
 	w.ApplyBatch([]Op{
-		{Kind: OpInsert, Key: KeyMin + 200, Value: 1},
+		{Kind: OpInsert, Key: KeyMin + 200, Value: u64v(1)},
 		{Kind: OpGet, Key: KeyMin + 200},
 		{Kind: OpRemove, Key: KeyMin + 200},
 	})
@@ -101,7 +101,7 @@ func TestStoreMetricsRecording(t *testing.T) {
 	// DisableMetrics freezes the instruments.
 	st.DisableMetrics()
 	before := m.opLat[opKindGet].Hist().Count()
-	w.Get(KeyMin + 1)
+	w.GetU64(KeyMin + 1)
 	if got := m.opLat[opKindGet].Hist().Count(); got != before {
 		t.Errorf("recording continued after DisableMetrics: %d -> %d", before, got)
 	}

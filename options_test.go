@@ -52,7 +52,7 @@ func TestOptionsGeometryBoundaries(t *testing.T) {
 		}
 		w := st.NewWorker(0)
 		for k := uint64(1); k <= 500; k++ {
-			if _, _, err := w.Insert(k, k); err != nil {
+			if _, _, err := w.PutU64(k, k); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"upskiplist/internal/alloc"
 	"upskiplist/internal/exec"
 	"upskiplist/internal/skiplist"
+	"upskiplist/internal/slab"
 )
 
 // Online reclamation at the store level: one skiplist.Reclaimer per
@@ -112,19 +113,48 @@ func (s *Store) BlockCensus() alloc.BlockCensus {
 		out.Node += c.Node
 		out.Retired += c.Retired
 		out.Version += c.Version
+		out.Slab += c.Slab
 		out.Total += c.Total
 	}
 	return out
 }
 
+// SlabStats aggregates the value-arena counters across every shard:
+// chunk alloc/free/retire traffic, limbo depth, page growth, and what
+// the last startup sweep reclaimed. Approximate under concurrency, like
+// BlockCensus.
+func (s *Store) SlabStats() slab.Stats {
+	var out slab.Stats
+	for _, e := range s.shards {
+		if e.vals == nil {
+			continue
+		}
+		st := e.vals.Stats()
+		out.ChunksAlloced += st.ChunksAlloced
+		out.ChunksFreed += st.ChunksFreed
+		out.ChunksRetired += st.ChunksRetired
+		out.LimboChunks += st.LimboChunks
+		out.Pages += st.Pages
+		out.SweepRelinked += st.SweepRelinked
+		out.SweepPages += st.SweepPages
+	}
+	return out
+}
+
 // drainReclaimQuiesced frees every limbo block immediately, skipping
-// grace periods. Caller must have paused the reclaimers AND quiesced all
-// workers. Returns the number of blocks freed.
+// grace periods, and likewise drains every shard's slab-arena limbo so
+// a saved image carries no retired-but-unfreed value chunks. Caller
+// must have paused the reclaimers AND quiesced all workers. Returns the
+// number of blocks freed (node blocks only; chunk frees are interior to
+// their slab pages).
 func (s *Store) drainReclaimQuiesced() int {
 	n := 0
 	for _, e := range s.shards {
 		if r := e.list.Reclaimer(); r != nil {
 			n += r.DrainQuiesced(exec.NewCtx(0, 0))
+		}
+		if e.vals != nil {
+			e.vals.DrainQuiesced(nil)
 		}
 	}
 	return n

@@ -45,7 +45,7 @@ func TestReclaimPointOpOverhead(t *testing.T) {
 		defer st.DisableOnlineReclaim()
 		w := st.NewWorker(1)
 		for k := uint64(1); k <= keys; k++ {
-			if _, _, err := w.Insert(k, k); err != nil {
+			if _, _, err := w.PutU64(k, k); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -58,10 +58,10 @@ func TestReclaimPointOpOverhead(t *testing.T) {
 			for i := 0; i < ops; i++ {
 				k := uint64(rng.Int63n(keys)) + 1
 				if i%4 == 3 {
-					if _, _, err := w.Insert(k, k+1); err != nil { // value update: no new node
+					if _, _, err := w.PutU64(k, k+1); err != nil { // value update: no new node
 						t.Fatal(err)
 					}
-				} else if _, ok := w.Get(k); !ok {
+				} else if _, ok := w.GetU64(k); !ok {
 					t.Fatalf("key %d missing", k)
 				}
 			}

@@ -49,21 +49,21 @@ func TestShardedReclaimSoak(t *testing.T) {
 				// removed prefix fully tombstones nodes for the reclaimers.
 				seg := base + uint64(r%64)*segment*2
 				for k := seg; k < seg+segment; k++ {
-					if _, _, err := w.Insert(k, k^0xabcd); err != nil {
+					if _, _, err := w.PutU64(k, k^0xabcd); err != nil {
 						errs <- err
 						return
 					}
 				}
 				for i := 0; i < 8; i++ {
 					k := seg + uint64(rng.Int63n(int64(segment)))
-					if v, ok := w.Get(k); !ok || v != k^0xabcd {
+					if v, ok := w.GetU64(k); !ok || v != k^0xabcd {
 						t.Errorf("worker %d: Get(%d) = (%d,%v), want (%d,true)", wi, k, v, ok, k^0xabcd)
 						return
 					}
 				}
 				keep := segment / 8
 				for k := seg; k < seg+segment-keep; k++ {
-					if _, _, err := w.Remove(k); err != nil {
+					if _, _, err := w.RemoveU64(k); err != nil {
 						errs <- err
 						return
 					}
@@ -87,7 +87,7 @@ func TestShardedReclaimSoak(t *testing.T) {
 			default:
 			}
 			prev := uint64(0)
-			w.Scan(KeyMin, KeyMax, func(k, v uint64) bool {
+			w.ScanU64(KeyMin, KeyMax, func(k, v uint64) bool {
 				if k <= prev {
 					t.Errorf("merged scan out of order: %d after %d", k, prev)
 					return false

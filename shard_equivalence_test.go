@@ -13,7 +13,8 @@ import (
 // crashes — full and partial-eviction — and reopen. It also pins down
 // the batch API: ApplyBatch must return the same results as applying the
 // ops one by one, while issuing a small constant number of fences per
-// shard per batch instead of one per operation.
+// shard per batch (one for staged value chunks, one for node commits)
+// instead of one per operation.
 
 // shardPair is the store duo under comparison: a unsharded, b split into
 // nShards keyspace shards.
@@ -127,7 +128,7 @@ func TestShardBatchEquivalence(t *testing.T) {
 			k := uint64(rng.Intn(300)) + 1
 			switch rng.Intn(4) {
 			case 0, 1:
-				batch = append(batch, Op{Kind: OpInsert, Key: k, Value: uint64(rng.Intn(1 << 30))})
+				batch = append(batch, Op{Kind: OpInsert, Key: k, Value: u64v(uint64(rng.Intn(1 << 30)))})
 			case 2:
 				batch = append(batch, Op{Kind: OpGet, Key: k})
 			default:
@@ -136,20 +137,22 @@ func TestShardBatchEquivalence(t *testing.T) {
 		}
 		got := wb.ApplyBatchInto(batch, res)
 		for i, op := range batch {
-			var want OpResult
+			var wantVal uint64
+			var wantFound bool
+			var wantErr error
 			switch op.Kind {
 			case OpInsert:
-				want.Value, want.Found, want.Err = wa.Insert(op.Key, op.Value)
+				wantVal, wantFound, wantErr = wa.PutU64(op.Key, leU64(op.Value))
 			case OpGet:
-				want.Value, want.Found = wa.Get(op.Key)
+				wantVal, wantFound = wa.GetU64(op.Key)
 			default:
-				want.Value, want.Found, want.Err = wa.Remove(op.Key)
+				wantVal, wantFound, wantErr = wa.RemoveU64(op.Key)
 			}
-			if got[i].Value != want.Value || got[i].Found != want.Found ||
-				(got[i].Err == nil) != (want.Err == nil) {
+			if leU64(got[i].Value) != wantVal || got[i].Found != wantFound ||
+				(got[i].Err == nil) != (wantErr == nil) {
 				t.Fatalf("round %d op %d (%+v): batched (%d,%v,%v) vs sequential (%d,%v,%v)",
-					round, i, op, got[i].Value, got[i].Found, got[i].Err,
-					want.Value, want.Found, want.Err)
+					round, i, op, leU64(got[i].Value), got[i].Found, got[i].Err,
+					wantVal, wantFound, wantErr)
 			}
 		}
 	}
@@ -169,28 +172,31 @@ func TestBatchSameKeyOrdering(t *testing.T) {
 	}
 	w := st.NewWorker(0)
 	res := w.ApplyBatch([]Op{
-		{Kind: OpInsert, Key: 10, Value: 1},
+		{Kind: OpInsert, Key: 10, Value: u64v(1)},
 		{Kind: OpGet, Key: 10},
-		{Kind: OpInsert, Key: 10, Value: 2},
+		{Kind: OpInsert, Key: 10, Value: u64v(2)},
 		{Kind: OpRemove, Key: 10},
 		{Kind: OpGet, Key: 10},
-		{Kind: OpInsert, Key: 11, Value: 7},
+		{Kind: OpInsert, Key: 11, Value: u64v(7)},
 	})
-	want := []OpResult{
-		{Value: 0, Found: false},  // fresh insert
-		{Value: 1, Found: true},   // get sees first insert
-		{Value: 1, Found: true},   // second insert returns prior value
-		{Value: 2, Found: true},   // remove returns latest value
-		{Value: 0, Found: false},  // get after remove misses
-		{Value: 0, Found: false},  // unrelated key
+	want := []struct {
+		val   uint64
+		found bool
+	}{
+		{0, false}, // fresh insert
+		{1, true},  // get sees first insert
+		{1, true},  // second insert returns prior value
+		{2, true},  // remove returns latest value
+		{0, false}, // get after remove misses
+		{0, false}, // unrelated key
 	}
 	for i := range want {
 		if res[i].Err != nil {
 			t.Fatalf("op %d: unexpected error %v", i, res[i].Err)
 		}
-		if res[i].Value != want[i].Value || res[i].Found != want[i].Found {
+		if leU64(res[i].Value) != want[i].val || res[i].Found != want[i].found {
 			t.Fatalf("op %d: got (%d,%v), want (%d,%v)",
-				i, res[i].Value, res[i].Found, want[i].Value, want[i].Found)
+				i, leU64(res[i].Value), res[i].Found, want[i].val, want[i].found)
 		}
 	}
 }
@@ -220,7 +226,7 @@ func TestBatchFenceAmortization(t *testing.T) {
 			w := st.NewWorker(0)
 			const n = 64
 			for k := uint64(1); k <= n; k++ {
-				if _, _, err := w.Insert(k, k); err != nil {
+				if _, _, err := w.PutU64(k, k); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -229,7 +235,7 @@ func TestBatchFenceAmortization(t *testing.T) {
 			// fence below is a commit fence.
 			before := storeFences(st)
 			for k := uint64(1); k <= n; k++ {
-				if _, _, err := w.Insert(k, k+100); err != nil {
+				if _, _, err := w.PutU64(k, k+100); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -237,23 +243,26 @@ func TestBatchFenceAmortization(t *testing.T) {
 
 			batch := make([]Op, 0, n)
 			for k := uint64(1); k <= n; k++ {
-				batch = append(batch, Op{Kind: OpInsert, Key: k, Value: k + 200})
+				batch = append(batch, Op{Kind: OpInsert, Key: k, Value: u64v(k + 200)})
 			}
 			before = storeFences(st)
 			res := w.ApplyBatch(batch)
 			batched := storeFences(st) - before
 
 			for i, r := range res {
-				if r.Err != nil || !r.Found || r.Value != uint64(i)+1+100 {
-					t.Fatalf("batch op %d: got (%d,%v,%v)", i, r.Value, r.Found, r.Err)
+				if r.Err != nil || !r.Found || leU64(r.Value) != uint64(i)+1+100 {
+					t.Fatalf("batch op %d: got (%d,%v,%v)", i, leU64(r.Value), r.Found, r.Err)
 				}
 			}
 			if single < n {
 				t.Fatalf("singles issued %d fences, expected >= %d (one per op)", single, n)
 			}
-			if batched > uint64(shards) {
-				t.Fatalf("batch issued %d fences, expected <= %d (one per touched shard)",
-					batched, shards)
+			// Two fences per touched shard: one draining the staged value
+			// chunks (write-then-publish ordering), one draining the node
+			// word commits.
+			if batched > uint64(2*shards) {
+				t.Fatalf("batch issued %d fences, expected <= %d (two per touched shard)",
+					batched, 2*shards)
 			}
 			if batched*8 > single {
 				t.Fatalf("fence amortization too weak: batch %d vs singles %d", batched, single)
@@ -275,7 +284,7 @@ func TestShardedSaveLoad(t *testing.T) {
 	w := st.NewWorker(0)
 	const n = 500
 	for k := uint64(1); k <= n; k++ {
-		if _, _, err := w.Insert(k, k*3); err != nil {
+		if _, _, err := w.PutU64(k, k*3); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -295,7 +304,7 @@ func TestShardedSaveLoad(t *testing.T) {
 		t.Fatalf("loaded Count = %d, want %d", c, n)
 	}
 	prev := uint64(0)
-	w2.Scan(KeyMin, KeyMax, func(k, v uint64) bool {
+	w2.ScanU64(KeyMin, KeyMax, func(k, v uint64) bool {
 		if k <= prev {
 			t.Fatalf("merged scan out of order: %d after %d", k, prev)
 		}
@@ -322,7 +331,7 @@ func TestMergedIteratorOrder(t *testing.T) {
 	}
 	w := st.NewWorker(0)
 	for k := uint64(1); k <= 999; k += 3 {
-		if _, _, err := w.Insert(k, k); err != nil {
+		if _, _, err := w.PutU64(k, k); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -58,7 +58,7 @@ func runYCSBA(t *testing.T, st *Store, n uint64, opsPerWorker int) float64 {
 	const workers = 8
 	w0 := st.NewWorker(0)
 	for k := uint64(1); k <= n; k++ {
-		if _, _, err := w0.Insert(k, k*7+1); err != nil {
+		if _, _, err := w0.PutU64(k, k*7+1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -76,9 +76,9 @@ func runYCSBA(t *testing.T, st *Store, n uint64, opsPerWorker int) float64 {
 			w := st.NewWorker(i)
 			for _, op := range streams[i] {
 				if op.Type == ycsb.Read {
-					w.Get(op.Key)
+					w.GetU64(op.Key)
 				} else {
-					w.Insert(op.Key, op.Value|1)
+					w.PutU64(op.Key, op.Value|1)
 				}
 			}
 		}(i)

@@ -110,6 +110,11 @@ type Snap struct {
 	snaps   []*skiplist.ListSnap
 	bit     uint // reader-slot bit in Store.snapBits
 	feedEra uint64
+	// vbuf backs the slices returned by Get — valid until the Snap's
+	// next operation, like a Worker's buffer. The snapshot's lifetime
+	// era pin keeps every chunk its view references readable even after
+	// the live store overwrites (and retires) the value.
+	vbuf []byte
 
 	released bool
 }
@@ -189,18 +194,35 @@ func (sn *Snap) Era() uint64 { return sn.snaps[0].Era() }
 // snapshot boundary converges when re-applied.
 func (sn *Snap) FeedEra() uint64 { return sn.feedEra }
 
-// Get returns key's value in the frozen view.
-func (sn *Snap) Get(key uint64) (uint64, bool) {
+// Get returns key's value in the frozen view. The returned slice
+// aliases the Snap's internal buffer and is valid until its next
+// operation.
+func (sn *Snap) Get(key uint64) ([]byte, bool) {
 	if key < KeyMin || key > KeyMax {
-		return 0, false
+		return nil, false
 	}
 	si := sn.s.shardOf(key)
-	return sn.snaps[si].Get(sn.ctxs[si], key)
+	w, ok := sn.snaps[si].Get(sn.ctxs[si], key)
+	if !ok {
+		return nil, false
+	}
+	sn.vbuf = sn.s.shards[si].decodeValue(w, sn.vbuf[:0], sn.ctxs[si].Mem)
+	return sn.vbuf, true
+}
+
+// GetU64 is Get for fixed-width callers.
+func (sn *Snap) GetU64(key uint64) (uint64, bool) {
+	v, ok := sn.Get(key)
+	if !ok {
+		return 0, false
+	}
+	return leU64(v), true
 }
 
 // Scan visits every frozen-view pair in [lo, hi] in globally ascending
-// key order until fn returns false.
-func (sn *Snap) Scan(lo, hi uint64, fn func(key, value uint64) bool) error {
+// key order until fn returns false. The value slice is only valid for
+// that callback invocation.
+func (sn *Snap) Scan(lo, hi uint64, fn func(key uint64, val []byte) bool) error {
 	if lo < KeyMin {
 		lo = KeyMin
 	}
@@ -219,23 +241,30 @@ func (sn *Snap) Scan(lo, hi uint64, fn func(key, value uint64) bool) error {
 	return nil
 }
 
+// ScanU64 is Scan for fixed-width callers.
+func (sn *Snap) ScanU64(lo, hi uint64, fn func(key, value uint64) bool) error {
+	return sn.Scan(lo, hi, func(k uint64, v []byte) bool {
+		return fn(k, leU64(v))
+	})
+}
+
 // Iterator returns a fresh forward cursor over the frozen view — a
 // single shard's snapshot cursor, or a merge over every shard's.
 func (sn *Snap) Iterator() Iterator {
 	if len(sn.snaps) == 1 {
-		return sn.snaps[0].NewIterator(sn.ctxs[0])
+		return storeIter{c: sn.snaps[0].NewIterator(sn.ctxs[0])}
 	}
 	cs := make([]skiplist.Cursor, len(sn.snaps))
 	for i, ls := range sn.snaps {
 		cs[i] = ls.NewIterator(sn.ctxs[i])
 	}
-	return skiplist.NewMergedCursors(cs)
+	return storeIter{c: skiplist.NewMergedCursors(cs)}
 }
 
 // Count returns the number of live keys in the frozen view.
 func (sn *Snap) Count() int {
 	n := 0
-	sn.Scan(KeyMin, KeyMax, func(_, _ uint64) bool { n++; return true })
+	sn.Scan(KeyMin, KeyMax, func(uint64, []byte) bool { n++; return true })
 	return n
 }
 
@@ -288,10 +317,11 @@ func (s *Store) OldestSnapshotAge() time.Duration {
 }
 
 // SaveOnline writes a consistent logical dump of the store into dir
-// without stalling writers: the pairs stream from a snapshot while the
-// workload keeps running — no PauseReclaim, no quiesce, in contrast to
-// Save's physical pool images. The dump (a v3 meta sidecar plus a
-// pairs file) is read back by the same Load that reads Save images.
+// without stalling writers: the records stream from a snapshot while
+// the workload keeps running — no PauseReclaim, no quiesce, in contrast
+// to Save's physical pool images. The dump (a v4 "pairs" meta sidecar
+// plus a pairs file of length-prefixed values) is read back by the same
+// Load that reads Save images.
 func (s *Store) SaveOnline(dir string) error {
 	sn, err := s.Snapshot()
 	if err != nil {
@@ -307,16 +337,20 @@ func (s *Store) SaveOnline(dir string) error {
 	}
 	bw := bufio.NewWriter(f)
 	var count uint64
-	var scratch [16]byte
+	var scratch [12]byte
 	binary.LittleEndian.PutUint64(scratch[:8], 0) // count backpatched below
 	if _, err := bw.Write(scratch[:8]); err != nil {
 		f.Close()
 		return err
 	}
-	serr := sn.Scan(KeyMin, KeyMax, func(k, v uint64) bool {
+	serr := sn.Scan(KeyMin, KeyMax, func(k uint64, v []byte) bool {
 		binary.LittleEndian.PutUint64(scratch[:8], k)
-		binary.LittleEndian.PutUint64(scratch[8:], v)
+		binary.LittleEndian.PutUint32(scratch[8:], uint32(len(v)))
 		if _, werr := bw.Write(scratch[:]); werr != nil {
+			err = werr
+			return false
+		}
+		if _, werr := bw.Write(v); werr != nil {
 			err = werr
 			return false
 		}
@@ -339,30 +373,13 @@ func (s *Store) SaveOnline(dir string) error {
 	if err != nil {
 		return err
 	}
-	return saveMetaV3(dir, s.opts)
+	return writeMetaV4(dir, s.opts, "pairs")
 }
 
-// saveMetaV3 writes the logical-dump sidecar: the v2 field set under a
-// v3 tag, telling Load to rebuild from pairs.upsl instead of attaching
-// pool images.
-func saveMetaV3(dir string, o Options) error {
-	f, err := os.Create(filepath.Join(dir, "meta.upsl"))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	sorted := 0
-	if o.SortedNodes {
-		sorted = 1
-	}
-	_, err = fmt.Fprintf(f, "v3 %d %d %d %d %d %d %d %d %d %d %d\n",
-		o.MaxHeight, o.KeysPerNode, sorted, o.NUMANodes, int(o.Placement),
-		o.PoolWords, o.ChunkWords, o.MaxChunks, o.NumArenas, o.NumThreads, o.Shards)
-	return err
-}
-
-// loadPairs rebuilds a store from a v3 logical dump: fresh pools, then
-// the dumped pairs batch-inserted in key order.
+// loadPairs rebuilds a store from a v3 logical dump (fixed 8-byte
+// values): fresh pools, then the dumped pairs batch-inserted in key
+// order, each value synthesized as its 8 little-endian bytes — the
+// exact representation PutU64 writes.
 func loadPairs(dir string, opts Options) (*Store, error) {
 	st, err := Create(opts)
 	if err != nil {
@@ -380,38 +397,101 @@ func loadPairs(dir string, opts Options) (*Store, error) {
 	}
 	count := binary.LittleEndian.Uint64(hdr[:])
 	w := st.NewWorker(0)
-	const chunk = 1024
-	ops := make([]Op, 0, chunk)
+	b := newBatchLoader(w)
 	var rec [16]byte
-	flush := func() error {
-		if len(ops) == 0 {
-			return nil
-		}
-		for _, r := range w.ApplyBatch(ops) {
-			if r.Err != nil {
-				return r.Err
-			}
-		}
-		ops = ops[:0]
-		return nil
-	}
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("upskiplist: truncated v3 dump at pair %d/%d: %w", i, count, err)
 		}
-		ops = append(ops, Op{
-			Kind:  OpInsert,
-			Key:   binary.LittleEndian.Uint64(rec[:8]),
-			Value: binary.LittleEndian.Uint64(rec[8:]),
-		})
-		if len(ops) == chunk {
-			if err := flush(); err != nil {
-				return nil, err
-			}
+		if err := b.add(binary.LittleEndian.Uint64(rec[:8]), rec[8:16]); err != nil {
+			return nil, err
 		}
 	}
-	if err := flush(); err != nil {
+	if err := b.flush(); err != nil {
 		return nil, err
 	}
 	return st, nil
+}
+
+// loadPairsV4 rebuilds a store from a v4 logical dump, whose records
+// carry length-prefixed variable-size values.
+func loadPairsV4(dir string, opts Options) (*Store, error) {
+	st, err := Create(opts)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, "pairs.upsl"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("upskiplist: truncated v4 dump: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[:])
+	w := st.NewWorker(0)
+	b := newBatchLoader(w)
+	var rec [12]byte
+	var val []byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("upskiplist: truncated v4 dump at record %d/%d: %w", i, count, err)
+		}
+		vlen := binary.LittleEndian.Uint32(rec[8:])
+		if vlen > MaxValueLen {
+			return nil, fmt.Errorf("upskiplist: v4 dump record %d has oversize value (%d bytes)", i, vlen)
+		}
+		if cap(val) < int(vlen) {
+			val = make([]byte, vlen)
+		}
+		val = val[:vlen]
+		if _, err := io.ReadFull(br, val); err != nil {
+			return nil, fmt.Errorf("upskiplist: truncated v4 dump value %d/%d: %w", i, count, err)
+		}
+		if err := b.add(binary.LittleEndian.Uint64(rec[:8]), val); err != nil {
+			return nil, err
+		}
+	}
+	return st, b.flush()
+}
+
+// batchLoader groups dump records into ApplyBatch calls, copying each
+// value into a per-batch arena (ApplyBatch needs every op's bytes live
+// at once).
+type batchLoader struct {
+	w    *Worker
+	ops  []Op
+	vals []byte
+}
+
+const loaderBatch = 1024
+
+func newBatchLoader(w *Worker) *batchLoader {
+	return &batchLoader{w: w, ops: make([]Op, 0, loaderBatch)}
+}
+
+func (b *batchLoader) add(key uint64, val []byte) error {
+	off := len(b.vals)
+	b.vals = append(b.vals, val...)
+	b.ops = append(b.ops, Op{Kind: OpInsert, Key: key, Value: b.vals[off:len(b.vals):len(b.vals)]})
+	if len(b.ops) == loaderBatch {
+		return b.flush()
+	}
+	return nil
+}
+
+func (b *batchLoader) flush() error {
+	if len(b.ops) == 0 {
+		return nil
+	}
+	for _, r := range b.w.ApplyBatch(b.ops) {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	b.ops = b.ops[:0]
+	b.vals = b.vals[:0]
+	return nil
 }

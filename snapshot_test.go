@@ -37,7 +37,7 @@ func TestStoreSnapshotFrozenView(t *testing.T) {
 	}
 	w := st.NewWorker(0)
 	for i := uint64(1); i <= 400; i++ {
-		if _, _, err := w.Insert(i, i*3); err != nil {
+		if _, _, err := w.PutU64(i, i*3); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -50,22 +50,22 @@ func TestStoreSnapshotFrozenView(t *testing.T) {
 	}
 
 	for i := uint64(1); i <= 200; i++ {
-		w.Insert(i, i*999)
+		w.PutU64(i, i*999)
 	}
 	for i := uint64(300); i <= 350; i++ {
-		w.Remove(i)
+		w.RemoveU64(i)
 	}
 	for i := uint64(401); i <= 500; i++ {
-		w.Insert(i, i*3)
+		w.PutU64(i, i*3)
 	}
 
 	for i := uint64(1); i <= 400; i++ {
-		v, ok := sn.Get(i)
+		v, ok := sn.GetU64(i)
 		if !ok || v != i*3 {
-			t.Fatalf("snap.Get(%d) = %d,%v, want %d,true", i, v, ok, i*3)
+			t.Fatalf("snap.GetU64(%d) = %d,%v, want %d,true", i, v, ok, i*3)
 		}
 	}
-	if _, ok := sn.Get(450); ok {
+	if _, ok := sn.GetU64(450); ok {
 		t.Fatal("snapshot sees a post-snapshot insert")
 	}
 	if n := sn.Count(); n != 400 {
@@ -73,7 +73,7 @@ func TestStoreSnapshotFrozenView(t *testing.T) {
 	}
 	var prev uint64
 	n := 0
-	sn.Scan(KeyMin, KeyMax, func(k, v uint64) bool {
+	sn.ScanU64(KeyMin, KeyMax, func(k, v uint64) bool {
 		if k <= prev {
 			t.Fatalf("scan order violated: %d after %d", k, prev)
 		}
@@ -88,7 +88,7 @@ func TestStoreSnapshotFrozenView(t *testing.T) {
 		t.Fatalf("scan visited %d pairs, want 400", n)
 	}
 	// The live view did move on.
-	if v, ok := w.Get(100); !ok || v != 100*999 {
+	if v, ok := w.GetU64(100); !ok || v != 100*999 {
 		t.Fatalf("live Get(100) = %d,%v", v, ok)
 	}
 
@@ -133,12 +133,12 @@ func TestChangesFeedReplay(t *testing.T) {
 	}
 	w := st.NewWorker(0)
 	w.ApplyBatch([]Op{
-		{Kind: OpInsert, Key: 1, Value: 10},
-		{Kind: OpInsert, Key: 2, Value: 20},
-		{Kind: OpInsert, Key: 3, Value: 30},
+		{Kind: OpInsert, Key: 1, Value: u64v(10)},
+		{Kind: OpInsert, Key: 2, Value: u64v(20)},
+		{Kind: OpInsert, Key: 3, Value: u64v(30)},
 	})
 	w.ApplyBatch([]Op{
-		{Kind: OpInsert, Key: 2, Value: 21},
+		{Kind: OpInsert, Key: 2, Value: u64v(21)},
 		{Kind: OpRemove, Key: 3},
 		{Kind: OpRemove, Key: 99}, // absent: must not be recorded
 	})
@@ -162,7 +162,7 @@ func TestChangesFeedReplay(t *testing.T) {
 			if c.Kind == ChangeDel {
 				delete(replay, c.Key)
 			} else {
-				replay[c.Key] = c.Value
+				replay[c.Key] = leU64(c.Value)
 			}
 		}
 	}
@@ -185,7 +185,7 @@ func TestSnapshotChangesCompose(t *testing.T) {
 	}
 	w := st.NewWorker(0)
 	for i := uint64(1); i <= 100; i++ {
-		w.ApplyBatch([]Op{{Kind: OpInsert, Key: i, Value: i}})
+		w.ApplyBatch([]Op{{Kind: OpInsert, Key: i, Value: u64v(i)}})
 	}
 	sn, err := st.Snapshot()
 	if err != nil {
@@ -193,11 +193,11 @@ func TestSnapshotChangesCompose(t *testing.T) {
 	}
 	defer sn.Release()
 	for i := uint64(50); i <= 150; i++ {
-		w.ApplyBatch([]Op{{Kind: OpInsert, Key: i, Value: i * 7}, {Kind: OpRemove, Key: i - 40}})
+		w.ApplyBatch([]Op{{Kind: OpInsert, Key: i, Value: u64v(i * 7)}, {Kind: OpRemove, Key: i - 40}})
 	}
 
 	state := map[uint64]uint64{}
-	sn.Scan(KeyMin, KeyMax, func(k, v uint64) bool { state[k] = v; return true })
+	sn.ScanU64(KeyMin, KeyMax, func(k, v uint64) bool { state[k] = v; return true })
 	batches, err := st.Changes(sn.FeedEra())
 	if err != nil {
 		t.Fatal(err)
@@ -207,12 +207,12 @@ func TestSnapshotChangesCompose(t *testing.T) {
 			if c.Kind == ChangeDel {
 				delete(state, c.Key)
 			} else {
-				state[c.Key] = c.Value
+				state[c.Key] = leU64(c.Value)
 			}
 		}
 	}
 	live := map[uint64]uint64{}
-	w.Scan(KeyMin, KeyMax, func(k, v uint64) bool { live[k] = v; return true })
+	w.ScanU64(KeyMin, KeyMax, func(k, v uint64) bool { live[k] = v; return true })
 	if len(state) != len(live) {
 		t.Fatalf("re-synced %d keys, live %d", len(state), len(live))
 	}
@@ -239,7 +239,7 @@ func TestSaveOnlineDuringWrites(t *testing.T) {
 	const base = 2000
 	w := st.NewWorker(0)
 	for i := uint64(1); i <= base; i++ {
-		if _, _, err := w.Insert(i, i*7); err != nil {
+		if _, _, err := w.PutU64(i, i*7); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -252,7 +252,7 @@ func TestSaveOnlineDuringWrites(t *testing.T) {
 			defer wg.Done()
 			ww := st.NewWorker(tid)
 			for k := uint64(base + 1 + tid); !stop.Load(); k += 2 {
-				ww.Insert(k, k*7)
+				ww.PutU64(k, k*7)
 			}
 		}(g + 1)
 	}
@@ -273,13 +273,13 @@ func TestSaveOnlineDuringWrites(t *testing.T) {
 	}
 	lw := ld.NewWorker(0)
 	for i := uint64(1); i <= base; i++ {
-		if v, ok := lw.Get(i); !ok || v != i*7 {
+		if v, ok := lw.GetU64(i); !ok || v != i*7 {
 			t.Fatalf("loaded key %d = %d,%v, want %d,true", i, v, ok, i*7)
 		}
 	}
 	// Whatever slice of the concurrent inserts made the cut must carry
 	// consistent values.
-	lw.Scan(KeyMin, KeyMax, func(k, v uint64) bool {
+	lw.ScanU64(KeyMin, KeyMax, func(k, v uint64) bool {
 		if v != k*7 {
 			t.Fatalf("loaded pair %d -> %d, want %d", k, v, k*7)
 		}
@@ -301,7 +301,7 @@ func TestSnapshotCrashRecovery(t *testing.T) {
 	}
 	w := st.NewWorker(0)
 	for i := uint64(1); i <= 300; i++ {
-		if _, _, err := w.Insert(i, i); err != nil {
+		if _, _, err := w.PutU64(i, i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -312,7 +312,7 @@ func TestSnapshotCrashRecovery(t *testing.T) {
 	_ = sn // never released: dies with the crash
 	for r := uint64(0); r < 3; r++ {
 		for i := uint64(1); i <= 300; i++ {
-			if _, _, err := w.Insert(i, i*10+r); err != nil {
+			if _, _, err := w.PutU64(i, i*10+r); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -328,7 +328,7 @@ func TestSnapshotCrashRecovery(t *testing.T) {
 	}
 	w2 := st2.NewWorker(0)
 	for i := uint64(1); i <= 300; i++ {
-		if v, ok := w2.Get(i); !ok || v != i*10+2 {
+		if v, ok := w2.GetU64(i); !ok || v != i*10+2 {
 			t.Fatalf("after crash Get(%d) = %d,%v, want %d,true", i, v, ok, i*10+2)
 		}
 	}

@@ -1,0 +1,12 @@
+package upskiplist
+
+import "encoding/binary"
+
+// u64v is the 8-byte little-endian encoding of v — the PutU64
+// representation — for tests that drive the byte API with word-shaped
+// workloads.
+func u64v(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}

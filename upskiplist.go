@@ -19,12 +19,20 @@
 // is a volatile routing layer over unchanged per-shard engines: each
 // shard recovers exactly like a single-list store.
 //
+// Values are variable-size byte strings stored out-of-place in a
+// slab-class arena carved from the same pools (internal/slab); the node
+// value word holds a packed reference that is published with a single
+// CAS after the bytes are durable, so recovery always sees the complete
+// old or complete new value. The thin PutU64/GetU64 helpers store a
+// uint64 as its 8 little-endian bytes for callers porting from the old
+// word-valued API.
+//
 // Quick start:
 //
 //	st, _ := upskiplist.Create(upskiplist.DefaultOptions())
 //	w := st.NewWorker(0)
-//	w.Insert(42, 1000)
-//	v, ok := w.Get(42)
+//	w.Put(42, []byte("hello"))
+//	v, ok := w.Get(42) // []byte, valid until w's next operation
 //
 // Crash recovery:
 //
@@ -46,6 +54,7 @@
 package upskiplist
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -63,6 +72,7 @@ import (
 	"upskiplist/internal/pmem"
 	"upskiplist/internal/riv"
 	"upskiplist/internal/skiplist"
+	"upskiplist/internal/slab"
 	"upskiplist/internal/snapshot"
 )
 
@@ -72,6 +82,15 @@ const (
 	KeyMax    = skiplist.KeyMax
 	Tombstone = skiplist.Tombstone
 )
+
+// MaxValueLen is the largest value Put accepts (1 MiB). The slab chain
+// encoding goes further, but a put this large already spans hundreds of
+// chunks; anything bigger belongs in a blob store, not an index.
+const MaxValueLen = 1 << 20
+
+// ErrValueTooLarge reports a Put whose value exceeds MaxValueLen (or
+// the server's configured bound). Wrap-tested with errors.Is.
+var ErrValueTooLarge = errors.New("upskiplist: value exceeds the maximum value length")
 
 // ErrBadGeometry reports Options whose node geometry cannot be packed
 // into the on-PMEM node layout: the meta word gives the sorted-prefix
@@ -276,6 +295,163 @@ type engine struct {
 	clock *epoch.Clock
 	alloc *alloc.Allocator
 	list  *skiplist.SkipList
+	// vals is the shard's slab-class value arena: every non-tombstone
+	// value word in the list is (in stores written by this revision) a
+	// packed slab.Ref naming the chunk holding the value bytes.
+	vals *slab.Arena
+}
+
+// decodeValue materializes one node value word: slab references resolve
+// to their stored bytes; any other word is a legacy inline uint64 (v1/v2
+// pool images) and decodes as its 8 little-endian bytes, which is
+// exactly what PutU64 would have produced for it.
+func (e *engine) decodeValue(w uint64, dst []byte, acc *pmem.Acc) []byte {
+	if slab.IsRef(w) {
+		return e.vals.Get(slab.FromWord(w), dst, acc)
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], w)
+	return append(dst, b[:]...)
+}
+
+// attachVals opens the shard's slab arena and wires it to the list:
+// limbo batches take their grace-period eras from the list's domain, and
+// the list's iterators decode value words through the arena. With sweep
+// set (reopen/load over pre-existing pools) the startup crash-leak scan
+// runs: chunks whose publishing node word never landed are relinked, and
+// slab pages orphaned mid-grow go back to the block allocator.
+func (e *engine) attachVals(sweep bool) error {
+	ctx := exec.NewCtx(0, 0)
+	ar, err := slab.Attach(e.alloc, ctx)
+	if err != nil {
+		return err
+	}
+	e.vals = ar
+	ar.SetDomain(e.list.Domain)
+	e.list.SetValueDecoder(e.decodeValue)
+	if sweep {
+		ar.Sweep(ctx, func(emit func(uint64)) { e.list.ForEachValueWord(ctx, emit) })
+	}
+	return nil
+}
+
+// put is the engine body of Worker.Put: write the value bytes into a
+// fresh slab chunk, persist them, and only then publish the chunk via
+// the node's value-word CAS. A crash between the two steps leaks the
+// chunk (the startup sweep reclaims it); a reader never observes a torn
+// value because the node word flips atomically from old ref to new ref.
+// The previous value's bytes are appended to dst; its chunk retires
+// through the epoch limbo so concurrent readers and open snapshots keep
+// a stable view.
+func (e *engine) put(ctx *exec.Ctx, key uint64, val, dst []byte) ([]byte, bool, error) {
+	if len(val) > MaxValueLen {
+		return dst, false, ErrValueTooLarge
+	}
+	e.list.Pin(ctx)
+	defer e.list.Unpin(ctx)
+	if len(val) == 8 {
+		if old, existed, done := e.putInPlace(ctx, key, val, dst); done {
+			return old, existed, nil
+		}
+	}
+	ref, err := e.vals.Put(ctx, val, nil)
+	if err != nil {
+		return dst, false, err
+	}
+	oldw, existed, err := e.list.Insert(ctx, key, ref.Word())
+	if err != nil {
+		// The chunk was written but never published; hand it straight
+		// back rather than leaving it for the crash sweep.
+		e.vals.Retire(ref)
+		return dst, false, err
+	}
+	if existed {
+		dst = e.decodeValue(oldw, dst, ctx.Mem)
+		if slab.IsRef(oldw) {
+			e.vals.Retire(slab.FromWord(oldw))
+		}
+	}
+	return dst, existed, nil
+}
+
+// putInPlace overwrites an existing 8-byte single-segment value's
+// payload word directly — one store + one line flush, no allocation, no
+// list CAS — returning done=false when the fast path does not apply
+// (key absent, chained/odd-size value, legacy inline word, or open
+// snapshots that need the old bytes version-logged). Concurrent writers
+// racing the same key linearize by payload-word store order; a racing
+// slow-path CAS that swings the node to a new chunk may discard this
+// write, which linearizes it immediately before that CAS. The single
+// word flips atomically, so recovery sees old or new, never torn.
+func (e *engine) putInPlace(ctx *exec.Ctx, key uint64, val, dst []byte) ([]byte, bool, bool) {
+	if e.list.OpenSnapshots() != 0 {
+		return dst, false, false
+	}
+	old, ok := e.overwriteInPlace(ctx, key, val, nil)
+	if !ok {
+		return dst, false, false
+	}
+	return append(dst, old[:]...), true, true
+}
+
+// overwriteInPlace is the in-place core shared by putInPlace and the
+// batch pre-pass: if key currently holds a single-segment slab value, its
+// payload word is overwritten with val's 8 bytes and the previous bytes
+// returned. With fb nil the line is flushed-and-fenced immediately (the
+// single-op commit); otherwise the flush is deferred into fb and the
+// caller's grouped drain is the persistence point. Callers must hold the
+// era pin and have checked OpenSnapshots (the old bytes are not
+// version-logged here).
+func (e *engine) overwriteInPlace(ctx *exec.Ctx, key uint64, val []byte, fb *pmem.Batch) ([8]byte, bool) {
+	var old [8]byte
+	w, ok := e.list.Get(ctx, key)
+	if !ok || !slab.IsRef(w) {
+		return old, false
+	}
+	pool, off, ok := e.vals.PayloadOff(slab.FromWord(w))
+	if !ok {
+		return old, false
+	}
+	o := pool.Load(off, ctx.Mem)
+	pool.Store(off, binary.LittleEndian.Uint64(val), ctx.Mem)
+	if fb != nil {
+		fb.Add(pool, off, 1, ctx.Mem)
+	} else {
+		pool.Persist(off, 1, ctx.Mem)
+	}
+	binary.LittleEndian.PutUint64(old[:], o)
+	return old, true
+}
+
+// get appends the value stored under key to dst. The era pin spans both
+// the node-word read and the chunk decode, so a concurrent overwrite
+// cannot free the chunk out from under the copy.
+func (e *engine) get(ctx *exec.Ctx, key uint64, dst []byte) ([]byte, bool) {
+	e.list.Pin(ctx)
+	defer e.list.Unpin(ctx)
+	w, ok := e.list.Get(ctx, key)
+	if !ok {
+		return dst, false
+	}
+	return e.decodeValue(w, dst, ctx.Mem), true
+}
+
+// remove tombstones key, appending the removed bytes to dst and retiring
+// the value's chunk. The list persists the tombstone before returning,
+// so the retire happens strictly after the word that named the chunk
+// durably moved on.
+func (e *engine) remove(ctx *exec.Ctx, key uint64, dst []byte) ([]byte, bool, error) {
+	e.list.Pin(ctx)
+	defer e.list.Unpin(ctx)
+	w, ok, err := e.list.Remove(ctx, key)
+	if err != nil || !ok {
+		return dst, ok, err
+	}
+	dst = e.decodeValue(w, dst, ctx.Mem)
+	if slab.IsRef(w) {
+		e.vals.Retire(slab.FromWord(w))
+	}
+	return dst, true, nil
 }
 
 // Store is a handle onto a persistent skip list (or a keyspace-sharded
@@ -381,6 +557,9 @@ func Create(opts Options) (*Store, error) {
 			return nil, err
 		}
 		e.list = list
+		if err := e.attachVals(false); err != nil {
+			return nil, err
+		}
 		st.shards = append(st.shards, e)
 	}
 	if opts.OnlineReclaim {
@@ -455,6 +634,9 @@ func (s *Store) Reopen() (*Store, error) {
 		list.SetTowerBranch(s.opts.TowerBranch)
 		list.SetFastPaths(!s.opts.DisableBlockSearch, !s.opts.DisableForesight)
 		e.list = list
+		if err := e.attachVals(true); err != nil {
+			return nil, err
+		}
 		st.shards = append(st.shards, e)
 	}
 	if s.opts.OnlineReclaim {
@@ -657,6 +839,18 @@ type Worker struct {
 	// ops counts engine operations issued through this worker (see
 	// WorkerStats); owner-goroutine only, like everything else here.
 	ops uint64
+	// vbuf backs the value slices returned by Put/Get/Remove/View: they
+	// alias this buffer and stay valid only until the worker's next
+	// operation (copy to keep). Owner-goroutine only.
+	vbuf []byte
+	// u64b is the scratch encoding buffer for the *U64 compat helpers; a
+	// worker field rather than a stack array so the slice passed down
+	// never escapes to the heap.
+	u64b [8]byte
+	// keyElig is the per-shard scratch map for ApplyBatch's in-place
+	// overwrite pre-pass: key -> every op on it in this run is a read or
+	// an 8-byte insert (see applyShard). Owner-goroutine only.
+	keyElig map[uint64]bool
 }
 
 // NewWorker creates a worker pinned (round-robin) to a NUMA node.
@@ -682,33 +876,74 @@ func (w *Worker) at(key uint64, m *storeMetrics) (*engine, *exec.Ctx) {
 	return w.s.shards[si], w.ctxs[si]
 }
 
-// Insert adds or updates a key, returning the previous value and whether
-// the key was present.
-func (w *Worker) Insert(key, value uint64) (old uint64, existed bool, err error) {
+// Put adds or updates a key with an arbitrary byte value (up to
+// MaxValueLen bytes; zero-length values are legal and distinct from
+// absence). It returns the previous value and whether the key was
+// present. The returned slice aliases the worker's internal buffer and
+// is valid only until this worker's next operation — copy it to keep
+// it. The value bytes are written out-of-place and persisted before the
+// node's value word is published, so a crash anywhere in the operation
+// leaves the key holding either the complete old value or the complete
+// new one, never a torn mix.
+func (w *Worker) Put(key uint64, val []byte) (old []byte, existed bool, err error) {
 	m := w.s.met.Load()
 	e, ctx := w.at(key, m)
 	w.ops++
 	if m == nil {
-		return e.list.Insert(ctx, key, value)
+		w.vbuf, existed, err = e.put(ctx, key, val, w.vbuf[:0])
+		return w.vbuf, existed, err
 	}
 	start := metrics.Now()
-	old, existed, err = e.list.Insert(ctx, key, value)
+	w.vbuf, existed, err = e.put(ctx, key, val, w.vbuf[:0])
 	m.opLat[opKindInsert].Since(start)
-	return old, existed, err
+	return w.vbuf, existed, err
 }
 
-// Get returns the value stored under key.
-func (w *Worker) Get(key uint64) (uint64, bool) {
+// Get returns the value stored under key. The returned slice aliases
+// the worker's internal buffer and is valid only until this worker's
+// next operation; use GetInto to land the bytes in a caller-owned
+// buffer instead.
+func (w *Worker) Get(key uint64) ([]byte, bool) {
+	m := w.s.met.Load()
+	e, ctx := w.at(key, m)
+	w.ops++
+	var ok bool
+	if m == nil {
+		w.vbuf, ok = e.get(ctx, key, w.vbuf[:0])
+		return w.vbuf, ok
+	}
+	start := metrics.Now()
+	w.vbuf, ok = e.get(ctx, key, w.vbuf[:0])
+	m.opLat[opKindGet].Since(start)
+	return w.vbuf, ok
+}
+
+// GetInto appends the value stored under key to dst and returns the
+// extended slice, avoiding both the worker buffer and any hidden copy —
+// the bytes are decoded from the slab chunk straight into dst.
+func (w *Worker) GetInto(key uint64, dst []byte) ([]byte, bool) {
 	m := w.s.met.Load()
 	e, ctx := w.at(key, m)
 	w.ops++
 	if m == nil {
-		return e.list.Get(ctx, key)
+		return e.get(ctx, key, dst)
 	}
 	start := metrics.Now()
-	v, ok := e.list.Get(ctx, key)
+	out, ok := e.get(ctx, key, dst)
 	m.opLat[opKindGet].Since(start)
-	return v, ok
+	return out, ok
+}
+
+// View calls fn with the value stored under key, reporting whether the
+// key was present. The slice passed to fn is only valid for the
+// duration of the call (it aliases the worker's buffer); fn must not
+// retain it.
+func (w *Worker) View(key uint64, fn func(val []byte)) bool {
+	v, ok := w.Get(key)
+	if ok {
+		fn(v)
+	}
+	return ok
 }
 
 // Contains reports whether key is present.
@@ -726,25 +961,30 @@ func (w *Worker) Contains(key uint64) bool {
 }
 
 // Remove deletes key, returning the removed value and whether it was
-// present.
-func (w *Worker) Remove(key uint64) (uint64, bool, error) {
+// present. The returned slice follows the same worker-buffer lifetime
+// rule as Get.
+func (w *Worker) Remove(key uint64) ([]byte, bool, error) {
 	m := w.s.met.Load()
 	e, ctx := w.at(key, m)
 	w.ops++
+	var ok bool
+	var err error
 	if m == nil {
-		return e.list.Remove(ctx, key)
+		w.vbuf, ok, err = e.remove(ctx, key, w.vbuf[:0])
+		return w.vbuf, ok, err
 	}
 	start := metrics.Now()
-	v, ok, err := e.list.Remove(ctx, key)
+	w.vbuf, ok, err = e.remove(ctx, key, w.vbuf[:0])
 	m.opLat[opKindRemove].Since(start)
-	return v, ok, err
+	return w.vbuf, ok, err
 }
 
 // Scan visits all live pairs with keys in [lo, hi] in ascending order
 // until fn returns false. On a sharded store the per-shard bottom levels
 // are merged on the fly, so the callback still sees one globally
-// ascending key sequence.
-func (w *Worker) Scan(lo, hi uint64, fn func(key, value uint64) bool) error {
+// ascending key sequence. The value slice passed to fn is only valid
+// for that callback invocation.
+func (w *Worker) Scan(lo, hi uint64, fn func(key uint64, val []byte) bool) error {
 	w.ops++
 	if m := w.s.met.Load(); m != nil {
 		start := metrics.Now()
@@ -756,9 +996,16 @@ func (w *Worker) Scan(lo, hi uint64, fn func(key, value uint64) bool) error {
 }
 
 // scan is the uninstrumented body of Scan.
-func (w *Worker) scan(lo, hi uint64, fn func(key, value uint64) bool) error {
+func (w *Worker) scan(lo, hi uint64, fn func(key uint64, val []byte) bool) error {
 	if len(w.s.shards) == 1 {
-		return w.s.shards[0].list.Scan(w.ctxs[0], lo, hi, fn)
+		e, ctx := w.s.shards[0], w.ctxs[0]
+		// The list holds the era pin across the whole Scan call, so
+		// decoding inside the callback reads chunks no reclaimer can have
+		// freed yet.
+		return e.list.Scan(ctx, lo, hi, func(k, v uint64) bool {
+			w.vbuf = e.decodeValue(v, w.vbuf[:0], ctx.Mem)
+			return fn(k, w.vbuf)
+		})
 	}
 	if lo < KeyMin {
 		lo = KeyMin
@@ -771,11 +1018,62 @@ func (w *Worker) scan(lo, hi uint64, fn func(key, value uint64) bool) error {
 	}
 	m := w.mergedCursor()
 	for ok := m.Seek(lo); ok && m.Key() <= hi; ok = m.Next() {
-		if !fn(m.Key(), m.Value()) {
+		if !fn(m.Key(), m.ValueBytes()) {
 			return nil
 		}
 	}
 	return nil
+}
+
+// PutU64 stores value as its 8 little-endian bytes — the compatibility
+// shim for fixed-width callers (and exactly the representation legacy
+// v1/v2 pool images decode to). Repeated PutU64 over an existing key
+// hits an in-place single-word overwrite, keeping the pre-bytes-API
+// point-update cost.
+func (w *Worker) PutU64(key, value uint64) (old uint64, existed bool, err error) {
+	binary.LittleEndian.PutUint64(w.u64b[:], value)
+	ob, existed, err := w.Put(key, w.u64b[:])
+	if existed {
+		old = leU64(ob)
+	}
+	return old, existed, err
+}
+
+// GetU64 reads a value written by PutU64 (or a legacy inline value) back
+// as a uint64.
+func (w *Worker) GetU64(key uint64) (uint64, bool) {
+	v, ok := w.Get(key)
+	if !ok {
+		return 0, false
+	}
+	return leU64(v), true
+}
+
+// RemoveU64 is Remove for fixed-width callers.
+func (w *Worker) RemoveU64(key uint64) (uint64, bool, error) {
+	v, ok, err := w.Remove(key)
+	if !ok || err != nil {
+		return 0, ok, err
+	}
+	return leU64(v), true, nil
+}
+
+// ScanU64 is Scan for fixed-width callers: each value is decoded as its
+// first 8 little-endian bytes (zero-padded when shorter).
+func (w *Worker) ScanU64(lo, hi uint64, fn func(key, value uint64) bool) error {
+	return w.Scan(lo, hi, func(k uint64, v []byte) bool {
+		return fn(k, leU64(v))
+	})
+}
+
+// leU64 decodes up to 8 little-endian bytes, zero-padding short values.
+func leU64(b []byte) uint64 {
+	if len(b) >= 8 {
+		return binary.LittleEndian.Uint64(b)
+	}
+	var t [8]byte
+	copy(t[:], b)
+	return binary.LittleEndian.Uint64(t[:])
 }
 
 // mergedCursor returns the worker's reusable cross-shard merge cursor.
@@ -802,28 +1100,45 @@ func (w *Worker) Count() int {
 
 // Iterator is a forward cursor over live pairs in ascending key order:
 // Seek positions it on the first pair with key >= the argument, Next
-// advances, Key/Value read the current pair while Valid. Like the worker
+// advances, Key/Value read the current pair while Valid (ValueU64 is
+// the fixed-width compat accessor). The slice returned by Value aliases
+// the cursor's buffer and stays valid until the cursor leaves the
+// current node — copy it to keep it across Next calls. Like the worker
 // that created it, an Iterator must not be shared between goroutines.
 type Iterator interface {
 	Seek(key uint64) bool
 	Next() bool
 	Valid() bool
 	Key() uint64
-	Value() uint64
+	Value() []byte
+	ValueU64() uint64
 }
+
+// storeIter adapts a skiplist cursor (single-list iterator or sharded
+// merge) to the store's bytes-first Iterator interface.
+type storeIter struct {
+	c skiplist.Cursor
+}
+
+func (it storeIter) Seek(key uint64) bool { return it.c.Seek(key) }
+func (it storeIter) Next() bool           { return it.c.Next() }
+func (it storeIter) Valid() bool          { return it.c.Valid() }
+func (it storeIter) Key() uint64          { return it.c.Key() }
+func (it storeIter) Value() []byte        { return it.c.ValueBytes() }
+func (it storeIter) ValueU64() uint64     { return leU64(it.c.ValueBytes()) }
 
 // Iterator returns a fresh cursor over the whole store — a single-shard
 // list cursor, or a merge over every shard's bottom level, which yields
 // keys in globally ascending order across shard boundaries.
 func (w *Worker) Iterator() Iterator {
 	if len(w.s.shards) == 1 {
-		return w.s.shards[0].list.NewIterator(w.ctxs[0])
+		return storeIter{c: w.s.shards[0].list.NewIterator(w.ctxs[0])}
 	}
 	its := make([]*skiplist.Iterator, len(w.s.shards))
 	for i, e := range w.s.shards {
 		its[i] = e.list.NewIterator(w.ctxs[i])
 	}
-	return skiplist.NewMerged(its)
+	return storeIter{c: skiplist.NewMerged(its)}
 }
 
 // CheckInvariants validates structural invariants of every shard
@@ -896,12 +1211,15 @@ func poolFileName(shards, shard int, poolID uint16) string {
 // or from a SaveOnline logical dump (fresh pools rebuilt from the
 // dumped pairs).
 func Load(dir string) (*Store, error) {
-	opts, ver, err := loadMeta(dir)
+	opts, ver, kind, err := loadMeta(dir)
 	if err != nil {
 		return nil, err
 	}
-	if ver == "v3" {
-		return loadPairs(dir, opts)
+	if kind == "pairs" {
+		if ver == "v3" {
+			return loadPairs(dir, opts)
+		}
+		return loadPairsV4(dir, opts)
 	}
 	st := &Store{opts: opts, topo: numa.Topology{Nodes: opts.NUMANodes}}
 	for si := 0; si < opts.Shards; si++ {
@@ -930,6 +1248,9 @@ func Load(dir string) (*Store, error) {
 		list.SetTowerBranch(opts.TowerBranch)
 		list.SetFastPaths(!opts.DisableBlockSearch, !opts.DisableForesight)
 		e.list = list
+		if err := e.attachVals(true); err != nil {
+			return nil, err
+		}
 		st.shards = append(st.shards, e)
 	}
 	return st, nil
@@ -967,10 +1288,16 @@ func loadShardPools(dir string, opts Options, topo numa.Topology, shard int) ([]
 	return pools, nil
 }
 
-// saveMeta/loadMeta persist Options in a tiny sidecar file. Unsharded
-// stores write the historical v1 line; sharded stores append the shard
-// count as a v2 field.
+// saveMeta/loadMeta persist Options in a tiny sidecar file. This
+// revision writes v4 lines carrying a dump-kind token after the version
+// — "phys" for physical pool images (Save), "pairs" for logical
+// key/value dumps (SaveOnline) — and still reads the v1/v2 physical and
+// v3 pairs formats of earlier revisions.
 func saveMeta(dir string, o Options) error {
+	return writeMetaV4(dir, o, "phys")
+}
+
+func writeMetaV4(dir string, o Options, kind string) error {
 	f, err := os.Create(filepath.Join(dir, "meta.upsl"))
 	if err != nil {
 		return err
@@ -980,46 +1307,57 @@ func saveMeta(dir string, o Options) error {
 	if o.SortedNodes {
 		sorted = 1
 	}
-	if o.Shards == 1 {
-		_, err = fmt.Fprintf(f, "v1 %d %d %d %d %d %d %d %d %d %d\n",
-			o.MaxHeight, o.KeysPerNode, sorted, o.NUMANodes, int(o.Placement),
-			o.PoolWords, o.ChunkWords, o.MaxChunks, o.NumArenas, o.NumThreads)
-		return err
-	}
-	_, err = fmt.Fprintf(f, "v2 %d %d %d %d %d %d %d %d %d %d %d\n",
-		o.MaxHeight, o.KeysPerNode, sorted, o.NUMANodes, int(o.Placement),
+	_, err = fmt.Fprintf(f, "v4 %s %d %d %d %d %d %d %d %d %d %d %d\n",
+		kind, o.MaxHeight, o.KeysPerNode, sorted, o.NUMANodes, int(o.Placement),
 		o.PoolWords, o.ChunkWords, o.MaxChunks, o.NumArenas, o.NumThreads, o.Shards)
 	return err
 }
 
-func loadMeta(dir string) (Options, string, error) {
+// loadMeta parses the sidecar, returning the options, the format
+// version tag, and the dump kind ("phys" or "pairs").
+func loadMeta(dir string) (Options, string, string, error) {
 	f, err := os.Open(filepath.Join(dir, "meta.upsl"))
 	if err != nil {
-		return Options{}, "", err
+		return Options{}, "", "", err
 	}
 	defer f.Close()
+	var ver string
+	if _, err := fmt.Fscan(f, &ver); err != nil {
+		return Options{}, "", "", fmt.Errorf("upskiplist: unreadable meta: %w", err)
+	}
+	kind := "phys"
+	if ver == "v3" {
+		kind = "pairs"
+	}
+	if ver == "v4" {
+		if _, err := fmt.Fscan(f, &kind); err != nil {
+			return Options{}, "", "", fmt.Errorf("upskiplist: truncated v4 meta: %w", err)
+		}
+		if kind != "phys" && kind != "pairs" {
+			return Options{}, "", "", fmt.Errorf("upskiplist: unknown v4 dump kind %q", kind)
+		}
+	}
 	var o Options
 	var sorted, placement int
-	var ver string
-	_, err = fmt.Fscan(f, &ver, &o.MaxHeight, &o.KeysPerNode, &sorted, &o.NUMANodes,
+	_, err = fmt.Fscan(f, &o.MaxHeight, &o.KeysPerNode, &sorted, &o.NUMANodes,
 		&placement, &o.PoolWords, &o.ChunkWords, &o.MaxChunks, &o.NumArenas, &o.NumThreads)
 	if err != nil && err != io.EOF {
-		return Options{}, "", err
+		return Options{}, "", "", err
 	}
 	switch ver {
 	case "v1":
 		o.Shards = 1
-	case "v2", "v3":
+	case "v2", "v3", "v4":
 		if _, err := fmt.Fscan(f, &o.Shards); err != nil {
-			return Options{}, "", fmt.Errorf("upskiplist: truncated %s meta: %w", ver, err)
+			return Options{}, "", "", fmt.Errorf("upskiplist: truncated %s meta: %w", ver, err)
 		}
 		if o.Shards < 1 {
-			return Options{}, "", fmt.Errorf("upskiplist: bad shard count %d in meta", o.Shards)
+			return Options{}, "", "", fmt.Errorf("upskiplist: bad shard count %d in meta", o.Shards)
 		}
 	default:
-		return Options{}, "", fmt.Errorf("upskiplist: unknown meta version %q", ver)
+		return Options{}, "", "", fmt.Errorf("upskiplist: unknown meta version %q", ver)
 	}
 	o.SortedNodes = sorted == 1
 	o.Placement = Placement(placement)
-	return o, ver, nil
+	return o, ver, kind, nil
 }

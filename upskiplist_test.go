@@ -24,10 +24,10 @@ func TestCreateInsertGet(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := st.NewWorker(0)
-	if _, _, err := w.Insert(1, 10); err != nil {
+	if _, _, err := w.PutU64(1, 10); err != nil {
 		t.Fatal(err)
 	}
-	if v, ok := w.Get(1); !ok || v != 10 {
+	if v, ok := w.GetU64(1); !ok || v != 10 {
 		t.Fatalf("get: %d %v", v, ok)
 	}
 	if err := w.CheckInvariants(); err != nil {
@@ -39,7 +39,7 @@ func TestReopenKeepsData(t *testing.T) {
 	st, _ := Create(testOptions())
 	w := st.NewWorker(0)
 	for i := uint64(1); i <= 500; i++ {
-		w.Insert(i, i*2)
+		w.PutU64(i, i*2)
 	}
 	e1 := st.Epoch()
 	st2, err := st.Reopen()
@@ -51,7 +51,7 @@ func TestReopenKeepsData(t *testing.T) {
 	}
 	w2 := st2.NewWorker(0)
 	for i := uint64(1); i <= 500; i++ {
-		if v, ok := w2.Get(i); !ok || v != i*2 {
+		if v, ok := w2.GetU64(i); !ok || v != i*2 {
 			t.Fatalf("key %d: %d %v", i, v, ok)
 		}
 	}
@@ -70,7 +70,7 @@ func TestStripedPlacement(t *testing.T) {
 	}
 	w := st.NewWorker(0)
 	for i := uint64(1); i <= 100; i++ {
-		w.Insert(i, i)
+		w.PutU64(i, i)
 	}
 	if c := w.Count(); c != 100 {
 		t.Fatalf("count = %d", c)
@@ -97,7 +97,7 @@ func TestPerNodePlacement(t *testing.T) {
 			w := st.NewWorker(id)
 			for i := 0; i < 200; i++ {
 				k := uint64(id*200 + i + 1)
-				if _, _, err := w.Insert(k, k); err != nil {
+				if _, _, err := w.PutU64(k, k); err != nil {
 					t.Errorf("insert: %v", err)
 					return
 				}
@@ -133,10 +133,10 @@ func TestScanThroughWorker(t *testing.T) {
 	st, _ := Create(testOptions())
 	w := st.NewWorker(0)
 	for i := uint64(1); i <= 50; i++ {
-		w.Insert(i, i+100)
+		w.PutU64(i, i+100)
 	}
 	var got []uint64
-	w.Scan(10, 20, func(k, v uint64) bool {
+	w.ScanU64(10, 20, func(k, v uint64) bool {
 		got = append(got, k)
 		return true
 	})
@@ -149,13 +149,13 @@ func TestCrashLosesUnflushedOnly(t *testing.T) {
 	st, _ := Create(testOptions())
 	w := st.NewWorker(0)
 	for i := uint64(1); i <= 200; i++ {
-		w.Insert(i, i)
+		w.PutU64(i, i)
 	}
 	st.EnableCrashTracking()
 	// These inserts are fully persisted by the algorithm (every insert
 	// persists before returning), so they must survive the crash.
 	for i := uint64(201); i <= 250; i++ {
-		w.Insert(i, i)
+		w.PutU64(i, i)
 	}
 	st.SimulateCrash()
 	st.DisableCrashTracking()
@@ -165,7 +165,7 @@ func TestCrashLosesUnflushedOnly(t *testing.T) {
 	}
 	w2 := st2.NewWorker(0)
 	for i := uint64(1); i <= 250; i++ {
-		if v, ok := w2.Get(i); !ok || v != i {
+		if v, ok := w2.GetU64(i); !ok || v != i {
 			t.Fatalf("key %d after crash: %d %v", i, v, ok)
 		}
 	}
@@ -179,7 +179,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	st, _ := Create(testOptions())
 	w := st.NewWorker(0)
 	for i := uint64(1); i <= 300; i++ {
-		w.Insert(i, i*7)
+		w.PutU64(i, i*7)
 	}
 	if err := st.Save(dir); err != nil {
 		t.Fatal(err)
@@ -190,7 +190,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	w2 := st2.NewWorker(0)
 	for i := uint64(1); i <= 300; i++ {
-		if v, ok := w2.Get(i); !ok || v != i*7 {
+		if v, ok := w2.GetU64(i); !ok || v != i*7 {
 			t.Fatalf("key %d after load: %d %v", i, v, ok)
 		}
 	}
@@ -198,7 +198,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal("options not preserved")
 	}
 	// Still writable.
-	if _, _, err := w2.Insert(1000, 1); err != nil {
+	if _, _, err := w2.PutU64(1000, 1); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -223,14 +223,14 @@ func TestConcurrentWorkers(t *testing.T) {
 				k := uint64(rng.Intn(300) + 1)
 				switch rng.Intn(3) {
 				case 0:
-					w.Insert(k, k*13)
+					w.PutU64(k, k*13)
 				case 1:
-					if v, ok := w.Get(k); ok && v != k*13 {
+					if v, ok := w.GetU64(k); ok && v != k*13 {
 						t.Errorf("key %d value %d", k, v)
 						return
 					}
 				default:
-					w.Remove(k)
+					w.RemoveU64(k)
 				}
 			}
 		}(id)
@@ -250,10 +250,10 @@ func TestSortedNodesOption(t *testing.T) {
 	}
 	w := st.NewWorker(0)
 	for _, i := range rand.New(rand.NewSource(4)).Perm(1000) {
-		w.Insert(uint64(i+1), uint64(i+1))
+		w.PutU64(uint64(i+1), uint64(i+1))
 	}
 	for i := uint64(1); i <= 1000; i++ {
-		if v, ok := w.Get(i); !ok || v != i {
+		if v, ok := w.GetU64(i); !ok || v != i {
 			t.Fatalf("key %d: %d %v", i, v, ok)
 		}
 	}
@@ -270,7 +270,7 @@ func TestCostModelCharges(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := st.NewWorker(0)
-	w.Insert(1, 1)
+	w.PutU64(1, 1)
 	if st.Pools()[0].Stats().Snapshot().Loads == 0 {
 		t.Fatal("no loads recorded under cost model")
 	}
@@ -290,7 +290,7 @@ func TestSaveLoadPerNodePools(t *testing.T) {
 		w := st.NewWorker(id)
 		for i := 0; i < 150; i++ {
 			k := uint64(id*150 + i + 1)
-			if _, _, err := w.Insert(k, k*3); err != nil {
+			if _, _, err := w.PutU64(k, k*3); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -307,7 +307,7 @@ func TestSaveLoadPerNodePools(t *testing.T) {
 	}
 	w := st2.NewWorker(0)
 	for k := uint64(1); k <= 300; k++ {
-		if v, ok := w.Get(k); !ok || v != k*3 {
+		if v, ok := w.GetU64(k); !ok || v != k*3 {
 			t.Fatalf("key %d after load: %d %v", k, v, ok)
 		}
 	}
@@ -325,7 +325,7 @@ func TestRecoveryBudgetOption(t *testing.T) {
 	}
 	w := st.NewWorker(0)
 	for i := uint64(1); i <= 200; i++ {
-		w.Insert(i, i)
+		w.PutU64(i, i)
 	}
 	st2, err := st.Reopen()
 	if err != nil {
@@ -334,9 +334,9 @@ func TestRecoveryBudgetOption(t *testing.T) {
 	w2 := st2.NewWorker(0)
 	// A single full scan with unlimited budget should claim every node it
 	// meets.
-	w2.Scan(1, 200, func(k, v uint64) bool { return true })
+	w2.ScanU64(1, 200, func(k, v uint64) bool { return true })
 	for i := uint64(1); i <= 200; i++ {
-		if v, ok := w2.Get(i); !ok || v != i {
+		if v, ok := w2.GetU64(i); !ok || v != i {
 			t.Fatalf("key %d: %d %v", i, v, ok)
 		}
 	}
@@ -349,10 +349,10 @@ func TestStoreCompact(t *testing.T) {
 	st, _ := Create(testOptions())
 	w := st.NewWorker(0)
 	for i := uint64(1); i <= 300; i++ {
-		w.Insert(i, i)
+		w.PutU64(i, i)
 	}
 	for i := uint64(1); i <= 300; i++ {
-		w.Remove(i)
+		w.RemoveU64(i)
 	}
 	n, err := st.Compact()
 	if err != nil {
@@ -368,12 +368,12 @@ func TestStoreCompact(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Reinsert and survive a reopen.
-	w.Insert(5, 50)
+	w.PutU64(5, 50)
 	st2, err := st.Reopen()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v, ok := st2.NewWorker(0).Get(5); !ok || v != 50 {
+	if v, ok := st2.NewWorker(0).GetU64(5); !ok || v != 50 {
 		t.Fatalf("key 5 after compact+reopen: %d %v", v, ok)
 	}
 }
@@ -388,7 +388,7 @@ func TestPreallocateOption(t *testing.T) {
 	}
 	w := st.NewWorker(0)
 	for i := uint64(1); i <= 500; i++ {
-		if _, _, err := w.Insert(i, i); err != nil {
+		if _, _, err := w.PutU64(i, i); err != nil {
 			t.Fatal(err)
 		}
 	}
