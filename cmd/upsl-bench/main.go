@@ -39,6 +39,11 @@
 //	payload   slab value arena: insert payload sweep {8B,64B,256B,1KB}
 //	          on YCSB-A/C, ops/s + value bytes/s + fences/op
 //	          (BENCH_payload.json; excluded from "all")
+//	recovery  parallel recovery: store size x value size x parallelism
+//	          sweep over physical-image reopen (shard fan-out +
+//	          page-parallel sweeps) and sorted-dump loaders (bulk
+//	          bottom-up build vs per-key replay), time-to-ready +
+//	          keys/s (BENCH_recovery.json; excluded from "all")
 //
 // Absolute numbers will differ from the paper (its substrate was a
 // 4-socket Optane machine; ours is a simulator) — the comparisons,
@@ -81,7 +86,7 @@ type benchConfig struct {
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table5.1, fig5.1, fig5.2, fig5.3, fig5.4, fig5.5, fig5.6, table5.4, extE, shards, server, churn, churn-wire, hotpath, snap, payload, all")
+		exp        = flag.String("exp", "all", "experiment: table5.1, fig5.1, fig5.2, fig5.3, fig5.4, fig5.5, fig5.6, table5.4, extE, shards, server, churn, churn-wire, hotpath, snap, payload, recovery, all")
 		preload    = flag.Uint64("preload", 20000, "preloaded key count (paper: 100M)")
 		ops        = flag.Int("ops", 10000, "operations per thread")
 		threadsCSV = flag.String("threads", "1,2,4,8,16", "thread counts for sweeps")
@@ -111,6 +116,8 @@ func main() {
 			*benchJSON = "BENCH_snap.json"
 		case "payload":
 			*benchJSON = "BENCH_payload.json"
+		case "recovery":
+			*benchJSON = "BENCH_recovery.json"
 		default:
 			*benchJSON = "BENCH_shards.json"
 		}
@@ -165,6 +172,7 @@ func main() {
 		"hotpath":    runHotPath,
 		"snap":       runSnapExp,
 		"payload":    runPayload,
+		"recovery":   runRecoveryExp,
 	}
 	// "server" is deliberately not in the "all" order: it opens loopback
 	// TCP sockets, which the pure in-process reproduction runs avoid

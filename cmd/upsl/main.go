@@ -101,6 +101,12 @@ func main() {
 	case "stats":
 		fmt.Printf("epoch: %d\n", st.Epoch())
 		fmt.Printf("live keys: %d\n", w.Count())
+		rec := st.RecoveryStats()
+		fmt.Printf("recovery: parallelism=%d wall=%v (attach=%v open=%v sweep=%v bulkload=%v)\n",
+			rec.Parallelism, rec.Wall, rec.Attach, rec.Open, rec.Sweep, rec.BulkLoad)
+		fmt.Printf("recovery work: pages-swept=%d pages-freed=%d chunks-relinked=%d keys-bulk-loaded=%d nodes-bulk-built=%d keys-replayed=%d\n",
+			rec.PagesSwept, rec.PagesFreed, rec.ChunksRelinked,
+			rec.KeysBulkLoaded, rec.NodesBulkBuilt, rec.KeysReplayed)
 		for _, p := range st.Pools() {
 			fmt.Printf("pool %d: %d words, %v\n", p.ID(), p.Size(), p.Stats().Snapshot())
 		}

@@ -61,6 +61,9 @@ package alloc
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"upskiplist/internal/epoch"
 	"upskiplist/internal/exec"
@@ -416,6 +419,11 @@ type Allocator struct {
 	nodePool   map[int]uint16 // NUMA node -> pool ID for allocation
 	reachCheck ReachabilityCheck
 	slabCheck  SlabCheck
+	// scanPar bounds the goroutines the whole-pool kind scans
+	// (RetiredBlocks/VersionBlocks/SlabBlocks/Census) partition their
+	// chunk ranges across; <= 1 scans serially. Volatile tuning set at
+	// recovery time — the scans only read kind words either way.
+	scanPar atomic.Int32
 }
 
 // New creates an allocator over the given address space and clock.
@@ -746,6 +754,129 @@ func (a *Allocator) ForEachFree(fn func(riv.Ptr)) {
 	}
 }
 
+// SetScanParallelism bounds the goroutines the whole-pool kind scans
+// partition their chunk ranges across; values <= 1 restore the serial
+// scan. The scans only read kind words through the (thread-safe) pool,
+// so any parallelism is safe; recovery sets this from the store's
+// RecoveryParallelism budget.
+func (a *Allocator) SetScanParallelism(p int) {
+	if p < 1 {
+		p = 1
+	}
+	a.scanPar.Store(int32(p))
+}
+
+// ScanParallelism returns the configured kind-scan worker bound.
+func (a *Allocator) ScanParallelism() int {
+	if p := a.scanPar.Load(); p > 1 {
+		return int(p)
+	}
+	return 1
+}
+
+// chunkSpan is one pool's provisioned chunk range, snapshotted at scan
+// start (pools sorted by ID so the scan order is deterministic).
+type chunkSpan struct {
+	pa     *PoolAllocator
+	chunks uint64
+}
+
+func (a *Allocator) chunkSpans() ([]chunkSpan, uint64) {
+	spans := make([]chunkSpan, 0, len(a.pools))
+	for _, pa := range a.pools {
+		spans = append(spans, chunkSpan{pa: pa, chunks: pa.pool.Load(hdrChunkCount, nil)})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].pa.pool.ID() < spans[j].pa.pool.ID() })
+	total := uint64(0)
+	for _, s := range spans {
+		total += s.chunks
+	}
+	return spans, total
+}
+
+// scanChunks visits every provisioned chunk of every pool, partitioning
+// the flattened (pool, chunk) sequence into contiguous ranges across up
+// to ScanParallelism goroutines. visit is called as visit(worker, pa,
+// chunk) with worker < ScanParallelism; calls with the same worker index
+// are sequential and in ascending (pool ID, chunk) order, so per-worker
+// accumulators concatenated in worker order reproduce the serial scan's
+// output order. A panic in any worker (a crash injector firing mid-scan)
+// is re-raised on the calling goroutine.
+func (a *Allocator) scanChunks(visit func(worker int, pa *PoolAllocator, chunk uint64)) {
+	spans, total := a.chunkSpans()
+	par := a.ScanParallelism()
+	if uint64(par) > total {
+		par = int(total)
+	}
+	if par <= 1 {
+		for _, sp := range spans {
+			for c := uint64(0); c < sp.chunks; c++ {
+				visit(0, sp.pa, c)
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var panicked atomic.Pointer[any]
+	for w := 0; w < par; w++ {
+		lo := total * uint64(w) / uint64(par)
+		hi := total * uint64(w+1) / uint64(par)
+		wg.Add(1)
+		go func(w int, lo, hi uint64) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &r)
+				}
+			}()
+			base := uint64(0)
+			for _, sp := range spans {
+				if base >= hi {
+					break
+				}
+				first, last := uint64(0), sp.chunks
+				if lo > base {
+					first = lo - base
+				}
+				if hi-base < last {
+					last = hi - base
+				}
+				for c := first; c < last; c++ {
+					visit(w, sp.pa, c)
+				}
+				base += sp.chunks
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(*r)
+	}
+}
+
+// blocksOfKind is the shared body of the kind scans: a partitioned walk
+// over every provisioned block collecting pointers whose kind word
+// matches, with per-goroutine accumulators merged (in scan order) at the
+// end.
+func (a *Allocator) blocksOfKind(kind uint64) []riv.Ptr {
+	parts := make([][]riv.Ptr, a.ScanParallelism())
+	a.scanChunks(func(w int, pa *PoolAllocator, c uint64) {
+		base := pa.chunkSpace + c*pa.cfg.ChunkWords
+		nBlocks := pa.cfg.ChunkWords / pa.cfg.BlockWords
+		for b := uint64(0); b < nBlocks; b++ {
+			off := base + b*pa.cfg.BlockWords
+			if pa.pool.Load(off+BlockKind, nil) == kind {
+				parts[w] = append(parts[w], riv.Make(pa.pool.ID(), uint16(c), uint32(b*pa.cfg.BlockWords)))
+			}
+		}
+	})
+	var out []riv.Ptr
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
 // RetiredBlocks scans every provisioned chunk for blocks stamped
 // KindRetired and returns their pointers. This is the post-restart limbo
 // rediscovery: limbo lists are volatile, so a crash between unlink and
@@ -755,23 +886,7 @@ func (a *Allocator) ForEachFree(fn func(riv.Ptr)) {
 // be freed without a grace period by a freshly started reclaimer. The
 // scan only reads kind words, so it is safe to run concurrently with
 // operations — workers only ever create KindNode blocks.
-func (a *Allocator) RetiredBlocks() []riv.Ptr {
-	var out []riv.Ptr
-	for _, pa := range a.pools {
-		nChunks := pa.pool.Load(hdrChunkCount, nil)
-		for c := uint64(0); c < nChunks; c++ {
-			base := pa.chunkSpace + c*pa.cfg.ChunkWords
-			nBlocks := pa.cfg.ChunkWords / pa.cfg.BlockWords
-			for b := uint64(0); b < nBlocks; b++ {
-				off := base + b*pa.cfg.BlockWords
-				if pa.pool.Load(off+BlockKind, nil) == KindRetired {
-					out = append(out, riv.Make(pa.pool.ID(), uint16(c), uint32(b*pa.cfg.BlockWords)))
-				}
-			}
-		}
-	}
-	return out
-}
+func (a *Allocator) RetiredBlocks() []riv.Ptr { return a.blocksOfKind(KindRetired) }
 
 // VersionBlocks scans every provisioned chunk for blocks stamped
 // KindVersion and returns their pointers. After a restart these are
@@ -780,45 +895,13 @@ func (a *Allocator) RetiredBlocks() []riv.Ptr {
 // caller must guarantee no live version log currently holds blocks in
 // these pools (i.e. no snapshot is open) — the sweep cannot tell an
 // orphan from a block the log is actively filling.
-func (a *Allocator) VersionBlocks() []riv.Ptr {
-	var out []riv.Ptr
-	for _, pa := range a.pools {
-		nChunks := pa.pool.Load(hdrChunkCount, nil)
-		for c := uint64(0); c < nChunks; c++ {
-			base := pa.chunkSpace + c*pa.cfg.ChunkWords
-			nBlocks := pa.cfg.ChunkWords / pa.cfg.BlockWords
-			for b := uint64(0); b < nBlocks; b++ {
-				off := base + b*pa.cfg.BlockWords
-				if pa.pool.Load(off+BlockKind, nil) == KindVersion {
-					out = append(out, riv.Make(pa.pool.ID(), uint16(c), uint32(b*pa.cfg.BlockWords)))
-				}
-			}
-		}
-	}
-	return out
-}
+func (a *Allocator) VersionBlocks() []riv.Ptr { return a.blocksOfKind(KindVersion) }
 
 // SlabBlocks scans every provisioned chunk for blocks stamped KindSlab
 // and returns their pointers. The slab arena's startup sweep uses it to
 // find pages that leaked between allocation and page-list linking; like
 // the other kind scans it only reads kind words.
-func (a *Allocator) SlabBlocks() []riv.Ptr {
-	var out []riv.Ptr
-	for _, pa := range a.pools {
-		nChunks := pa.pool.Load(hdrChunkCount, nil)
-		for c := uint64(0); c < nChunks; c++ {
-			base := pa.chunkSpace + c*pa.cfg.ChunkWords
-			nBlocks := pa.cfg.ChunkWords / pa.cfg.BlockWords
-			for b := uint64(0); b < nBlocks; b++ {
-				off := base + b*pa.cfg.BlockWords
-				if pa.pool.Load(off+BlockKind, nil) == KindSlab {
-					out = append(out, riv.Make(pa.pool.ID(), uint16(c), uint32(b*pa.cfg.BlockWords)))
-				}
-			}
-		}
-	}
-	return out
-}
+func (a *Allocator) SlabBlocks() []riv.Ptr { return a.blocksOfKind(KindSlab) }
 
 // BlockCensus counts every provisioned block by kind. Node+Retired is
 // the store's allocated footprint; a churn workload with reclamation
@@ -830,30 +913,38 @@ type BlockCensus struct {
 	Free, Node, Retired, Version, Slab, Total int
 }
 
-// Census scans all provisioned chunks and tallies block kinds.
+// Census scans all provisioned chunks and tallies block kinds,
+// partitioned like the kind scans (per-goroutine tallies summed).
 func (a *Allocator) Census() BlockCensus {
-	var c BlockCensus
-	for _, pa := range a.pools {
-		nChunks := pa.pool.Load(hdrChunkCount, nil)
-		for ch := uint64(0); ch < nChunks; ch++ {
-			base := pa.chunkSpace + ch*pa.cfg.ChunkWords
-			nBlocks := pa.cfg.ChunkWords / pa.cfg.BlockWords
-			for b := uint64(0); b < nBlocks; b++ {
-				switch pa.pool.Load(base+b*pa.cfg.BlockWords+BlockKind, nil) {
-				case KindFree:
-					c.Free++
-				case KindNode:
-					c.Node++
-				case KindRetired:
-					c.Retired++
-				case KindVersion:
-					c.Version++
-				case KindSlab:
-					c.Slab++
-				}
-				c.Total++
+	parts := make([]BlockCensus, a.ScanParallelism())
+	a.scanChunks(func(w int, pa *PoolAllocator, ch uint64) {
+		c := &parts[w]
+		base := pa.chunkSpace + ch*pa.cfg.ChunkWords
+		nBlocks := pa.cfg.ChunkWords / pa.cfg.BlockWords
+		for b := uint64(0); b < nBlocks; b++ {
+			switch pa.pool.Load(base+b*pa.cfg.BlockWords+BlockKind, nil) {
+			case KindFree:
+				c.Free++
+			case KindNode:
+				c.Node++
+			case KindRetired:
+				c.Retired++
+			case KindVersion:
+				c.Version++
+			case KindSlab:
+				c.Slab++
 			}
+			c.Total++
 		}
+	})
+	var c BlockCensus
+	for _, p := range parts {
+		c.Free += p.Free
+		c.Node += p.Node
+		c.Retired += p.Retired
+		c.Version += p.Version
+		c.Slab += p.Slab
+		c.Total += p.Total
 	}
 	return c
 }

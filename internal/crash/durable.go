@@ -319,7 +319,9 @@ func reconstruct(l *pmemlog.Log) (*lincheck.History, error) {
 	emittedEra := 0
 	emit := func(op lincheck.Op, opEra int) {
 		for emittedEra < opEra {
-			h.Crash()
+			// The crash deadline comes from the durable marker's logged
+			// timestamp — the only clock the op timestamps share.
+			h.CrashAt(crashTimes[emittedEra])
 			emittedEra++
 		}
 		h.Record(op)
@@ -334,7 +336,7 @@ func reconstruct(l *pmemlog.Log) (*lincheck.History, error) {
 		}
 	}
 	for emittedEra < era {
-		h.Crash()
+		h.CrashAt(crashTimes[emittedEra])
 		emittedEra++
 	}
 	return h, nil

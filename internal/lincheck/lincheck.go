@@ -101,8 +101,24 @@ func (h *History) Record(op Op) {
 // Crash marks a crash point: every pending operation recorded so far (in
 // the current era) gets the crash as its deadline.
 func (h *History) Crash() {
+	h.CrashAt(h.clock.Add(1))
+}
+
+// CrashAt is Crash with an explicit logical timestamp. Histories rebuilt
+// from a durable operation log carry their own clock values in every op;
+// the crash deadline must come from that same clock (the logged crash
+// marker), not from this History's internal one, or every interrupted
+// operation that took effect would appear to linearize after its
+// deadline. The internal clock is pulled forward so later Now/Crash
+// calls stay ahead of the supplied time.
+func (h *History) CrashAt(t int64) {
 	h.mu.lock()
-	h.crashes = append(h.crashes, h.clock.Add(1))
+	h.crashes = append(h.crashes, t)
+	for c := h.clock.Load(); c < t; c = h.clock.Load() {
+		if h.clock.CompareAndSwap(c, t) {
+			break
+		}
+	}
 	h.mu.unlock()
 }
 

@@ -1,0 +1,139 @@
+package skiplist
+
+// Bulk loading. Restoring a logical dump through the normal insert path
+// pays a full tower traversal, a height draw, and several fences per
+// key. A sorted dump needs none of that: every key appends at the right
+// edge of the structure, so the builder keeps the rightmost node of
+// every level ("tails"), fills data nodes to capacity, links each new
+// node behind the tails of its tower in plain stores, and persists the
+// whole node block plus the touched predecessor next words as one
+// coalesced line batch with a single fence. Tower heights still come
+// from the worker's geometric draw, so a bulk-built list has the same
+// height distribution — and, by the equivalence tests, the same search
+// behaviour — as one grown by per-key inserts.
+
+import (
+	"errors"
+
+	"upskiplist/internal/exec"
+)
+
+// Bulk-load errors.
+var (
+	ErrNotEmpty = errors.New("skiplist: bulk load requires an empty list")
+	ErrUnsorted = errors.New("skiplist: bulk load requires strictly ascending keys")
+)
+
+// BulkBuilder constructs a skip list bottom-up from a strictly
+// ascending key stream. Single-goroutine use; the list must be empty
+// and quiesced (no concurrent operations) until Finish returns.
+type BulkBuilder struct {
+	s   *SkipList
+	ctx *exec.Ctx
+
+	keys, vals []uint64  // pending batch for the next node
+	tails      []nodeRef // rightmost node linked at each level
+	lastKey    uint64
+	haveLast   bool
+
+	keysLoaded  uint64
+	nodesBuilt  uint64
+	towersBuilt uint64 // nodes with height > 1
+}
+
+// NewBulkBuilder returns a builder appending at the right edge of s,
+// which must be empty.
+func NewBulkBuilder(s *SkipList, ctx *exec.Ctx) (*BulkBuilder, error) {
+	head := s.node(s.head)
+	if head.next(s, 0, ctx.Mem) != s.tail {
+		return nil, ErrNotEmpty
+	}
+	b := &BulkBuilder{
+		s: s, ctx: ctx,
+		keys:  make([]uint64, 0, s.keysPerNode),
+		vals:  make([]uint64, 0, s.keysPerNode),
+		tails: make([]nodeRef, s.maxHeight),
+	}
+	for l := range b.tails {
+		b.tails[l] = head
+	}
+	return b, nil
+}
+
+// Add appends one pair. Keys must arrive strictly ascending.
+func (b *BulkBuilder) Add(key, value uint64) error {
+	if key < KeyMin || key > KeyMax {
+		return ErrKeyRange
+	}
+	if value >= Tombstone {
+		return ErrValueRange
+	}
+	if b.haveLast && key <= b.lastKey {
+		return ErrUnsorted
+	}
+	b.lastKey, b.haveLast = key, true
+	b.keys = append(b.keys, key)
+	b.vals = append(b.vals, value)
+	b.keysLoaded++
+	if len(b.keys) == b.s.keysPerNode {
+		return b.flushNode()
+	}
+	return nil
+}
+
+// Finish flushes the trailing partial node. The builder must not be
+// used afterwards.
+func (b *BulkBuilder) Finish() error {
+	if len(b.keys) > 0 {
+		return b.flushNode()
+	}
+	return nil
+}
+
+// Keys returns how many pairs have been loaded.
+func (b *BulkBuilder) Keys() uint64 { return b.keysLoaded }
+
+// Nodes returns how many data nodes have been built.
+func (b *BulkBuilder) Nodes() uint64 { return b.nodesBuilt }
+
+// flushNode turns the pending pairs into one node linked at the right
+// edge of every level its drawn tower reaches.
+func (b *BulkBuilder) flushNode() error {
+	s, ctx := b.s, b.ctx
+	// The bottom tail is the allocation log's reachability anchor: a
+	// crash between this Alloc and the links below is detected by the
+	// next allocation with a one-hop walk from the logged predecessor,
+	// instead of a bottom-level walk from the head.
+	ptr, err := s.a.Alloc(ctx, b.tails[0].ptr, b.keys[0])
+	if err != nil {
+		return err
+	}
+	h := s.drawHeight(ctx)
+	n := s.node(ptr)
+	s.initNode(n, b.keys, b.vals, h, ctx.Mem)
+	for l := 0; l < h; l++ {
+		n.setNext(s, l, s.tail, ctx.Mem)
+	}
+	ctx.Batch.Add(n.pool, n.off, s.blockWords, ctx.Mem)
+	// Grow the hint before linking, as linkHigherLevels does, so a
+	// traversal starting the instant Finish returns sees every level.
+	if top := int32(h - 1); top > s.topHint.Load() {
+		s.topHint.Store(top)
+	}
+	for l := 0; l < h; l++ {
+		t := b.tails[l]
+		t.setNext(s, l, ptr, ctx.Mem)
+		ctx.Batch.Add(t.pool, t.off+offNext+uint64(l), 1, ctx.Mem)
+		b.tails[l] = n
+	}
+	// One fence publishes the node and its tower (two when the node and
+	// a predecessor straddle pools — Batch is single-pool).
+	ctx.Batch.Flush(ctx.Mem)
+	b.nodesBuilt++
+	if h > 1 {
+		b.towersBuilt++
+	}
+	b.keys = b.keys[:0]
+	b.vals = b.vals[:0]
+	return nil
+}

@@ -183,6 +183,7 @@ type Stats struct {
 	Pages         uint64 // pages grown by this handle
 	SweepRelinked uint64 // chunks reclaimed by the last Sweep
 	SweepPages    uint64 // leaked pages freed by the last Sweep
+	SweepScanned  uint64 // pages scanned by the last Sweep
 }
 
 // Arena is a volatile handle onto the persistent slab structures of one
@@ -217,6 +218,12 @@ type Arena struct {
 
 	sweepRelinked atomic.Uint64
 	sweepPages    atomic.Uint64
+	sweepScanned  atomic.Uint64
+
+	// sweepPar bounds the goroutines Sweep fans its page scans out
+	// across. <= 1 keeps the sweep serial. Volatile: recovery sets it
+	// from the store's per-shard parallelism budget.
+	sweepPar atomic.Int32
 }
 
 // classesFor derives the chunk classes from a block size: powers of two
@@ -288,6 +295,62 @@ func Attach(a *alloc.Allocator, ctx *exec.Ctx) (*Arena, error) {
 // SetDomain installs the grace-period domain lookup used to tag limbo
 // batches. fn may return nil (no domain yet).
 func (ar *Arena) SetDomain(fn func() *epoch.Domain) { ar.dom = fn }
+
+// SetSweepParallelism bounds the goroutines Sweep's page census, free-
+// list walk, and free-list rebuild fan out across. Values <= 1 keep the
+// sweep serial.
+func (ar *Arena) SetSweepParallelism(p int) {
+	if p < 1 {
+		p = 1
+	}
+	ar.sweepPar.Store(int32(p))
+}
+
+func (ar *Arena) sweepParallelism() int {
+	if p := ar.sweepPar.Load(); p > 1 {
+		return int(p)
+	}
+	return 1
+}
+
+// runParallel fans fn out over [0, n) across at most par goroutines.
+// The first worker panic is re-raised on the calling goroutine so a
+// crash injector firing inside a worker surfaces exactly as it would on
+// the serial path. Accumulator accounting (pmem.Acc) is owner-goroutine
+// state, so workers in the parallel regime pass nil accs.
+func runParallel(n, par int, fn func(i int)) {
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var panicked atomic.Pointer[any]
+	for w := 0; w < par; w++ {
+		lo := n * w / par
+		hi := n * (w + 1) / par
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &r)
+				}
+			}()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(*r)
+	}
+}
 
 // Classes returns the chunk classes in words (for tests).
 func (ar *Arena) Classes() []uint64 { return append([]uint64(nil), ar.classes...) }
@@ -672,6 +735,7 @@ func (ar *Arena) Stats() Stats {
 		Pages:         ar.pages.Load(),
 		SweepRelinked: ar.sweepRelinked.Load(),
 		SweepPages:    ar.sweepPages.Load(),
+		SweepScanned:  ar.sweepScanned.Load(),
 	}
 }
 
@@ -691,7 +755,10 @@ func (ar *Arena) Stats() Stats {
 // allocator whole.
 //
 // Must run quiesced (no concurrent operations), which is the state at
-// Reopen/Load time. Idempotent: a clean store sweeps zero chunks.
+// Reopen/Load time. Idempotent: a clean store sweeps zero chunks. With
+// SetSweepParallelism > 1 the census, free-list walk, and rebuild
+// partition their page work across goroutines with per-goroutine
+// accumulators merged (and free chains stitched) at the end.
 func (ar *Arena) Sweep(ctx *exec.Ctx, live func(emit func(word uint64))) (relinked, pagesFreed int) {
 	referenced := make(map[riv.Ptr]bool)
 	live(func(w uint64) {
@@ -732,22 +799,40 @@ func (ar *Arena) Sweep(ctx *exec.Ctx, live func(emit func(word uint64))) (relink
 	ar.limboMu.Unlock()
 
 	// Page census first: the old free lists can only be interpreted
-	// against the set of pages each class actually owns.
+	// against the set of pages each class actually owns. Classes are
+	// independent pointer chains, so the census fans out one goroutine
+	// per class (bounded by the sweep parallelism) with per-class maps
+	// merged afterwards.
+	par := ar.sweepParallelism()
 	linkedPages := map[riv.Ptr]bool{ar.dir: true}
 	pagesByClass := make([][]riv.Ptr, len(ar.classes))
 	chunkClass := make(map[riv.Ptr]int) // every carvable chunk slot, by owning class
-	for class := range ar.classes {
+	classChunks := make([]map[riv.Ptr]int, len(ar.classes))
+	runParallel(len(ar.classes), par, func(class int) {
+		acc := ctx.Mem
+		if par > 1 {
+			acc = nil
+		}
 		cw := ar.classes[class]
 		n := (ar.blockWords - pageHdrLen) / cw
-		page := riv.FromWord(ar.dirPool.Load(ar.pageHeadOff(class), ctx.Mem))
+		local := make(map[riv.Ptr]int)
+		page := riv.FromWord(ar.dirPool.Load(ar.pageHeadOff(class), acc))
 		for !page.IsNull() {
-			linkedPages[page] = true
 			pagesByClass[class] = append(pagesByClass[class], page)
 			for i := uint64(0); i < n; i++ {
-				chunkClass[riv.Make(page.Pool(), page.Chunk(), page.Offset()+uint32(pageHdrLen+i*cw))] = class
+				local[riv.Make(page.Pool(), page.Chunk(), page.Offset()+uint32(pageHdrLen+i*cw))] = class
 			}
 			pool, off := ar.space.Resolve(page)
-			page = riv.FromWord(pool.Load(off+pageNextOff, ctx.Mem))
+			page = riv.FromWord(pool.Load(off+pageNextOff, acc))
+		}
+		classChunks[class] = local
+	})
+	for class, local := range classChunks {
+		for p, c := range local {
+			chunkClass[p] = c
+		}
+		for _, p := range pagesByClass[class] {
+			linkedPages[p] = true
 		}
 	}
 
@@ -757,49 +842,115 @@ func (ar *Arena) Sweep(ctx *exec.Ctx, live func(emit func(word uint64))) (relink
 	// payload, so every step is validated — a real chunk slot of this
 	// class, unreferenced, unseen — and the walk stops at the first entry
 	// that fails (everything past it is reconstructed below anyway).
+	// Every chunk slot belongs to exactly one class, so the per-class
+	// walks touch disjoint sets and also run one goroutine per class.
 	onList := make(map[riv.Ptr]bool)
-	for class := range ar.classes {
-		p := riv.FromWord(ar.dirPool.Load(ar.freeHeadOff(class), ctx.Mem))
+	classOnList := make([]map[riv.Ptr]bool, len(ar.classes))
+	runParallel(len(ar.classes), par, func(class int) {
+		acc := ctx.Mem
+		if par > 1 {
+			acc = nil
+		}
+		local := make(map[riv.Ptr]bool)
+		p := riv.FromWord(ar.dirPool.Load(ar.freeHeadOff(class), acc))
 		for !p.IsNull() {
-			if c, ok := chunkClass[p]; !ok || c != class || referenced[p] || onList[p] {
+			if c, ok := chunkClass[p]; !ok || c != class || referenced[p] || local[p] {
 				break
 			}
-			onList[p] = true
+			local[p] = true
 			pool, off := ar.space.Resolve(p)
-			p = riv.FromWord(pool.Load(off, ctx.Mem))
+			p = riv.FromWord(pool.Load(off, acc))
+		}
+		classOnList[class] = local
+	})
+	for _, local := range classOnList {
+		for p := range local {
+			onList[p] = true
 		}
 	}
 
 	// Rebuild each class list from scratch: carve a fresh chain through
 	// every unreferenced chunk and publish it as the new head. Chunks
 	// absent from the validated old list are the crash leaks; they are
-	// linked last so they come off the list first — the next allocation
-	// reuses recovered space before touching the long-free tail.
+	// ordered ahead of the long-free chunks so they come off the list
+	// first — the next allocation reuses recovered space before touching
+	// the long-free tail.
+	//
+	// This is the sweep's heavy phase, so the page range of each class is
+	// partitioned across goroutines. Each worker carves two local chains
+	// (already-free chunks and leaks) through its own pages — disjoint
+	// words, no locks — and the chains are stitched serially afterwards
+	// by pointing each tail at the next chain's head (one extra word
+	// persist per seam).
 	for class := range ar.classes {
 		cw := ar.classes[class]
 		n := (ar.blockWords - pageHdrLen) / cw
-		newHead := uint64(0)
-		link := func(leaks bool) {
-			for _, page := range pagesByClass[class] {
+		pages := pagesByClass[class]
+		workers := par
+		if workers > len(pages) {
+			workers = len(pages)
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		type chain struct {
+			head, tail riv.Ptr
+			count      int
+		}
+		freeParts := make([]chain, workers)
+		leakParts := make([]chain, workers)
+		runParallel(workers, workers, func(w int) {
+			acc := ctx.Mem
+			if workers > 1 {
+				acc = nil
+			}
+			lo := len(pages) * w / workers
+			hi := len(pages) * (w + 1) / workers
+			add := func(ch *chain, chunk riv.Ptr, pool *pmem.Pool, off uint64) {
+				pool.Store(off, ch.head.Word(), acc)
+				if ch.head.IsNull() {
+					ch.tail = chunk
+				}
+				ch.head = chunk
+				ch.count++
+			}
+			for pi := lo; pi < hi; pi++ {
+				page := pages[pi]
 				pool, off := ar.space.Resolve(page)
 				for i := uint64(0); i < n; i++ {
 					chunk := riv.Make(page.Pool(), page.Chunk(), page.Offset()+uint32(pageHdrLen+i*cw))
-					if referenced[chunk] || onList[chunk] == leaks {
+					if referenced[chunk] {
 						continue
 					}
-					pool.Store(off+pageHdrLen+i*cw, newHead, ctx.Mem)
-					newHead = chunk.Word()
-					if leaks {
-						relinked++
+					if onList[chunk] {
+						add(&freeParts[w], chunk, pool, off+pageHdrLen+i*cw)
+					} else {
+						add(&leakParts[w], chunk, pool, off+pageHdrLen+i*cw)
 					}
 				}
+				pool.Persist(off+pageHdrLen, n*cw, acc)
+			}
+		})
+		chains := make([]*chain, 0, 2*workers)
+		for w := range leakParts {
+			if leakParts[w].count > 0 {
+				chains = append(chains, &leakParts[w])
+				relinked += leakParts[w].count
 			}
 		}
-		link(false)
-		link(true)
-		for _, page := range pagesByClass[class] {
-			pool, off := ar.space.Resolve(page)
-			pool.Persist(off+pageHdrLen, n*cw, ctx.Mem)
+		for w := range freeParts {
+			if freeParts[w].count > 0 {
+				chains = append(chains, &freeParts[w])
+			}
+		}
+		newHead := uint64(0)
+		if len(chains) > 0 {
+			newHead = chains[0].head.Word()
+			for i := 0; i+1 < len(chains); i++ {
+				pool, off := ar.space.Resolve(chains[i].tail)
+				pool.Store(off, chains[i+1].head.Word(), ctx.Mem)
+				pool.Persist(off, 1, ctx.Mem)
+			}
 		}
 		ar.dirPool.Store(ar.freeHeadOff(class), newHead, ctx.Mem)
 		ar.dirPool.Persist(ar.freeHeadOff(class), 1, ctx.Mem)
@@ -813,5 +964,10 @@ func (ar *Arena) Sweep(ctx *exec.Ctx, live func(emit func(word uint64))) (relink
 	}
 	ar.sweepRelinked.Store(uint64(relinked))
 	ar.sweepPages.Store(uint64(pagesFreed))
+	scanned := uint64(0)
+	for _, pages := range pagesByClass {
+		scanned += uint64(len(pages))
+	}
+	ar.sweepScanned.Store(scanned)
 	return relinked, pagesFreed
 }

@@ -53,6 +53,23 @@ type Snapshot struct {
 	// Ops they are the cache-conscious-traversal headline metrics.
 	NodesVisited, KeysProbed uint64
 
+	// Recovery section (absolute, not cumulative): what the Reopen/Load
+	// that produced this store handle did. All zero for stores built by
+	// Create. Durations are in seconds so the snapshot stays a plain
+	// numbers struct.
+	RecoveryParallelism  int     // effective worker budget recovery ran with
+	RecoveryWallSecs     float64 // end-to-end time to ready
+	RecoveryAttachSecs   float64 // pool read + allocator attach (summed over shards)
+	RecoveryOpenSecs     float64 // skip-list open (summed over shards)
+	RecoverySweepSecs    float64 // slab crash-leak sweep (summed over shards)
+	RecoveryBulkLoadSecs float64 // logical-dump rebuild (bulk build or replay)
+	RecoveryPagesSwept   uint64  // slab pages scanned by the sweeps
+	RecoveryPagesFreed   uint64  // orphaned pages returned to the allocator
+	RecoveryChunksRelinked uint64 // leaked chunks rediscovered onto free lists
+	RecoveryKeysBulkLoaded uint64 // pairs restored through the bottom-up build
+	RecoveryNodesBulkBuilt uint64 // data nodes the bulk build constructed
+	RecoveryKeysReplayed   uint64 // pairs restored through the per-key fallback
+
 	// Mem aggregates the pmem counters of every pool: loads, stores,
 	// CASes, flushes (persisted cache lines), fences, remote-NUMA
 	// accesses and line-cache misses.
@@ -87,6 +104,23 @@ func (s Snapshot) Merge(other Snapshot) Snapshot {
 	out.HintFallback += other.HintFallback
 	out.NodesVisited += other.NodesVisited
 	out.KeysProbed += other.KeysProbed
+	// Recovery fields are absolute (they describe one store's recovery);
+	// merging the same store twice must not double them, so take the
+	// view with the larger wall time wholesale.
+	if other.RecoveryWallSecs > out.RecoveryWallSecs {
+		out.RecoveryParallelism = other.RecoveryParallelism
+		out.RecoveryWallSecs = other.RecoveryWallSecs
+		out.RecoveryAttachSecs = other.RecoveryAttachSecs
+		out.RecoveryOpenSecs = other.RecoveryOpenSecs
+		out.RecoverySweepSecs = other.RecoverySweepSecs
+		out.RecoveryBulkLoadSecs = other.RecoveryBulkLoadSecs
+		out.RecoveryPagesSwept = other.RecoveryPagesSwept
+		out.RecoveryPagesFreed = other.RecoveryPagesFreed
+		out.RecoveryChunksRelinked = other.RecoveryChunksRelinked
+		out.RecoveryKeysBulkLoaded = other.RecoveryKeysBulkLoaded
+		out.RecoveryNodesBulkBuilt = other.RecoveryNodesBulkBuilt
+		out.RecoveryKeysReplayed = other.RecoveryKeysReplayed
+	}
 	out.Mem.Loads += other.Mem.Loads
 	out.Mem.Stores += other.Mem.Stores
 	out.Mem.CASes += other.Mem.CASes
@@ -99,7 +133,7 @@ func (s Snapshot) Merge(other Snapshot) Snapshot {
 }
 
 // Sub returns s - prev field-wise for interval deltas. Absolute fields
-// (Conns, Shards) stay at s's value.
+// (Conns, Shards, the Recovery section) stay at s's value.
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	out := s
 	out.Accepted -= prev.Accepted

@@ -92,6 +92,35 @@ func (s *Store) EnableMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("upsl_reclaim_snapshot_blocked_batches",
 		"limbo batches whose free is currently held back by a pinned snapshot",
 		nil, func() float64 { return float64(s.ReclaimStats().SnapBlocked) })
+	// Recovery series sample the immutable RecoveryStats of the
+	// Reopen/Load that produced this handle (all zero after Create).
+	for _, ph := range []struct {
+		name string
+		d    func() time.Duration
+	}{
+		{"attach", func() time.Duration { return s.recovery.Attach }},
+		{"open", func() time.Duration { return s.recovery.Open }},
+		{"sweep", func() time.Duration { return s.recovery.Sweep }},
+		{"bulkload", func() time.Duration { return s.recovery.BulkLoad }},
+		{"wall", func() time.Duration { return s.recovery.Wall }},
+	} {
+		reg.GaugeFunc("upsl_recovery_phase_seconds",
+			"time the last recovery spent in each phase (per-shard phases summed; wall is end-to-end)",
+			metrics.Labels{"phase": ph.name},
+			func() float64 { return ph.d().Seconds() })
+	}
+	reg.GaugeFunc("upsl_recovery_parallelism",
+		"worker budget the last recovery ran with",
+		nil, func() float64 { return float64(s.recovery.Parallelism) })
+	reg.GaugeFunc("upsl_recovery_pages_swept_total",
+		"slab pages scanned by the last recovery's crash-leak sweeps",
+		nil, func() float64 { return float64(s.recovery.PagesSwept) })
+	reg.GaugeFunc("upsl_recovery_chunks_relinked_total",
+		"leaked chunks the last recovery relinked onto free lists",
+		nil, func() float64 { return float64(s.recovery.ChunksRelinked) })
+	reg.GaugeFunc("upsl_recovery_keys_loaded_total",
+		"pairs the last recovery restored (bulk build plus per-key replay)",
+		nil, func() float64 { return float64(s.recovery.KeysBulkLoaded + s.recovery.KeysReplayed) })
 	s.met.Store(m)
 	// Reclaimers started before metrics were enabled get the grace
 	// observer retrofitted (safe while they run).

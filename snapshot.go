@@ -3,13 +3,17 @@ package upskiplist
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"upskiplist/internal/exec"
+	"upskiplist/internal/pmem"
 	"upskiplist/internal/skiplist"
 	"upskiplist/internal/snapshot"
 )
@@ -376,85 +380,373 @@ func (s *Store) SaveOnline(dir string) error {
 	return writeMetaV4(dir, s.opts, "pairs")
 }
 
-// loadPairs rebuilds a store from a v3 logical dump (fixed 8-byte
-// values): fresh pools, then the dumped pairs batch-inserted in key
-// order, each value synthesized as its 8 little-endian bytes — the
-// exact representation PutU64 writes.
-func loadPairs(dir string, opts Options) (*Store, error) {
-	st, err := Create(opts)
-	if err != nil {
-		return nil, err
-	}
+// pairsReader streams records out of a pairs.upsl dump, hiding the v3
+// (fixed 8-byte values) / v4 (length-prefixed variable values) record
+// difference. The value slice returned by next is only valid until the
+// following call.
+type pairsReader struct {
+	f     *os.File
+	br    *bufio.Reader
+	ver   string
+	count uint64
+	read  uint64
+	val   []byte
+}
+
+func openPairsReader(dir, ver string) (*pairsReader, error) {
 	f, err := os.Open(filepath.Join(dir, "pairs.upsl"))
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
 	br := bufio.NewReader(f)
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("upskiplist: truncated v3 dump: %w", err)
+		f.Close()
+		return nil, fmt.Errorf("upskiplist: truncated %s dump: %w", ver, err)
 	}
-	count := binary.LittleEndian.Uint64(hdr[:])
-	w := st.NewWorker(0)
-	b := newBatchLoader(w)
-	var rec [16]byte
-	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("upskiplist: truncated v3 dump at pair %d/%d: %w", i, count, err)
-		}
-		if err := b.add(binary.LittleEndian.Uint64(rec[:8]), rec[8:16]); err != nil {
-			return nil, err
-		}
+	return &pairsReader{f: f, br: br, ver: ver, count: binary.LittleEndian.Uint64(hdr[:])}, nil
+}
+
+func (r *pairsReader) Close() error { return r.f.Close() }
+
+// next returns the following pair, or ok=false at end of dump.
+func (r *pairsReader) next() (key uint64, val []byte, ok bool, err error) {
+	if r.read == r.count {
+		return 0, nil, false, nil
 	}
-	if err := b.flush(); err != nil {
+	if r.ver == "v3" {
+		var rec [16]byte
+		if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+			return 0, nil, false, fmt.Errorf("upskiplist: truncated v3 dump at pair %d/%d: %w", r.read, r.count, err)
+		}
+		r.val = append(r.val[:0], rec[8:16]...)
+		r.read++
+		return binary.LittleEndian.Uint64(rec[:8]), r.val, true, nil
+	}
+	var rec [12]byte
+	if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+		return 0, nil, false, fmt.Errorf("upskiplist: truncated v4 dump at record %d/%d: %w", r.read, r.count, err)
+	}
+	vlen := binary.LittleEndian.Uint32(rec[8:])
+	if vlen > MaxValueLen {
+		return 0, nil, false, fmt.Errorf("upskiplist: v4 dump record %d has oversize value (%d bytes)", r.read, vlen)
+	}
+	if cap(r.val) < int(vlen) {
+		r.val = make([]byte, vlen)
+	}
+	r.val = r.val[:vlen]
+	if _, err := io.ReadFull(r.br, r.val); err != nil {
+		return 0, nil, false, fmt.Errorf("upskiplist: truncated v4 dump value %d/%d: %w", r.read, r.count, err)
+	}
+	r.read++
+	return binary.LittleEndian.Uint64(rec[:8]), r.val, true, nil
+}
+
+// loadPairsDump rebuilds a store from a logical dump: fresh pools, then
+// the pairs restored either through the bottom-up bulk build (sorted
+// dumps — everything SaveOnline writes) or, when the dump turns out
+// unsorted or ForceReplay is set, through the per-key insert path.
+func loadPairsDump(dir string, opts Options, ver string, cfg LoadConfig) (*Store, error) {
+	par := normalizeRecoveryParallelism(opts.RecoveryParallelism)
+	t0 := time.Now()
+	st, err := Create(opts)
+	if err != nil {
 		return nil, err
 	}
+	installInjector(st, cfg.Injector)
+	rec := RecoveryStats{Parallelism: par}
+	rec.Attach = time.Since(t0)
+	// Per-shard cost attribution for the simulated critical path: each
+	// shard's pairs land only in its own pools.
+	shardUnits := func(st *Store) []uint64 {
+		out := make([]uint64, len(st.shards))
+		for i, e := range st.shards {
+			out[i] = poolUnits(opts.Cost, e.pools)
+		}
+		return out
+	}
+	tLoad := time.Now()
+	if !cfg.ForceReplay {
+		before := shardUnits(st)
+		err := catchCrash(func() error { return bulkLoadPairs(st, dir, ver, par, &rec) })
+		if err == nil {
+			units := shardUnits(st)
+			for i := range units {
+				units[i] -= before[i]
+				rec.CostUnits += units[i]
+			}
+			rec.CriticalPathUnits = makespan(units, par)
+			rec.BulkLoad = time.Since(tLoad)
+			rec.Wall = time.Since(t0)
+			st.recovery = rec
+			return st, nil
+		}
+		if !errors.Is(err, skiplist.ErrUnsorted) {
+			return nil, err
+		}
+		// The dump is not globally sorted (not one of ours, or hand
+		// edited): throw the half-built pools away and replay per key.
+		rec.KeysBulkLoaded, rec.NodesBulkBuilt = 0, 0
+		if st, err = Create(opts); err != nil {
+			return nil, err
+		}
+		installInjector(st, cfg.Injector)
+		tLoad = time.Now()
+	}
+	before := shardUnits(st)
+	if err := catchCrash(func() error { return replayPairs(st, dir, ver, &rec) }); err != nil {
+		return nil, err
+	}
+	for i, u := range shardUnits(st) {
+		rec.CostUnits += u - before[i]
+	}
+	// Replay drives one worker through the normal insert path: serial,
+	// so its critical path is the whole charge.
+	rec.CriticalPathUnits = rec.CostUnits
+	rec.BulkLoad = time.Since(tLoad)
+	rec.Wall = time.Since(t0)
+	st.recovery = rec
 	return st, nil
 }
 
-// loadPairsV4 rebuilds a store from a v4 logical dump, whose records
-// carry length-prefixed variable-size values.
-func loadPairsV4(dir string, opts Options) (*Store, error) {
-	st, err := Create(opts)
+// installInjector arms a crash injector on every pool of the store.
+func installInjector(st *Store, inj pmem.Injector) {
+	if inj == nil {
+		return
+	}
+	for _, e := range st.shards {
+		for _, p := range e.pools {
+			p.SetInjector(inj)
+		}
+	}
+}
+
+// pairBatch carries a run of decoded dump records to one shard's bulk
+// worker: keys[j]'s value bytes are arena[ends[j-1]:ends[j]].
+type pairBatch struct {
+	keys  []uint64
+	ends  []int
+	arena []byte
+}
+
+const bulkBatchPairs = 512
+
+// bulkLoadPairs restores a sorted dump bottom-up. The reader goroutine
+// (the caller) streams records, routes each to its shard, and ships
+// filled batches over per-shard channels; one worker per shard drains
+// its channel into a skiplist.BulkBuilder. The global sort check lives
+// in the reader — keyspace sharding is modular, so a globally ascending
+// stream yields a strictly ascending subsequence per shard — and any
+// violation aborts the whole build with skiplist.ErrUnsorted. With one
+// shard (or a serial budget) everything runs inline on the caller.
+func bulkLoadPairs(st *Store, dir, ver string, par int, rec *RecoveryStats) error {
+	r, err := openPairsReader(dir, ver)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+
+	n := len(st.shards)
+	workers := make([]*bulkShardWorker, n)
+	for i := range workers {
+		w, err := newBulkShardWorker(st.shards[i], st.topo.NodeOf(0))
+		if err != nil {
+			return err
+		}
+		workers[i] = w
+	}
+	finish := func() error {
+		for _, w := range workers {
+			if err := w.finish(); err != nil {
+				return err
+			}
+			rec.KeysBulkLoaded += w.b.Keys()
+			rec.NodesBulkBuilt += w.b.Nodes()
+		}
+		return nil
+	}
+
+	var lastKey uint64
+	var haveLast bool
+	checkSorted := func(key uint64) error {
+		if haveLast && key <= lastKey {
+			return fmt.Errorf("%w: key %#x after %#x", skiplist.ErrUnsorted, key, lastKey)
+		}
+		lastKey, haveLast = key, true
+		return nil
+	}
+
+	if par <= 1 || n == 1 {
+		for {
+			key, val, ok, err := r.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if err := checkSorted(key); err != nil {
+				return err
+			}
+			if err := workers[st.shardOf(key)].add(key, val); err != nil {
+				return err
+			}
+		}
+		return finish()
+	}
+
+	// Parallel: one goroutine per shard; the reader keeps going until
+	// the dump ends or some worker fails (workers drain their channels
+	// on failure so the reader never wedges on a full one).
+	chans := make([]chan pairBatch, n)
+	pending := make([]pairBatch, n)
+	var (
+		wg       sync.WaitGroup
+		failed   atomic.Bool
+		panicked atomic.Pointer[any]
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		failed.Store(true)
+	}
+	for i := range chans {
+		chans[i] = make(chan pairBatch, 4)
+		wg.Add(1)
+		go func(w *bulkShardWorker, ch <-chan pairBatch) {
+			defer wg.Done()
+			for pb := range ch {
+				if failed.Load() {
+					continue // drain
+				}
+				if err := func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, ok := r.(pmem.CrashSignal); ok {
+								err = fmt.Errorf("%w: bulk worker died", ErrRecoveryInterrupted)
+								return
+							}
+							panicked.CompareAndSwap(nil, &r)
+							err = fmt.Errorf("upskiplist: bulk load worker panicked")
+						}
+					}()
+					start := 0
+					for j, k := range pb.keys {
+						if err := w.add(k, pb.arena[start:pb.ends[j]]); err != nil {
+							return err
+						}
+						start = pb.ends[j]
+					}
+					return nil
+				}(); err != nil {
+					fail(err)
+				}
+			}
+		}(workers[i], chans[i])
+	}
+	readErr := func() error {
+		for !failed.Load() {
+			key, val, ok, err := r.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if err := checkSorted(key); err != nil {
+				return err
+			}
+			si := st.shardOf(key)
+			pb := &pending[si]
+			pb.keys = append(pb.keys, key)
+			pb.arena = append(pb.arena, val...)
+			pb.ends = append(pb.ends, len(pb.arena))
+			if len(pb.keys) >= bulkBatchPairs {
+				chans[si] <- *pb
+				pending[si] = pairBatch{}
+			}
+		}
+		return nil
+	}()
+	for si := range chans {
+		if readErr == nil && !failed.Load() && len(pending[si].keys) > 0 {
+			chans[si] <- pending[si]
+		}
+		close(chans[si])
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(*r)
+	}
+	if readErr != nil {
+		return readErr
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return finish()
+}
+
+// bulkShardWorker owns one shard's bulk build: a private exec context
+// whose line batch folds each value's slab lines into the node fence,
+// and the builder appending at the shard list's right edge.
+type bulkShardWorker struct {
+	e   *engine
+	ctx *exec.Ctx
+	b   *skiplist.BulkBuilder
+}
+
+func newBulkShardWorker(e *engine, node int) (*bulkShardWorker, error) {
+	ctx := exec.NewCtx(0, node)
+	b, err := skiplist.NewBulkBuilder(e.list, ctx)
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.Open(filepath.Join(dir, "pairs.upsl"))
+	e.list.Pin(ctx)
+	return &bulkShardWorker{e: e, ctx: ctx, b: b}, nil
+}
+
+func (w *bulkShardWorker) add(key uint64, val []byte) error {
+	ref, err := w.e.vals.Put(w.ctx, val, &w.ctx.Batch)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	var hdr [8]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("upskiplist: truncated v4 dump: %w", err)
+	return w.b.Add(key, ref.Word())
+}
+
+func (w *bulkShardWorker) finish() error {
+	defer w.e.list.Unpin(w.ctx)
+	return w.b.Finish()
+}
+
+// replayPairs restores a dump through the per-key batch insert path —
+// the fallback for unsorted dumps and the ForceReplay baseline.
+func replayPairs(st *Store, dir, ver string, rec *RecoveryStats) error {
+	r, err := openPairsReader(dir, ver)
+	if err != nil {
+		return err
 	}
-	count := binary.LittleEndian.Uint64(hdr[:])
-	w := st.NewWorker(0)
-	b := newBatchLoader(w)
-	var rec [12]byte
-	var val []byte
-	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("upskiplist: truncated v4 dump at record %d/%d: %w", i, count, err)
+	defer r.Close()
+	b := newBatchLoader(st.NewWorker(0))
+	for {
+		key, val, ok, err := r.next()
+		if err != nil {
+			return err
 		}
-		vlen := binary.LittleEndian.Uint32(rec[8:])
-		if vlen > MaxValueLen {
-			return nil, fmt.Errorf("upskiplist: v4 dump record %d has oversize value (%d bytes)", i, vlen)
+		if !ok {
+			break
 		}
-		if cap(val) < int(vlen) {
-			val = make([]byte, vlen)
+		if err := b.add(key, val); err != nil {
+			return err
 		}
-		val = val[:vlen]
-		if _, err := io.ReadFull(br, val); err != nil {
-			return nil, fmt.Errorf("upskiplist: truncated v4 dump value %d/%d: %w", i, count, err)
-		}
-		if err := b.add(binary.LittleEndian.Uint64(rec[:8]), val); err != nil {
-			return nil, err
-		}
+		rec.KeysReplayed++
 	}
-	return st, b.flush()
+	return b.flush()
 }
 
 // batchLoader groups dump records into ApplyBatch calls, copying each

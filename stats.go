@@ -17,6 +17,19 @@ type StoreStats = stats.Snapshot
 // snapshot is per-counter consistent, not cross-counter consistent.
 func (s *Store) Stats() StoreStats {
 	out := StoreStats{Shards: len(s.shards)}
+	rec := s.recovery
+	out.RecoveryParallelism = rec.Parallelism
+	out.RecoveryWallSecs = rec.Wall.Seconds()
+	out.RecoveryAttachSecs = rec.Attach.Seconds()
+	out.RecoveryOpenSecs = rec.Open.Seconds()
+	out.RecoverySweepSecs = rec.Sweep.Seconds()
+	out.RecoveryBulkLoadSecs = rec.BulkLoad.Seconds()
+	out.RecoveryPagesSwept = rec.PagesSwept
+	out.RecoveryPagesFreed = rec.PagesFreed
+	out.RecoveryChunksRelinked = rec.ChunksRelinked
+	out.RecoveryKeysBulkLoaded = rec.KeysBulkLoaded
+	out.RecoveryNodesBulkBuilt = rec.NodesBulkBuilt
+	out.RecoveryKeysReplayed = rec.KeysReplayed
 	for _, e := range s.shards {
 		for _, p := range e.pools {
 			snap := p.Stats().Snapshot()

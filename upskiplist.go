@@ -147,6 +147,14 @@ type Options struct {
 	// prefetches). Ablation knob; results never change.
 	DisableForesight bool
 
+	// RecoveryParallelism bounds the worker goroutines Reopen and Load
+	// fan recovery out across: shards recover concurrently, and any
+	// leftover budget splits each shard's allocator kind scans and slab
+	// sweep page scans into parallel partitions. 0 means GOMAXPROCS; 1
+	// recovers serially. Volatile tuning like TowerBranch: never
+	// persisted, never affects the recovered state — only time to ready.
+	RecoveryParallelism int
+
 	// Shards splits the keyspace across this many independent skip lists
 	// (0 or 1 = today's single-list store). Routing is by key modulo the
 	// shard count, so dense keyspaces spread evenly; each shard has its
@@ -319,8 +327,9 @@ func (e *engine) decodeValue(w uint64, dst []byte, acc *pmem.Acc) []byte {
 // the list's iterators decode value words through the arena. With sweep
 // set (reopen/load over pre-existing pools) the startup crash-leak scan
 // runs: chunks whose publishing node word never landed are relinked, and
-// slab pages orphaned mid-grow go back to the block allocator.
-func (e *engine) attachVals(sweep bool) error {
+// slab pages orphaned mid-grow go back to the block allocator. scanPar
+// is the sweep's intra-shard page-scan parallelism (<= 1 serial).
+func (e *engine) attachVals(sweep bool, scanPar int) error {
 	ctx := exec.NewCtx(0, 0)
 	ar, err := slab.Attach(e.alloc, ctx)
 	if err != nil {
@@ -330,6 +339,7 @@ func (e *engine) attachVals(sweep bool) error {
 	ar.SetDomain(e.list.Domain)
 	e.list.SetValueDecoder(e.decodeValue)
 	if sweep {
+		ar.SetSweepParallelism(scanPar)
 		ar.Sweep(ctx, func(emit func(uint64)) { e.list.ForEachValueWord(ctx, emit) })
 	}
 	return nil
@@ -473,6 +483,10 @@ type Store struct {
 	snapMu    sync.Mutex
 	openSnaps map[*Snap]time.Time
 	snapBits  uint64
+
+	// recovery records what the Reopen/Load that produced this handle
+	// did (recovery.go). Zero for stores built by Create.
+	recovery RecoveryStats
 }
 
 // newShardPools builds the pool set for one shard. An unsharded store
@@ -557,7 +571,7 @@ func Create(opts Options) (*Store, error) {
 			return nil, err
 		}
 		e.list = list
-		if err := e.attachVals(false); err != nil {
+		if err := e.attachVals(false, 1); err != nil {
 			return nil, err
 		}
 		st.shards = append(st.shards, e)
@@ -606,39 +620,28 @@ func assembleEngine(opts Options, pools []*pmem.Pool, pas []*alloc.PoolAllocator
 // same pools: a brand-new handle is assembled, each shard's failure-free
 // epoch is advanced, and the old handle must no longer be used. Per the
 // paper, this is all the recovery there is — repairs happen lazily
-// during subsequent operations.
+// during subsequent operations. Shards recover concurrently under the
+// Options.RecoveryParallelism budget (see recovery.go).
 func (s *Store) Reopen() (*Store, error) {
 	// The old handle's reclaimers run against the same pools the new
 	// handle will own; stop them first (waits for their goroutines).
 	s.DisableOnlineReclaim()
 	st := &Store{opts: s.opts, topo: s.topo}
-	for _, old := range s.shards {
-		var pas []*alloc.PoolAllocator
-		for _, p := range old.pools {
-			pa, err := alloc.Attach(p)
-			if err != nil {
-				return nil, err
-			}
-			pas = append(pas, pa)
-		}
-		e, err := assembleEngine(s.opts, old.pools, pas, true)
-		if err != nil {
-			return nil, err
-		}
-		list, err := skiplist.Open(e.alloc)
-		if err != nil {
-			return nil, err
-		}
-		list.SetRecoveryBudget(s.opts.RecoveryBudget)
-		list.SetHintCache(!s.opts.DisableHintCache)
-		list.SetTowerBranch(s.opts.TowerBranch)
-		list.SetFastPaths(!s.opts.DisableBlockSearch, !s.opts.DisableForesight)
-		e.list = list
-		if err := e.attachVals(true); err != nil {
-			return nil, err
-		}
-		st.shards = append(st.shards, e)
+	n := len(s.shards)
+	engines := make([]*engine, n)
+	recs := make([]shardRecovery, n)
+	par := normalizeRecoveryParallelism(s.opts.RecoveryParallelism)
+	t0 := time.Now()
+	err := recoverShards(n, par, func(i, scanPar int) error {
+		e, err := recoverShard(s.opts, s.shards[i].pools, scanPar, &recs[i])
+		engines[i] = e
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
+	st.shards = engines
+	st.recovery = summarizeRecovery(par, recs, time.Since(t0))
 	if s.opts.OnlineReclaim {
 		st.EnableOnlineReclaim()
 	}
@@ -1211,48 +1214,53 @@ func poolFileName(shards, shard int, poolID uint16) string {
 // or from a SaveOnline logical dump (fresh pools rebuilt from the
 // dumped pairs).
 func Load(dir string) (*Store, error) {
+	return LoadWithConfig(dir, LoadConfig{})
+}
+
+// LoadWithConfig is Load with recovery tuning: parallelism override,
+// the bulk-build/replay choice for pairs dumps, and a crash injector
+// installed before recovery work begins (see LoadConfig).
+func LoadWithConfig(dir string, cfg LoadConfig) (*Store, error) {
 	opts, ver, kind, err := loadMeta(dir)
 	if err != nil {
 		return nil, err
 	}
+	if cfg.RecoveryParallelism != 0 {
+		opts.RecoveryParallelism = cfg.RecoveryParallelism
+	}
+	if cfg.Cost != nil {
+		opts.Cost = cfg.Cost
+	}
 	if kind == "pairs" {
-		if ver == "v3" {
-			return loadPairs(dir, opts)
-		}
-		return loadPairsV4(dir, opts)
+		return loadPairsDump(dir, opts, ver, cfg)
 	}
 	st := &Store{opts: opts, topo: numa.Topology{Nodes: opts.NUMANodes}}
-	for si := 0; si < opts.Shards; si++ {
-		pools, err := loadShardPools(dir, opts, st.topo, si)
+	n := opts.Shards
+	engines := make([]*engine, n)
+	recs := make([]shardRecovery, n)
+	par := normalizeRecoveryParallelism(opts.RecoveryParallelism)
+	t0 := time.Now()
+	err = recoverShards(n, par, func(i, scanPar int) error {
+		tRead := time.Now()
+		pools, err := loadShardPools(dir, opts, st.topo, i)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		var pas []*alloc.PoolAllocator
-		for _, p := range pools {
-			pa, err := alloc.Attach(p)
-			if err != nil {
-				return nil, err
+		if cfg.Injector != nil {
+			for _, p := range pools {
+				p.SetInjector(cfg.Injector)
 			}
-			pas = append(pas, pa)
 		}
-		e, err := assembleEngine(opts, pools, pas, true)
-		if err != nil {
-			return nil, err
-		}
-		list, err := skiplist.Open(e.alloc)
-		if err != nil {
-			return nil, err
-		}
-		list.SetRecoveryBudget(opts.RecoveryBudget)
-		list.SetHintCache(!opts.DisableHintCache)
-		list.SetTowerBranch(opts.TowerBranch)
-		list.SetFastPaths(!opts.DisableBlockSearch, !opts.DisableForesight)
-		e.list = list
-		if err := e.attachVals(true); err != nil {
-			return nil, err
-		}
-		st.shards = append(st.shards, e)
+		recs[i].attach += time.Since(tRead)
+		e, err := recoverShard(opts, pools, scanPar, &recs[i])
+		engines[i] = e
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
+	st.shards = engines
+	st.recovery = summarizeRecovery(par, recs, time.Since(t0))
 	return st, nil
 }
 
